@@ -1,0 +1,31 @@
+"""Benchmark-suite fixtures.
+
+Each benchmark runs its experiment exactly once (the virtual-time
+simulation is deterministic — repeated rounds would measure Python
+overhead, not the experiment), prints the paper-style table, saves JSON
+under ``results/``, and asserts the figure's qualitative shape.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run the experiment once under pytest-benchmark timing."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

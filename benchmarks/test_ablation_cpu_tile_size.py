@@ -1,0 +1,18 @@
+"""Ablation A6: CPU tile size vs cache reuse (TiDA's original §IV-A story)."""
+
+from repro.bench import figures
+
+
+def test_ablation_cpu_tile_size(run_once, results_dir):
+    table = run_once(figures.ablation_cpu_tile_size)
+    print()
+    print(table.format())
+    table.save_json(results_dir / "ablation_a6.json")
+
+    seconds = table.column("seconds")
+    ws = table.column("working_set_MiB")
+    # the region-sized loop blows the LLC and pays the spill traffic
+    assert ws[0] > 30 > ws[-1]
+    assert seconds[0] > 1.5 * seconds[-1]
+    # once tiles fit in cache, shrinking them further buys nothing on CPU
+    assert abs(seconds[1] - seconds[2]) / seconds[2] < 0.05

@@ -1,0 +1,21 @@
+"""Ablation A2: PCIe Gen3 vs NVLink (paper intro: >=5x link speed)."""
+
+from repro.bench import figures
+
+
+def test_ablation_interconnect(run_once, results_dir):
+    table = run_once(figures.ablation_interconnect)
+    print()
+    print(table.format())
+    table.save_json(results_dir / "ablation_a2.json")
+
+    pcie = table.row_by("interconnect", "pcie-gen3-x16")
+    nvlink = table.row_by("interconnect", "nvlink-1.0")
+    # NVLink shrinks the 1-step transfer-dominated runtimes dramatically
+    assert nvlink[1] < pcie[1] / 3
+    assert nvlink[2] < pcie[2]
+    # the *absolute* time TiDA-acc's overlap saves shrinks with the faster
+    # link: there is 5x less transfer latency to hide
+    pcie_saved = pcie[1] - pcie[2]
+    nvlink_saved = nvlink[1] - nvlink[2]
+    assert 0 < nvlink_saved < pcie_saved / 3

@@ -1,0 +1,17 @@
+"""Ablation A3: closed-form analytic model vs the simulator."""
+
+from repro.bench import figures
+
+
+def test_ablation_model_accuracy(run_once, results_dir):
+    table = run_once(figures.ablation_model_accuracy)
+    print()
+    print(table.format())
+    table.save_json(results_dir / "ablation_a3.json")
+
+    ratios = table.column("ratio")
+    # the model is close enough to drive the autotuner
+    assert all(0.6 < r < 1.4 for r in ratios)
+    # and the compute-dominated cases are tighter still
+    compute_rows = [r for r in table.rows if r[0].startswith("compute-intensive")]
+    assert all(0.9 < row[3] < 1.1 for row in compute_rows)

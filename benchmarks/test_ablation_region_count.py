@@ -1,0 +1,18 @@
+"""Ablation A1: region-count sweep (the paper fixed 16 as the best)."""
+
+from repro.bench import figures
+
+
+def test_ablation_region_count(run_once, results_dir):
+    table = run_once(figures.ablation_region_count, steps=1)
+    print()
+    print(table.format())
+    table.save_json(results_dir / "ablation_a1.json")
+
+    measured = dict(zip(table.column("n_regions"), table.column("measured_s")))
+    # pipelining pays off on a transfer-dominated run: a moderate region
+    # count beats both extremes
+    assert min(measured, key=measured.get) not in (1,)
+    assert measured[16] < measured[1]
+    # far too many regions reintroduce overhead
+    assert measured[64] > measured[16] * 0.9

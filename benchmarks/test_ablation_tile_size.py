@@ -1,0 +1,16 @@
+"""Ablation A4: §V's recommendation — GPU tiles should equal regions."""
+
+from repro.bench import figures
+
+
+def test_ablation_tile_size(run_once, results_dir):
+    table = run_once(figures.ablation_tile_size)
+    print()
+    print(table.format())
+    table.save_json(results_dir / "ablation_a4.json")
+
+    seconds = table.column("seconds")
+    launches = table.column("kernel_launches")
+    # smaller tiles => strictly more kernel launches => slower runs
+    assert launches[0] < launches[1] < launches[2]
+    assert seconds[0] < seconds[1] < seconds[2]

@@ -1,0 +1,23 @@
+"""Figure 1: heat 384^3, 100 iterations, nine execution models (§II-C)."""
+
+from repro.bench import figures
+
+
+def test_fig1_models(run_once, results_dir):
+    table = run_once(figures.figure1)
+    print()
+    print(table.format())
+    table.save_json(results_dir / "fig1.json")
+
+    t = {(r[0], r[1]): r[2] for r in table.rows}
+    # per-model memory ordering: pinned < pageable < managed
+    for model in ("cuda", "openacc", "cuda+openacc"):
+        assert t[(model, "pinned")] < t[(model, "pageable")] < t[(model, "managed")]
+    # per-memory model ordering: cuda < hybrid < openacc
+    for memory in ("pageable", "pinned", "managed"):
+        assert t[("cuda", memory)] <= t[("cuda+openacc", memory)] <= t[("openacc", memory)]
+    # "the performance of OpenACC improves and gets much closer to that of
+    # CUDA" when CUDA manages memory: the hybrid closes most of the gap
+    gap_acc = t[("openacc", "pinned")] - t[("cuda", "pinned")]
+    gap_hybrid = t[("cuda+openacc", "pinned")] - t[("cuda", "pinned")]
+    assert gap_hybrid < gap_acc

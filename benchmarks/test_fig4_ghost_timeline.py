@@ -1,0 +1,20 @@
+"""Figure 4: hybrid CPU/GPU ghost-cell update overlap (§IV-B.6)."""
+
+from repro.bench import figures
+
+
+def test_fig4_ghost_timeline(run_once, results_dir):
+    result = run_once(figures.figure4)
+    print()
+    print(result.table.format())
+    print(result.gantt)
+    result.table.save_json(results_dir / "fig4.json")
+    (results_dir / "fig4.txt").write_text(result.gantt)
+
+    host = result.table.row_by("quantity", "host index computation")[1]
+    gpu = result.table.row_by("quantity", "gpu ghost kernels")[1]
+    span = result.table.row_by("quantity", "exchange span")[1]
+    assert host > 0 and gpu > 0
+    # Fig. 4's point: the exchange takes less time than host work + GPU
+    # work back-to-back, because index computation overlaps the kernels
+    assert span < host + gpu

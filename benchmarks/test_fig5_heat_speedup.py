@@ -1,0 +1,25 @@
+"""Figure 5: heat 512^3, speedup over CUDA-pageable vs iteration count (§VI-A)."""
+
+from repro.bench import figures
+
+
+def test_fig5_heat_speedup(run_once, results_dir):
+    table = run_once(figures.figure5)
+    print()
+    print(table.format())
+    table.save_json(results_dir / "fig5.json")
+
+    by_iters = {r[0]: {"pinned": r[1], "acc": r[2], "tida": r[3]} for r in table.rows}
+
+    # TiDA-acc wins big when transfer-dominated (1 iteration)...
+    assert by_iters[1]["tida"] > by_iters[1]["pinned"] > 1.0
+    assert by_iters[1]["tida"] > 2.0
+    # ...and its advantage monotonically decays toward the CUDA versions
+    tida_series = [by_iters[s]["tida"] for s in (1, 10, 100, 1000)]
+    assert all(a >= b for a, b in zip(tida_series, tida_series[1:]))
+    assert 0.7 < tida_series[-1] < 1.3  # comparable at 1000 iterations
+    # OpenACC has the lowest performance of all, at every point
+    for steps, row in by_iters.items():
+        assert row["acc"] < row["pinned"]
+        assert row["acc"] < row["tida"]
+        assert row["acc"] < 1.0

@@ -1,0 +1,21 @@
+"""Figure 6: compute-intensive 512^3 execution times across builds (§VI-B)."""
+
+from repro.bench import figures
+
+
+def test_fig6_compute_intensive(run_once, results_dir):
+    table = run_once(figures.figure6)
+    print()
+    print(table.format())
+    table.save_json(results_dir / "fig6.json")
+
+    t = {r[0]: r[1] for r in table.rows}
+    # PGI math codegen (OpenACC, TiDA-acc) beats NVCC + CUDA libm
+    assert t["openacc-pageable"] < t["cuda"]
+    assert t["tida-acc"] < t["cuda"]
+    # --use_fast_math restores fairness: comparable to the PGI builds
+    assert t["cuda-pinned-fastmath"] < t["cuda-pinned"] < t["cuda"]
+    assert abs(t["cuda-pinned-fastmath"] - t["tida-acc"]) / t["tida-acc"] < 0.35
+    # "TiDA-acc performs reasonably well as it does not introduce overhead":
+    # at worst a few percent over the best PGI-math build
+    assert t["tida-acc"] <= t["openacc-pageable"] * 1.05

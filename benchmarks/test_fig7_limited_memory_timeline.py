@@ -1,0 +1,22 @@
+"""Figure 7: two-stream limited-memory pipeline timeline (§VI-C)."""
+
+from repro.bench import figures
+
+
+def test_fig7_limited_memory_timeline(run_once, results_dir):
+    result = run_once(figures.figure7)
+    print()
+    print(result.table.format())
+    print(result.gantt)
+    result.table.save_json(results_dir / "fig7.json")
+    (results_dir / "fig7.txt").write_text(result.gantt)
+
+    # "data transfers are fully overlapped with computation on GPU"
+    assert result.overlap_fraction > 0.95
+    # streaming means real traffic on both engines
+    h2d = result.table.row_by("lane", "h2d")[1]
+    d2h = result.table.row_by("lane", "d2h")[1]
+    compute = result.table.row_by("lane", "compute")[1]
+    assert h2d > 0 and d2h > 0
+    # and the kernel is the bottleneck (the §VI-C design point)
+    assert compute > max(h2d, d2h)

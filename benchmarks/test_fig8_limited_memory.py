@@ -1,0 +1,20 @@
+"""Figure 8: full memory vs 2-slot limited memory vs single region (§VI-C)."""
+
+from repro.bench import figures
+
+
+def test_fig8_limited_memory(run_once, results_dir):
+    table = run_once(figures.figure8)
+    print()
+    print(table.format())
+    table.save_json(results_dir / "fig8.json")
+
+    full = table.row_by("configuration", "tida-acc")
+    limited = table.row_by("configuration", "tida-acc limited memory")
+    one = table.row_by("configuration", "tida-acc 1 region")
+
+    assert limited[2] == 2   # the paper's "only two regions fit" setup
+    # "almost the same performance with the available memory case"
+    assert abs(limited[1] - full[1]) / full[1] < 0.02
+    # "for the one region case, the library does not introduce any overhead"
+    assert abs(one[1] - full[1]) / full[1] < 0.02

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Poisson solve with conjugate gradients, entirely on tiled GPU fields.
+
+A full downstream application of the TiDA-acc API: the matrix-free
+Laplacian matvec (stencil + ghost exchange), three vector-update kernels
+and two device reductions per iteration, all pipelined across region
+streams.  Verifies the solution against a dense solve and reports the
+convergence history plus the virtual-time breakdown.
+
+Run:  python examples/conjugate_gradient.py [--size 24] [--regions 4]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.apps import TiledCG
+from repro.apps.cg import assemble_laplacian_dense
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=24)
+    parser.add_argument("--regions", type=int, default=4)
+    parser.add_argument("--tol", type=float, default=1e-10)
+    args = parser.parse_args()
+
+    shape = (args.size, args.size)
+    rng = np.random.default_rng(7)
+    b = rng.random(shape)
+
+    cg = TiledCG(shape, n_regions=args.regions)
+    res = cg.solve(b, tol=args.tol)
+
+    A = assemble_laplacian_dense(shape)
+    x_ref = np.linalg.solve(A, b.ravel()).reshape(shape)
+    err = np.abs(res.x - x_ref).max()
+
+    print(f"Poisson {shape}, {args.regions} regions")
+    print(f"  converged      : {res.converged} in {res.iterations} iterations")
+    print(f"  max |x - x_ref|: {err:.3e} (vs dense numpy solve)")
+    print(f"  virtual time   : {res.elapsed * 1e3:.3f} ms")
+    hist = res.residual_norms
+    marks = [0, len(hist) // 4, len(hist) // 2, 3 * len(hist) // 4, len(hist) - 1]
+    print("  residual history:")
+    for i in sorted(set(marks)):
+        print(f"    iter {i + 1:4d}: ||r|| = {hist[i]:.3e}")
+    trace = cg.lib.trace
+    kernels = len(trace.by_category("kernel"))
+    print(f"  {kernels} kernel launches, "
+          f"{len(trace.by_category('h2d'))} H2D / {len(trace.by_category('d2h'))} D2H transfers")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""The paper's Fig. 5 experiment as a configurable command-line driver.
+
+Runs the 3-D heat solver at paper scale (timing-only mode, so 512^3
+simulates in seconds) under four execution models and prints the speedup
+table over the CUDA-pageable baseline.
+
+Run:  python examples/heat_3d.py [--size 512] [--regions 16] [--steps 1 10 100 1000]
+"""
+
+import argparse
+
+from repro.baselines import run_acc_heat, run_cuda_heat, run_tida_heat
+from repro.bench.report import Table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=512, help="cubic grid edge")
+    parser.add_argument("--regions", type=int, default=16, help="TiDA-acc region count")
+    parser.add_argument("--steps", type=int, nargs="+", default=[1, 10, 100, 1000])
+    args = parser.parse_args()
+
+    shape = (args.size,) * 3
+    table = Table(
+        title=f"heat {shape}: speedup over CUDA-pageable ({args.regions} regions)",
+        columns=["iterations", "cuda-pageable_s", "cuda-pinned", "openacc", "tida-acc"],
+    )
+    for steps in args.steps:
+        base = run_cuda_heat(shape=shape, steps=steps, memory="pageable").elapsed
+        pinned = run_cuda_heat(shape=shape, steps=steps, memory="pinned").elapsed
+        acc = run_acc_heat(shape=shape, steps=steps, memory="pageable").elapsed
+        tida = run_tida_heat(shape=shape, steps=steps, n_regions=args.regions).elapsed
+        table.add_row(steps, base, base / pinned, base / acc, base / tida)
+    print(table.format())
+    print("\npaper shape: TiDA-acc dominates at few iterations (transfers hidden),")
+    print("converges toward the CUDA variants as compute amortizes; OpenACC lowest.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Image-processing workload: tiled 3x3 box blur on a 2-D image.
+
+The intro motivates GPUs for image processing; this example runs a
+repeated box blur over a synthetic image with a 2-D region grid
+(corner ghosts included — a stricter exchange than the heat stencil's
+faces), on the GPU path with periodic boundaries, and verifies against
+pure numpy.
+
+Run:  python examples/image_blur.py [--size 256] [--grid 4] [--passes 5]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import Periodic, TidaAcc, blur_kernel
+from repro.baselines.common import apply_bc_global
+from repro.kernels.blur import blur_reference_step
+
+
+def synthetic_image(size: int) -> np.ndarray:
+    y, x = np.mgrid[0:size, 0:size]
+    return (np.sin(x / 7.0) * np.cos(y / 11.0) + ((x // 16 + y // 16) % 2)).astype(float)
+
+
+def reference(img: np.ndarray, passes: int) -> np.ndarray:
+    full = np.zeros((img.shape[0] + 2, img.shape[1] + 2))
+    full[1:-1, 1:-1] = img
+    for _ in range(passes):
+        apply_bc_global(full, 1, Periodic())
+        full = blur_reference_step(full)
+    return full[1:-1, 1:-1].copy()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=256)
+    parser.add_argument("--grid", type=int, default=4, help="regions per side")
+    parser.add_argument("--passes", type=int, default=5)
+    args = parser.parse_args()
+
+    img = synthetic_image(args.size)
+    region = args.size // args.grid
+    lib = TidaAcc()
+    lib.add_array("img", img.shape, region_shape=(region, region), ghost=1)
+    lib.add_array("tmp", img.shape, region_shape=(region, region), ghost=1)
+    lib.scatter("img", img)
+
+    kernel = blur_kernel()
+    for _ in range(args.passes):
+        lib.fill_boundary("img", Periodic())
+        for dst, src in lib.iterator("tmp", "img").reset(gpu=True):
+            lib.compute((dst, src), kernel, gpu=True)
+        lib.swap("img", "tmp")
+
+    out = lib.gather("img")
+    ref = reference(img, args.passes)
+    assert np.allclose(out, ref), "blur diverged from numpy reference"
+
+    print(f"blurred {img.shape} image, {args.passes} passes, "
+          f"{args.grid}x{args.grid} regions")
+    print(f"  input  std: {img.std():.4f}")
+    print(f"  output std: {out.std():.4f} (smoothing verified against numpy)")
+    print(f"  virtual time: {lib.now * 1e3:.3f} ms on {lib.runtime.machine.name}")
+
+
+if __name__ == "__main__":
+    main()

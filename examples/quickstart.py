@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Quickstart: solve the 3-D heat equation with TiDA-acc in ~30 lines.
+
+Demonstrates the full §V programming model: declare tiled fields, flip
+the iterator's GPU switch, call ``compute`` with a kernel, exchange
+ghosts, swap time levels, and read back a plain numpy result — while the
+library pipelines every region transfer behind computation on a
+simulated Tesla K40m.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import Neumann, TidaAcc, heat_kernel
+from repro.baselines.common import default_init, reference_heat
+
+SHAPE = (32, 32, 32)
+STEPS = 10
+COEF = 0.1
+
+
+def main() -> None:
+    lib = TidaAcc()  # simulated K40m testbed, functional mode
+    lib.add_array("u_old", SHAPE, n_regions=4, ghost=1)
+    lib.add_array("u_new", SHAPE, n_regions=4, ghost=1)
+
+    init = default_init(SHAPE, ghost=1)
+    lib.scatter("u_old", init[1:-1, 1:-1, 1:-1])
+    lib.scatter("u_new", init[1:-1, 1:-1, 1:-1])
+
+    kernel = heat_kernel(ndim=3)
+    for _step in range(STEPS):
+        lib.fill_boundary("u_old", Neumann())
+        it = lib.iterator("u_new", "u_old").reset(gpu=True)
+        while it.is_valid():
+            lib.compute(it, kernel, params={"coef": COEF})
+            it.next()
+        lib.swap("u_old", "u_new")
+
+    result = lib.gather("u_old")
+    expected = reference_heat(init, STEPS, coef=COEF, bc=Neumann(), ghost=1)
+    assert np.allclose(result, expected), "TiDA-acc diverged from the reference!"
+
+    print(f"heat {SHAPE}, {STEPS} steps on {lib.runtime.machine.name}")
+    print(f"  result mean            : {result.mean():.6f} (matches numpy reference)")
+    print(f"  virtual wall-clock     : {lib.now * 1e3:.3f} ms")
+    print(f"  kernel launches        : {len(lib.trace.by_category('kernel'))}")
+    print(f"  H2D / D2H transfers    : {len(lib.trace.by_category('h2d'))} / "
+          f"{len(lib.trace.by_category('d2h'))}")
+    hidden = lib.trace.overlap_fraction(["compute"], ["h2d", "d2h"])
+    print(f"  compute overlapped with transfers: {hidden * 100:.0f}%")
+
+
+if __name__ == "__main__":
+    main()

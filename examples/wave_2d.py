@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""2-D wave equation with three tiled fields (u_next, u, u_prev).
+
+Shows the multi-tile compute signature of §V with *three* inputs, and a
+three-way field rotation per time step.  A Gaussian pulse propagates
+outward under Dirichlet walls; energy statistics and correctness against
+a numpy reference are printed.
+
+Run:  python examples/wave_2d.py [--size 128] [--regions 4] [--steps 50]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import Dirichlet, TidaAcc, wave_kernel
+from repro.baselines.common import apply_bc_global
+from repro.kernels.wave import wave_reference_step
+
+
+def reference(u0: np.ndarray, steps: int, c2: float) -> np.ndarray:
+    full = np.zeros((u0.shape[0] + 2, u0.shape[1] + 2))
+    full[1:-1, 1:-1] = u0
+    prev = full.copy()
+    for _ in range(steps):
+        apply_bc_global(full, 1, Dirichlet(0.0))
+        nxt = wave_reference_step(full, prev, c2=c2)
+        prev, full = full, nxt
+    return full[1:-1, 1:-1].copy()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=128)
+    parser.add_argument("--regions", type=int, default=4)
+    parser.add_argument("--steps", type=int, default=50)
+    parser.add_argument("--c2", type=float, default=0.25)
+    args = parser.parse_args()
+
+    shape = (args.size, args.size)
+    y, x = np.mgrid[0:args.size, 0:args.size]
+    c = args.size / 2
+    u0 = np.exp(-((x - c) ** 2 + (y - c) ** 2) / (args.size / 8) ** 2)
+
+    lib = TidaAcc()
+    for name in ("u_next", "u", "u_prev"):
+        lib.add_array(name, shape, n_regions=args.regions, ghost=1)
+    lib.scatter("u", u0)
+    lib.scatter("u_prev", u0)
+
+    kernel = wave_kernel(2)
+    for _ in range(args.steps):
+        lib.fill_boundary("u", Dirichlet(0.0))
+        it = lib.iterator("u_next", "u", "u_prev").reset(gpu=True)
+        while it.is_valid():
+            lib.compute(it, kernel, params={"c2": args.c2})
+            it.next()
+        lib.swap("u_prev", "u")
+        lib.swap("u", "u_next")
+
+    out = lib.gather("u")
+    ref = reference(u0, args.steps, args.c2)
+    assert np.allclose(out, ref), "wave solution diverged from numpy reference"
+
+    print(f"wave {shape}, {args.steps} steps, {args.regions} regions "
+          f"(verified against numpy)")
+    print(f"  initial pulse peak : {u0.max():.4f}")
+    print(f"  final peak         : {out.max():.4f} (dispersed)")
+    print(f"  final field L2     : {np.linalg.norm(out):.4f}")
+    print(f"  virtual time       : {lib.now * 1e3:.3f} ms")
+
+
+if __name__ == "__main__":
+    main()

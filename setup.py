@@ -1,0 +1,5 @@
+"""Setup shim: enables legacy editable installs on offline machines
+lacking the `wheel` package (pip falls back to `setup.py develop`)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,110 @@
+"""repro: a full reproduction of *Overlapping Data Transfers with
+Computation on GPU with Tiles* (Bastem, Unat, Zhang, Almgren, Shalf —
+ICPP 2017) on a simulated CUDA/OpenACC substrate.
+
+Public API tour
+---------------
+
+>>> from repro import TidaAcc, heat_kernel, Neumann
+>>> lib = TidaAcc()                                  # simulated K40m testbed
+>>> lib.add_array("u_old", (32, 32, 32), n_regions=4, ghost=1, fill=1.0)
+>>> lib.add_array("u_new", (32, 32, 32), n_regions=4, ghost=1)
+>>> kernel = heat_kernel(ndim=3)
+>>> for _step in range(10):
+...     lib.fill_boundary("u_old", Neumann())
+...     it = lib.iterator("u_new", "u_old").reset(gpu=True)
+...     while it.is_valid():
+...         lib.compute(it, kernel, params={"coef": 0.1})
+...         it.next()
+...     lib.swap("u_old", "u_new")
+>>> result = lib.gather("u_old")                      # numpy array
+>>> elapsed = lib.now                                 # virtual seconds
+
+The layers underneath (each usable on its own):
+
+* :mod:`repro.sim` — virtual-time engines, memory buffers, trace;
+* :mod:`repro.cuda` — simulated CUDA runtime (streams, copies, kernels,
+  events, managed memory);
+* :mod:`repro.openacc` — simulated OpenACC (directives, data regions,
+  activity queues);
+* :mod:`repro.tida` — the TiDA tiling library (boxes, regions, tiles,
+  tileArray, iterators, ghost exchange);
+* :mod:`repro.core` — TiDA-acc itself;
+* :mod:`repro.kernels` — the paper's workloads;
+* :mod:`repro.baselines` — the CUDA/OpenACC/hybrid programs the paper
+  compares against;
+* :mod:`repro.model` — analytic pipeline-time model and autotuner;
+* :mod:`repro.bench` — the per-figure experiment harness.
+"""
+
+from .config import (
+    CUDA_FASTMATH,
+    CUDA_LIBM,
+    DEFAULT_MACHINE,
+    PGI_MATH,
+    CpuSpec,
+    GpuSpec,
+    LinkSpec,
+    MachineSpec,
+    MathModel,
+    k40m_pcie3,
+    p100_nvlink,
+)
+from .core import TidaAcc, TileAcc
+from .cuda import CudaRuntime, KernelSpec, LaunchConfig
+from .errors import ReproError
+from .kernels import (
+    blur_kernel,
+    compute_intensive_kernel,
+    heat_kernel,
+    wave_kernel,
+)
+from .openacc import AccFlags, AccRuntime
+from .tida import (
+    Box,
+    Decomposition,
+    Dirichlet,
+    Neumann,
+    Periodic,
+    Region,
+    Tile,
+    TileArray,
+    TileIterator,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TidaAcc",
+    "TileAcc",
+    "CudaRuntime",
+    "AccRuntime",
+    "AccFlags",
+    "KernelSpec",
+    "LaunchConfig",
+    "Box",
+    "Decomposition",
+    "Region",
+    "Tile",
+    "TileArray",
+    "TileIterator",
+    "Dirichlet",
+    "Neumann",
+    "Periodic",
+    "heat_kernel",
+    "compute_intensive_kernel",
+    "blur_kernel",
+    "wave_kernel",
+    "MachineSpec",
+    "GpuSpec",
+    "CpuSpec",
+    "LinkSpec",
+    "MathModel",
+    "CUDA_LIBM",
+    "CUDA_FASTMATH",
+    "PGI_MATH",
+    "DEFAULT_MACHINE",
+    "k40m_pcie3",
+    "p100_nvlink",
+    "ReproError",
+]

@@ -1,0 +1,93 @@
+"""Command-line entry point: ``python -m repro <subcommand>``.
+
+Subcommands:
+
+* ``bench [--quick] [--out DIR]`` — run every paper experiment
+  (delegates to :mod:`repro.bench.harness`);
+* ``kernels`` — list the registered workload kernels;
+* ``machine`` — print the default simulated testbed's calibration;
+* ``trace [--steps N] [--out FILE]`` — run a small TiDA-acc heat solve
+  and dump its operation trace in Chrome trace format.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .bench.harness import run_all
+from .config import DEFAULT_MACHINE
+from .kernels.registry import KERNELS
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    run_all(out, quick=args.quick)
+    return 0
+
+
+def _cmd_kernels(_args: argparse.Namespace) -> int:
+    for name, factory in sorted(KERNELS.items()):
+        spec = factory()
+        print(f"{name:20s} bytes/cell={spec.bytes_per_cell:<6g} "
+              f"flops/cell={spec.flops_per_cell:<6g} "
+              f"sfu/cell={spec.sin_per_cell + spec.cos_per_cell + spec.sqrt_per_cell:g}")
+    return 0
+
+
+def _cmd_machine(_args: argparse.Namespace) -> int:
+    m = DEFAULT_MACHINE
+    print(f"machine      : {m.name}")
+    print(f"cpu          : {m.cpu.name}  {m.cpu.dp_flops/1e9:.0f} GF DP, "
+          f"{m.cpu.mem_bandwidth/1e9:.0f} GB/s")
+    print(f"gpu          : {m.gpu.name}  {m.gpu.dp_flops/1e12:.2f} TF DP, "
+          f"{m.gpu.mem_bandwidth/1e9:.0f} GB/s, "
+          f"{m.gpu.memory_bytes/2**30:.0f} GiB "
+          f"({m.gpu.allocatable_bytes/2**30:.1f} allocatable)")
+    print(f"link         : {m.link.name}  H2D {m.link.h2d_bandwidth/1e9:.1f} GB/s, "
+          f"D2H {m.link.d2h_bandwidth/1e9:.1f} GB/s, "
+          f"pageable x{m.link.pageable_bandwidth_factor}")
+    print(f"math codegen : {m.math.name}  sin={m.math.sin_cost:g} "
+          f"cos={m.math.cos_cost:g} sqrt={m.math.sqrt_cost:g} flop-equivalents")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .baselines.tida_runners import run_tida_heat
+
+    r = run_tida_heat(shape=(128, 128, 128), steps=args.steps, n_regions=8)
+    path = r.trace.save_chrome_trace(args.out)
+    print(f"{len(r.trace)} events from a {args.steps}-step heat solve -> {path}")
+    print("open chrome://tracing (or https://ui.perfetto.dev) and load the file")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_bench = sub.add_parser("bench", help="run every paper experiment")
+    p_bench.add_argument("--quick", action="store_true")
+    p_bench.add_argument("--out", default="results")
+    p_bench.set_defaults(fn=_cmd_bench)
+
+    p_kernels = sub.add_parser("kernels", help="list workload kernels")
+    p_kernels.set_defaults(fn=_cmd_kernels)
+
+    p_machine = sub.add_parser("machine", help="print the simulated testbed")
+    p_machine.set_defaults(fn=_cmd_machine)
+
+    p_trace = sub.add_parser("trace", help="dump a Chrome trace of a heat solve")
+    p_trace.add_argument("--steps", type=int, default=3)
+    p_trace.add_argument("--out", default="results/heat_trace.json")
+    p_trace.set_defaults(fn=_cmd_trace)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,16 @@
+"""Worked applications on top of the TiDA-acc public API.
+
+These are the "downstream user" programs: complete solvers written only
+against :class:`~repro.core.library.TidaAcc`, demonstrating that the
+reproduction's API is sufficient for real numerical work (the paper's
+motivating PDE context, §I).
+
+* :mod:`~repro.apps.cg` — a tiled conjugate-gradient Poisson solver:
+  stencil matvec with per-step ghost exchange, device reductions for the
+  inner products, three vector-update kernels — all pipelined over
+  regions.
+"""
+
+from .cg import TiledCG, CgResult
+
+__all__ = ["TiledCG", "CgResult"]

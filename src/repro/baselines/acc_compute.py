@@ -1,0 +1,70 @@
+"""Pure-OpenACC runner for the compute-intensive kernel (Fig. 6).
+
+A data region around the loop, one generated kernel per step with
+compiler geometry and PGI math codegen — which is why this baseline is
+*comparable* to TiDA-acc on this kernel (§VI-B: "the performance of
+OpenACC is also comparable because this kernel does not require ghost
+cell exchange").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import DEFAULT_MACHINE, MachineSpec
+from ..cuda.runtime import CudaRuntime
+from ..kernels.compute_intensive import DEFAULT_KERNEL_ITERATION, compute_intensive_kernel
+from ..openacc.compiler import AccFlags
+from ..openacc.runtime import AccRuntime
+from .common import BaselineResult, default_init
+
+
+def run_acc_compute(
+    machine: MachineSpec | None = None,
+    *,
+    shape: tuple[int, ...] = (512, 512, 512),
+    steps: int = 100,
+    memory: str = "pageable",
+    kernel_iteration: int = DEFAULT_KERNEL_ITERATION,
+    functional: bool = False,
+    initial: np.ndarray | None = None,
+) -> BaselineResult:
+    """Run the OpenACC compute-intensive baseline."""
+    machine = machine if machine is not None else DEFAULT_MACHINE
+    runtime = CudaRuntime(machine, functional=functional)
+    acc = AccRuntime(runtime, AccFlags(pinned=(memory == "pinned"), managed=(memory == "managed")))
+    kernel = compute_intensive_kernel(kernel_iteration)
+    ndim = len(shape)
+    n_cells = 1
+    for s in shape:
+        n_cells *= s
+    params = {"lo": (0,) * ndim, "hi": shape, "kernel_iteration": kernel_iteration}
+
+    data = acc.alloc_data(shape, label="data")
+    if functional:
+        init = initial if initial is not None else default_init(shape, 0)
+        data.array[...] = init
+
+    t0 = runtime.now
+    with acc.data(copy=[data]):
+        for _ in range(steps):
+            acc.parallel_loop(
+                kernel,
+                arrays=[data],
+                n_cells=n_cells,
+                collapse=ndim,
+                loop_dims=ndim,
+                params=params,
+                label="acc-compute",
+            )
+        acc.wait()
+    if memory == "managed":
+        final = runtime.managed_host_access(data)
+    else:
+        final = data.array if functional else None
+    elapsed = runtime.now - t0
+    return BaselineResult(
+        name=f"openacc-{memory}", elapsed=elapsed, shape=shape, steps=steps,
+        trace=runtime.trace, result=final.copy() if functional else None,
+        meta={"memory": memory, "kernel_iteration": kernel_iteration},
+    )

@@ -1,0 +1,80 @@
+"""Hand-written CUDA runner for the compute-intensive kernel (Fig. 6).
+
+Variants: pageable, pinned, pinned + ``--use_fast_math`` (the paper adds
+the fast-math build for fairness because PGI's math codegen beats CUDA
+libm), and managed.  One in-place kernel per time step, single array,
+no boundary work — transfers happen once before and once after the loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import CUDA_FASTMATH, CUDA_LIBM, DEFAULT_MACHINE, MachineSpec, MathModel
+from ..cuda.runtime import CudaRuntime
+from ..errors import ReproError
+from ..kernels.compute_intensive import DEFAULT_KERNEL_ITERATION, compute_intensive_kernel
+from .common import BaselineResult, default_init
+
+VARIANTS = ("pageable", "pinned", "pinned-fastmath", "managed")
+
+
+def run_cuda_compute(
+    machine: MachineSpec | None = None,
+    *,
+    shape: tuple[int, ...] = (512, 512, 512),
+    steps: int = 100,
+    variant: str = "pageable",
+    kernel_iteration: int = DEFAULT_KERNEL_ITERATION,
+    functional: bool = False,
+    initial: np.ndarray | None = None,
+) -> BaselineResult:
+    """Run the CUDA compute-intensive baseline."""
+    if variant not in VARIANTS:
+        raise ReproError(f"variant must be one of {VARIANTS}, got {variant!r}")
+    machine = machine if machine is not None else DEFAULT_MACHINE
+    runtime = CudaRuntime(machine, functional=functional)
+    kernel = compute_intensive_kernel(kernel_iteration)
+    math: MathModel = CUDA_FASTMATH if variant == "pinned-fastmath" else CUDA_LIBM
+    ndim = len(shape)
+    n_cells = 1
+    for s in shape:
+        n_cells *= s
+    lo = (0,) * ndim
+    params = {"lo": lo, "hi": shape, "kernel_iteration": kernel_iteration}
+    init = None
+    if functional:
+        init = initial if initial is not None else default_init(shape, 0)
+
+    if variant == "managed":
+        m = runtime.malloc_managed(shape, label="data")
+        if functional:
+            m.array[...] = init
+        t0 = runtime.now
+        for _ in range(steps):
+            runtime.launch(kernel, buffers=[m], n_cells=n_cells, params=params, math=math)
+        final = runtime.managed_host_access(m)
+        elapsed = runtime.now - t0
+        return BaselineResult(
+            name=f"cuda-{variant}", elapsed=elapsed, shape=shape, steps=steps,
+            trace=runtime.trace, result=final.copy() if functional else None,
+            meta={"variant": variant, "kernel_iteration": kernel_iteration},
+        )
+
+    pinned = variant.startswith("pinned")
+    alloc = runtime.malloc_host if pinned else runtime.host_malloc
+    h = alloc(shape, label="data")
+    if functional:
+        h.array[...] = init
+    d = runtime.malloc(shape, label="d_data")
+    t0 = runtime.now
+    runtime.memcpy(d, h, label="h2d:data")
+    for _ in range(steps):
+        runtime.launch(kernel, buffers=[d], n_cells=n_cells, params=params, math=math)
+    runtime.memcpy(h, d, label="d2h:data")
+    elapsed = runtime.now - t0
+    return BaselineResult(
+        name=f"cuda-{variant}", elapsed=elapsed, shape=shape, steps=steps,
+        trace=runtime.trace, result=h.array.copy() if functional else None,
+        meta={"variant": variant, "kernel_iteration": kernel_iteration},
+    )

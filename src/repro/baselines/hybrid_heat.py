@@ -1,0 +1,136 @@
+"""CUDA memory management + OpenACC kernels (§II-C's combined model).
+
+This is the execution model the paper selected for its library: explicit
+CUDA allocation/transfers (pageable, pinned, or managed) while kernels
+are OpenACC-generated and receive raw device pointers via the
+``deviceptr`` clause.  Kernel geometry is still compiler-chosen and the
+boundary update still costs one kernel per face — the two reasons the
+paper gives for pure CUDA remaining slightly faster (§II-C).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import DEFAULT_MACHINE, MachineSpec
+from ..cuda.runtime import CudaRuntime
+from ..errors import ReproError
+from ..kernels.exchange import face_copy_kernel, face_fill_kernel
+from ..kernels.heat import heat_kernel
+from ..openacc.runtime import AccRuntime
+from ..tida.boundary import BoundaryCondition, Neumann
+from .common import BaselineResult, bc_kernel_launches, default_init, interior
+from .cuda_heat import MEMORY_KINDS
+
+
+def run_hybrid_heat(
+    machine: MachineSpec | None = None,
+    *,
+    shape: tuple[int, ...] = (384, 384, 384),
+    steps: int = 100,
+    memory: str = "pinned",
+    functional: bool = False,
+    coef: float = 0.1,
+    bc: BoundaryCondition | None = None,
+    initial: np.ndarray | None = None,
+) -> BaselineResult:
+    """Run the CUDA-memory + OpenACC-kernels heat program."""
+    if memory not in MEMORY_KINDS:
+        raise ReproError(f"memory must be one of {MEMORY_KINDS}, got {memory!r}")
+    machine = machine if machine is not None else DEFAULT_MACHINE
+    bc = bc if bc is not None else Neumann()
+    runtime = CudaRuntime(machine, functional=functional)
+    acc = AccRuntime(runtime)
+    ghost = 1
+    full = tuple(s + 2 * ghost for s in shape)
+    ndim = len(shape)
+    n_interior = 1
+    for s in shape:
+        n_interior *= s
+    stencil = heat_kernel(ndim)
+    fill_k = face_fill_kernel()
+    copy_k = face_copy_kernel()
+    lo = (ghost,) * ndim
+    hi = tuple(s - ghost for s in full)
+    bc_plan = bc_kernel_launches(full, ghost, bc)
+    init = None
+    if functional:
+        init = initial if initial is not None else default_init(shape, ghost)
+
+    if memory == "managed":
+        bufs = [runtime.malloc_managed(full, label="u0"), runtime.malloc_managed(full, label="u1")]
+        if functional:
+            for b in bufs:
+                b.array[...] = init
+        t0 = runtime.now
+        src, dst = 0, 1
+        for _ in range(steps):
+            for kind, params, n_cells in bc_plan:
+                acc.parallel_loop(
+                    fill_k if kind == "fill" else copy_k,
+                    arrays=[bufs[src]],
+                    n_cells=n_cells,
+                    collapse=ndim,
+                    loop_dims=ndim,
+                    params=params,
+                    label=f"hybrid-bc:{kind}",
+                )
+            acc.parallel_loop(
+                stencil,
+                arrays=[bufs[dst], bufs[src]],
+                n_cells=n_interior,
+                collapse=ndim,
+                loop_dims=ndim,
+                params={"lo": lo, "hi": hi, "coef": coef},
+                label="hybrid-heat",
+            )
+            src, dst = dst, src
+        final = runtime.managed_host_access(bufs[src])
+        elapsed = runtime.now - t0
+        result = interior(final, ghost).copy() if functional else None
+        return BaselineResult(
+            name=f"hybrid-{memory}", elapsed=elapsed, shape=shape, steps=steps,
+            trace=runtime.trace, result=result, meta={"memory": memory},
+        )
+
+    pinned = memory == "pinned"
+    alloc = runtime.malloc_host if pinned else runtime.host_malloc
+    h_src = alloc(full, label="u0")
+    h_dst = alloc(full, label="u1")
+    if functional:
+        h_src.array[...] = init
+        h_dst.array[...] = init
+    d = [runtime.malloc(full, label="d_u0"), runtime.malloc(full, label="d_u1")]
+
+    t0 = runtime.now
+    runtime.memcpy(d[0], h_src, label="h2d:u0")
+    runtime.memcpy(d[1], h_dst, label="h2d:u1")
+    src, dst = 0, 1
+    for _ in range(steps):
+        for kind, params, n_cells in bc_plan:
+            acc.parallel_loop(
+                fill_k if kind == "fill" else copy_k,
+                deviceptr=[d[src]],
+                n_cells=n_cells,
+                collapse=ndim,
+                loop_dims=ndim,
+                params=params,
+                label=f"hybrid-bc:{kind}",
+            )
+        acc.parallel_loop(
+            stencil,
+            deviceptr=[d[dst], d[src]],
+            n_cells=n_interior,
+            collapse=ndim,
+            loop_dims=ndim,
+            params={"lo": lo, "hi": hi, "coef": coef},
+            label="hybrid-heat",
+        )
+        src, dst = dst, src
+    runtime.memcpy(h_src, d[src], label="d2h:result")
+    elapsed = runtime.now - t0
+    result = interior(h_src.array, ghost).copy() if functional else None
+    return BaselineResult(
+        name=f"hybrid-{memory}", elapsed=elapsed, shape=shape, steps=steps,
+        trace=runtime.trace, result=result, meta={"memory": memory},
+    )

@@ -1,0 +1,127 @@
+"""Canonical TiDA-acc drivers for the paper's two workloads.
+
+These are the programs §V sketches, written against the public
+:class:`~repro.core.library.TidaAcc` API, parameterized the way the
+evaluation needs them: region count (Fig. 5: "16 regions gave the best
+performance"), device-memory limit (Figs. 7/8), slot count, tile shape
+(ablation A4), and CPU/GPU mixing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import DEFAULT_MACHINE, MachineSpec
+from ..core.library import TidaAcc
+from ..kernels.compute_intensive import DEFAULT_KERNEL_ITERATION, compute_intensive_kernel
+from ..kernels.heat import heat_kernel
+from ..tida.boundary import BoundaryCondition, Neumann
+from .common import BaselineResult, default_init
+
+
+def run_tida_heat(
+    machine: MachineSpec | None = None,
+    *,
+    shape: tuple[int, ...] = (512, 512, 512),
+    steps: int = 100,
+    n_regions: int = 16,
+    coef: float = 0.1,
+    bc: BoundaryCondition | None = None,
+    functional: bool = False,
+    device_memory_limit: int | None = None,
+    n_slots: int | None = None,
+    tile_shape: tuple[int, ...] | None = None,
+    gpu: bool = True,
+    initial: np.ndarray | None = None,
+) -> BaselineResult:
+    """TiDA-acc heat solver: the Fig. 5 configuration.
+
+    Region transfers pipeline across per-slot streams; ghost cells are
+    exchanged with the hybrid CPU/GPU updater each step.
+    """
+    machine = machine if machine is not None else DEFAULT_MACHINE
+    bc = bc if bc is not None else Neumann()
+    lib = TidaAcc(machine, functional=functional, device_memory_limit=device_memory_limit)
+    kernel = heat_kernel(len(shape))
+    lib.add_array("u_old", shape, n_regions=n_regions, ghost=1, n_slots=n_slots)
+    lib.add_array("u_new", shape, n_regions=n_regions, ghost=1, n_slots=n_slots)
+    if functional:
+        init = initial if initial is not None else default_init(shape, 0)
+        lib.field("u_old").from_global(init)
+        lib.field("u_new").from_global(init)
+
+    t0 = lib.now
+    for _ in range(steps):
+        lib.fill_boundary("u_old", bc)
+        it = lib.iterator("u_new", "u_old", tile_shape=tile_shape).reset(gpu=gpu)
+        while it.is_valid():
+            lib.compute(it, kernel, params={"coef": coef})
+            it.next()
+        lib.swap("u_old", "u_new")
+    result = lib.gather("u_old") if functional else None
+    if not functional:
+        lib.manager("u_old").flush_to_host()
+    lib.synchronize()
+    elapsed = lib.now - t0
+    return BaselineResult(
+        name="tida-acc", elapsed=elapsed, shape=shape, steps=steps,
+        trace=lib.trace, result=result,
+        meta={
+            "n_regions": n_regions,
+            "n_slots": lib.manager("u_old").n_slots,
+            "device_memory_limit": device_memory_limit,
+            "tile_shape": tile_shape,
+            "gpu": gpu,
+        },
+    )
+
+
+def run_tida_compute(
+    machine: MachineSpec | None = None,
+    *,
+    shape: tuple[int, ...] = (512, 512, 512),
+    steps: int = 100,
+    n_regions: int = 16,
+    kernel_iteration: int = DEFAULT_KERNEL_ITERATION,
+    functional: bool = False,
+    device_memory_limit: int | None = None,
+    n_slots: int | None = None,
+    gpu: bool = True,
+    initial: np.ndarray | None = None,
+) -> BaselineResult:
+    """TiDA-acc compute-intensive runner: the Figs. 6-8 configurations.
+
+    Single in-place field, no ghosts — with a device-memory limit the
+    per-slot streams turn every step into the Fig. 7 pipeline (eviction
+    download, upload, kernel — all overlapped across slots).
+    """
+    machine = machine if machine is not None else DEFAULT_MACHINE
+    lib = TidaAcc(machine, functional=functional, device_memory_limit=device_memory_limit)
+    kernel = compute_intensive_kernel(kernel_iteration)
+    lib.add_array("data", shape, n_regions=n_regions, ghost=0, n_slots=n_slots)
+    if functional:
+        init = initial if initial is not None else default_init(shape, 0)
+        lib.field("data").from_global(init)
+
+    t0 = lib.now
+    for _ in range(steps):
+        it = lib.iterator("data").reset(gpu=gpu)
+        while it.is_valid():
+            lib.compute(it, kernel, params={"kernel_iteration": kernel_iteration})
+            it.next()
+    result = lib.gather("data") if functional else None
+    if not functional:
+        lib.manager("data").flush_to_host()
+    lib.synchronize()
+    elapsed = lib.now - t0
+    return BaselineResult(
+        name="tida-acc", elapsed=elapsed, shape=shape, steps=steps,
+        trace=lib.trace, result=result,
+        meta={
+            "n_regions": n_regions,
+            "n_slots": lib.manager("data").n_slots,
+            "device_memory_limit": device_memory_limit,
+            "kernel_iteration": kernel_iteration,
+            "gpu": gpu,
+        },
+    )

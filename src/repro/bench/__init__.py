@@ -1,0 +1,14 @@
+"""Benchmark harness: one entry point per paper figure + ablations.
+
+``repro.bench.figures`` contains a function per experiment that runs the
+relevant implementations on the virtual testbed (timing-only mode, paper
+sizes) and returns a :class:`~repro.bench.report.Table` whose rows mirror
+what the paper plots.  The ``benchmarks/`` pytest-benchmark files are thin
+wrappers that execute these, print the tables, assert the qualitative
+shape, and save JSON into ``results/``.
+"""
+
+from .report import Table
+from . import figures
+
+__all__ = ["Table", "figures"]

@@ -1,0 +1,98 @@
+"""Run every experiment and write results (``python -m repro.bench.harness``).
+
+Produces, under ``results/`` (or ``--out DIR``):
+
+* one JSON file per figure/ablation;
+* ``all_results.md`` — every table in markdown (the source for
+  EXPERIMENTS.md's measured columns);
+* ``fig3/fig4/fig7 .txt`` — the ASCII timelines.
+
+``--quick`` shrinks problem sizes ~8x for a fast smoke run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from . import figures
+from .report import Table
+
+
+def run_all(out_dir: Path, *, quick: bool = False, echo: bool = True) -> list[Table]:
+    """Execute every experiment; returns the tables in paper order."""
+    shape3 = (128, 128, 128) if quick else (512, 512, 512)
+    shape_f1 = (96, 96, 96) if quick else (384, 384, 384)
+    steps_f1 = 10 if quick else 100
+    steps_f6 = 10 if quick else 100
+    steps_f8 = 50 if quick else 1000
+    iters_f5 = (1, 10, 100) if quick else (1, 10, 100, 1000)
+
+    tables: list[Table] = []
+
+    def emit(table: Table, stem: str, gantt: str | None = None) -> None:
+        tables.append(table)
+        table.save_json(out_dir / f"{stem}.json")
+        if gantt is not None:
+            (out_dir / f"{stem}.txt").write_text(gantt)
+        if echo:
+            print()
+            print(table.format())
+            if gantt is not None:
+                print(gantt)
+
+    t0 = time.time()
+    emit(figures.figure1(shape=shape_f1, steps=steps_f1), "fig1")
+    r3 = figures.figure3(shape=(128,) * 3 if quick else (256,) * 3)
+    emit(r3.table, "fig3", r3.gantt)
+    r4 = figures.figure4(shape=(64,) * 3 if quick else (128,) * 3)
+    emit(r4.table, "fig4", r4.gantt)
+    emit(figures.figure5(shape=shape3, iterations=iters_f5), "fig5")
+    emit(figures.figure6(shape=shape3, steps=steps_f6), "fig6")
+    r7 = figures.figure7(shape=shape3)
+    emit(r7.table, "fig7", r7.gantt)
+    emit(figures.figure8(shape=shape3, steps=steps_f8), "fig8")
+    emit(figures.ablation_region_count(shape=shape3, steps=5 if quick else 10), "ablation_a1")
+    emit(figures.ablation_interconnect(shape=shape3), "ablation_a2")
+    emit(figures.ablation_model_accuracy(shape=shape3), "ablation_a3")
+    emit(figures.ablation_tile_size(shape=(128,) * 3 if quick else (256,) * 3), "ablation_a4")
+    emit(figures.ablation_cpu_tile_size(shape=(128,) * 3 if quick else (256,) * 3,
+                                        steps=2 if quick else 5), "ablation_a6")
+    from ..multi import run_multi_gpu_heat
+
+    a5 = Table(
+        title="Ablation A5: multi-GPU strong scaling, heat "
+              f"{(128,) * 3 if quick else (512,) * 3}, {10 if quick else 100} steps",
+        columns=["n_devices", "seconds", "speedup", "efficiency"],
+    )
+    base = None
+    for nd in (1, 2, 4):
+        r = run_multi_gpu_heat(shape=(128,) * 3 if quick else (512,) * 3,
+                               steps=10 if quick else 100, n_devices=nd,
+                               regions_per_device=8)
+        base = base if base is not None else r.elapsed
+        a5.add_row(nd, r.elapsed, base / r.elapsed, base / r.elapsed / nd)
+    emit(a5, "ablation_a5")
+
+    md = "\n\n".join(t.to_markdown() for t in tables)
+    (out_dir / "all_results.md").write_text(md + "\n")
+    if echo:
+        print(f"\nwrote {len(tables)} tables to {out_dir} in {time.time() - t0:.1f}s")
+    return tables
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="results", help="output directory")
+    parser.add_argument("--quick", action="store_true", help="small sizes, fast run")
+    args = parser.parse_args(argv)
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    run_all(out_dir, quick=args.quick)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

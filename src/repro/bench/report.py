@@ -1,0 +1,128 @@
+"""Result tables: aligned text, markdown, and JSON output."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..errors import ReproError
+from ..sim.trace import Trace
+
+
+@dataclass
+class Table:
+    """A titled grid of experiment results."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ReproError(
+                f"row has {len(values)} values but table has {len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def column(self, name: str) -> list[Any]:
+        try:
+            idx = self.columns.index(name)
+        except ValueError:
+            raise ReproError(f"no column {name!r} in {self.columns}") from None
+        return [row[idx] for row in self.rows]
+
+    def row_by(self, key_column: str, key: Any) -> list[Any]:
+        idx = self.columns.index(key_column)
+        for row in self.rows:
+            if row[idx] == key:
+                return row
+        raise ReproError(f"no row with {key_column}={key!r}")
+
+    @staticmethod
+    def _fmt(value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    def format(self) -> str:
+        """Aligned plain-text rendering."""
+        cells = [[self._fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(col), *(len(r[i]) for r in cells)) if cells else len(col)
+            for i, col in enumerate(self.columns)
+        ]
+        lines = [self.title, "-" * len(self.title)]
+        lines.append("  ".join(c.ljust(w) for c, w in zip(self.columns, widths)))
+        for row in cells:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        lines = [f"### {self.title}", ""]
+        lines.append("| " + " | ".join(self.columns) + " |")
+        lines.append("|" + "|".join("---" for _ in self.columns) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(self._fmt(v) for v in row) + " |")
+        for note in self.notes:
+            lines.append(f"\n*{note}*")
+        return "\n".join(lines)
+
+    @classmethod
+    def from_trace(cls, trace: Trace, *, title: str = "trace summary") -> "Table":
+        """Performance-counter view of a run's trace.
+
+        Rows: wall span; per-engine busy time, utilization, operation
+        count; transfer byte totals and achieved bandwidths; overlap
+        fractions both ways (transfer hidden behind compute and vice
+        versa).  This is the at-a-glance check that a pipeline behaved.
+        """
+        table = cls(title=title, columns=["metric", "value", "unit"])
+        span = trace.span()
+        table.add_row("span", span, "s")
+        for lane in ("compute", "h2d", "d2h"):
+            busy = trace.busy_time(lane)
+            ops = len(trace.by_lane(lane))
+            table.add_row(f"{lane} busy", busy, "s")
+            table.add_row(f"{lane} utilization", busy / span if span else 0.0, "fraction")
+            table.add_row(f"{lane} operations", ops, "count")
+        for category in ("h2d", "d2h"):
+            events = trace.by_category(category)
+            nbytes = sum(e.nbytes for e in events)
+            seconds = sum(e.duration for e in events)
+            table.add_row(f"{category} bytes", nbytes, "B")
+            table.add_row(
+                f"{category} achieved bandwidth",
+                nbytes / seconds if seconds else 0.0,
+                "B/s",
+            )
+        table.add_row(
+            "transfer hidden behind compute",
+            trace.overlap_fraction(["h2d", "d2h"], ["compute"]),
+            "fraction",
+        )
+        table.add_row(
+            "compute overlapped with transfer",
+            trace.overlap_fraction(["compute"], ["h2d", "d2h"]),
+            "fraction",
+        )
+        return table
+
+    def save_json(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "title": self.title,
+            "columns": self.columns,
+            "rows": self.rows,
+            "notes": self.notes,
+        }
+        path.write_text(json.dumps(payload, indent=2, default=str))
+        return path

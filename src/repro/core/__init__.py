@@ -1,0 +1,22 @@
+"""TiDA-acc: the paper's primary contribution.
+
+The core couples the TiDA tiling abstractions to the simulated CUDA and
+OpenACC runtimes:
+
+* :class:`~repro.core.tile_acc.TileAcc` — per-tileArray device-memory
+  manager: slot list sized by ``cudaMemGetInfo``, one CUDA stream per
+  slot, the cache list, asynchronous region transfers and eviction
+  (§IV-B.1-4);
+* :func:`~repro.core.ghost.fill_boundary_hybrid` — the hybrid CPU/GPU
+  ghost-cell update (§IV-B.6, Fig. 4);
+* :class:`~repro.core.library.TidaAcc` — the user-facing library (§V):
+  named tile arrays, tile iterators with the GPU switch, the ``compute``
+  lambda method, field swap, and result gathering.
+"""
+
+from .slots import DeviceSlot, HOST, DEVICE
+from .tile_acc import TileAcc
+from .ghost import fill_boundary_hybrid
+from .library import TidaAcc
+
+__all__ = ["TidaAcc", "TileAcc", "DeviceSlot", "fill_boundary_hybrid", "HOST", "DEVICE"]

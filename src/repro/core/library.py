@@ -1,0 +1,454 @@
+"""TidaAcc: the user-facing library facade (§V).
+
+A ``TidaAcc`` instance owns the simulated CUDA + OpenACC runtimes and a
+set of named tile arrays.  The programmer never touches address spaces,
+transfers, or directives — the §V contract:
+
+* declare fields with :meth:`add_array` (pinned host allocations, region
+  decomposition);
+* iterate with :meth:`iterator` and flip GPU execution on with
+  ``it.reset(gpu=True)``;
+* call :meth:`compute` with the tile(s) and a kernel (the C++ lambda of
+  the paper becomes a :class:`~repro.cuda.kernel.KernelSpec` whose body
+  receives the data pointers plus ``lo``/``hi`` bounds — the same
+  "data pointer as lambda parameter" design §V-A explains);
+* exchange ghosts with :meth:`fill_boundary`, swap time levels with
+  :meth:`swap`, read results with :meth:`gather`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..config import MachineSpec
+from ..cuda.kernel import KernelSpec
+from ..cuda.runtime import CudaRuntime
+from ..errors import TidaError, TileAccError
+from ..openacc.runtime import AccRuntime
+from ..tida.boundary import BoundaryCondition
+from ..tida.box import Box
+from ..tida.tile import Tile
+from ..tida.tile_array import TileArray
+from ..tida.tile_iterator import TileIterator
+from .ghost import fill_boundary_hybrid
+from .tile_acc import TileAcc
+
+#: The library-chosen OpenACC vector length (§II-A: pragma attributes let
+#: the library control kernel geometry; this is how TiDA-acc's kernels
+#: reach tuned-CUDA efficiency while the naive OpenACC baseline does not).
+DEFAULT_VECTOR_LENGTH = 128
+
+
+class TidaAcc:
+    """The TiDA-acc library."""
+
+    def __init__(
+        self,
+        machine: MachineSpec | None = None,
+        *,
+        functional: bool = True,
+        device_memory_limit: int | None = None,
+        runtime: CudaRuntime | None = None,
+        acc: AccRuntime | None = None,
+        vector_length: int = DEFAULT_VECTOR_LENGTH,
+    ) -> None:
+        if runtime is None:
+            runtime = CudaRuntime(
+                machine, functional=functional, device_memory_limit=device_memory_limit
+            )
+        self.runtime = runtime
+        self.acc = acc if acc is not None else AccRuntime(runtime)
+        if self.acc.cuda is not self.runtime:
+            raise TileAccError("AccRuntime must wrap the same CudaRuntime")
+        self.vector_length = int(vector_length)
+        self._fields: dict[str, TileArray] = {}
+        self._managers: dict[str, TileAcc] = {}
+        self._names_by_array: dict[int, str] = {}
+
+    # -- field management -----------------------------------------------------
+
+    def add_array(
+        self,
+        name: str,
+        domain: Box | tuple[int, ...],
+        *,
+        region_shape: tuple[int, ...] | None = None,
+        n_regions: int | None = None,
+        axis: int = 0,
+        ghost: int | tuple[int, ...] = 0,
+        dtype: Any = np.float64,
+        fill: float | None = None,
+        n_slots: int | None = None,
+        access: str = "rw",
+    ) -> TileArray:
+        """Declare a field: a pinned-host tileArray plus its TileAcc.
+
+        ``access="ro"`` declares the field read-only on the device
+        (coefficient tables, masks): evictions and host reads then cost no
+        write-back.  Mutate such a field on the host only, followed by
+        ``manager(name).invalidate_device()``.
+        """
+        if access not in ("rw", "ro"):
+            raise TidaError(f"access must be 'rw' or 'ro', got {access!r}")
+        if name in self._fields:
+            raise TidaError(f"field {name!r} already exists")
+        ta = TileArray(
+            domain,
+            region_shape=region_shape,
+            n_regions=n_regions,
+            axis=axis,
+            ghost=ghost,
+            dtype=dtype,
+            runtime=self.runtime,
+            pinned=True,
+            fill=fill,
+            label=name,
+        )
+        # build the manager before registering anything, so a failure
+        # (e.g. not even one region fits in device memory) leaves the
+        # library with no half-registered field
+        manager = TileAcc(
+            self.runtime, self.acc, ta, n_slots=n_slots, read_only=(access == "ro")
+        )
+        self._fields[name] = ta
+        self._managers[name] = manager
+        self._names_by_array[id(ta)] = name
+        return ta
+
+    def field(self, name: str) -> TileArray:
+        try:
+            return self._fields[name]
+        except KeyError:
+            raise TidaError(f"unknown field {name!r}; have {sorted(self._fields)}") from None
+
+    def manager(self, name: str) -> TileAcc:
+        self.field(name)
+        return self._managers[name]
+
+    def field_names(self) -> list[str]:
+        return sorted(self._fields)
+
+    def name_of(self, array: TileArray) -> str:
+        try:
+            return self._names_by_array[id(array)]
+        except KeyError:
+            raise TidaError("tile array is not registered with this library") from None
+
+    # -- iteration ---------------------------------------------------------------
+
+    def iterator(
+        self,
+        *names: str,
+        tile_shape: tuple[int, ...] | None = None,
+        order: str = "sequential",
+        seed: int | None = None,
+    ) -> TileIterator:
+        """A tile iterator over one or more compatible fields (§V)."""
+        arrays = [self.field(n) for n in names]
+        return TileIterator(*arrays, tile_shape=tile_shape, order=order, seed=seed)
+
+    # -- the compute method (§V) ---------------------------------------------------
+
+    @staticmethod
+    def _normalize_tiles(tiles: Tile | Sequence[Tile] | TileIterator) -> tuple[tuple[Tile, ...], bool | None]:
+        if isinstance(tiles, TileIterator):
+            return tiles.tiles(), tiles.gpu
+        if isinstance(tiles, Tile):
+            return (tiles,), None
+        out = tuple(tiles)
+        if not out or not all(isinstance(t, Tile) for t in out):
+            raise TidaError("compute expects a Tile, a sequence of Tiles, or a TileIterator")
+        return out, None
+
+    def compute(
+        self,
+        tiles: Tile | Sequence[Tile] | TileIterator,
+        kernel: KernelSpec,
+        *,
+        params: dict[str, Any] | None = None,
+        gpu: bool | None = None,
+        bounds: tuple[tuple[int, ...], tuple[int, ...]] | None = None,
+    ) -> float:
+        """Execute ``kernel`` over the tiles' iteration space.
+
+        ``tiles`` may be a single tile, a tuple of tiles (multi-input
+        computation — all must target the same region box), or a
+        :class:`TileIterator` positioned on the current tile(s) (in which
+        case the iterator's GPU flag applies).  ``bounds`` restricts the
+        iteration space to global ``[lo, hi)`` (the two-dimension compute
+        variant of §V).  Returns the virtual completion time.
+        """
+        tile_tuple, it_gpu = self._normalize_tiles(tiles)
+        if gpu is None:
+            gpu = bool(it_gpu)
+        if bounds is not None:
+            lo, hi = bounds
+            tile_tuple = tuple(t.subrange(lo, hi) for t in tile_tuple)
+
+        rid = tile_tuple[0].rid
+        box = tile_tuple[0].box
+        for t in tile_tuple[1:]:
+            if t.rid != rid or t.box != box:
+                raise TidaError(
+                    "all tiles of one compute call must cover the same region box"
+                )
+        names = []
+        for t in tile_tuple:
+            if t.array is None:
+                raise TidaError("tiles passed to compute must come from a tileArray")
+            names.append(self.name_of(t.array))
+
+        lo, hi = tile_tuple[0].local_bounds
+        for t in tile_tuple[1:]:
+            if t.local_bounds != (lo, hi):
+                raise TidaError(
+                    "tiles disagree on local bounds (fields must share ghost width)"
+                )
+        params = dict(params or {})
+        n_cells = box.size
+        ndim = box.ndim
+
+        if not gpu:
+            regions = [self._managers[n].request_host(rid) for n in names]
+            # §IV-A cache model: the tile's working set is its cells across
+            # every accessed field (stencil halos are a lower-order term)
+            working_set = n_cells * sum(
+                self.field(n).dtype.itemsize for n in names
+            )
+            duration = kernel.duration_on_cpu(
+                self.runtime.machine, n_cells, working_set_bytes=working_set
+            )
+            end = self.runtime.host_compute(f"cpu:{kernel.name}", duration, n_cells=n_cells)
+            if self.runtime.functional and kernel.body is not None:
+                kernel.body(*[r.array for r in regions], lo=lo, hi=hi, **params)
+            return end
+
+        buffers = []
+        ready = 0.0
+        for n in names:
+            buf, t_ready = self._managers[n].request_device(rid)
+            buffers.append(buf)
+            ready = max(ready, t_ready)
+        qid = self._managers[names[0]].queue_id_for(rid)
+        end = self.acc.parallel_loop(
+            kernel,
+            deviceptr=buffers,
+            n_cells=n_cells,
+            collapse=ndim,
+            loop_dims=ndim,
+            async_=qid,
+            vector_length=self.vector_length,
+            after=ready,
+            params={"lo": lo, "hi": hi, **params},
+            label=f"compute:{kernel.name}:r{rid}",
+        )
+        for n in names:
+            self._managers[n].note_device_op(rid, end)
+        return end
+
+    def parallel_for(
+        self,
+        tiles: Tile | Sequence[Tile] | TileIterator,
+        body,
+        *,
+        bytes_per_cell: float,
+        flops_per_cell: float = 0.0,
+        gpu: bool | None = None,
+        params: dict[str, Any] | None = None,
+        name: str = "lambda",
+        bounds: tuple[tuple[int, ...], tuple[int, ...]] | None = None,
+    ) -> float:
+        """The custom for-loop the paper wished for (§V-A) — an ad-hoc
+        lambda without pre-declaring a kernel spec.
+
+        The paper had to route every loop through ``compute`` + a
+        pre-structured lambda because OpenACC could not treat captured
+        pointers as device pointers inside lambdas.  On this substrate the
+        limitation disappears: pass any callable
+        ``body(*arrays, lo=..., hi=..., **params)`` plus its per-cell cost
+        metadata, and it launches exactly like a declared kernel
+        (imperfectly nested loops included — the body is arbitrary code).
+        """
+        kernel = KernelSpec(
+            name=name,
+            body=body,
+            bytes_per_cell=bytes_per_cell,
+            flops_per_cell=flops_per_cell,
+        )
+        return self.compute(tiles, kernel, gpu=gpu, params=params, bounds=bounds)
+
+    # -- reductions -----------------------------------------------------------------
+
+    def reduce_field(
+        self,
+        names: str | Sequence[str],
+        spec,
+        *,
+        gpu: bool = True,
+        params: dict[str, Any] | None = None,
+    ) -> float:
+        """Reduce over the whole domain of one or more fields.
+
+        GPU path: one partial-reduction kernel per region on the region's
+        slot stream, a single batched download of the scalar partials, one
+        synchronize, and a host-side fold — so partials of one region
+        compute while another region's kernel still runs.  CPU path: host
+        roofline time per region plus the fold.
+
+        ``spec`` is a :class:`~repro.kernels.reductions.ReductionSpec`.
+        Returns the folded value (identity for an empty domain).
+        """
+        if isinstance(names, str):
+            names = [names]
+        arrays = [self.field(n) for n in names]
+        first = arrays[0]
+        for other in arrays[1:]:
+            if not first.compatible_with(other):
+                raise TidaError("reduce_field requires compatible fields")
+        params = dict(params or {})
+        cost_kernel = spec.as_kernel()
+        result = spec.identity
+
+        if not gpu:
+            for rid in range(first.n_regions):
+                regions = [self._managers[n].request_host(rid) for n in names]
+                region = regions[0]
+                n_cells = region.box.size
+                duration = cost_kernel.duration_on_cpu(self.runtime.machine, n_cells)
+                self.runtime.host_compute(f"cpu-reduce:{spec.name}", duration)
+                if self.runtime.functional:
+                    lo, hi = region.local_bounds(region.box)
+                    partial = spec.body(*[r.array for r in regions], lo=lo, hi=hi, **params)
+                    result = spec.combine(result, partial)
+            return result
+
+        # device partials buffer: one scalar per region
+        partials_dev = self.runtime.malloc((first.n_regions,), label=f"partials:{spec.name}")
+        partials_host = self.runtime.malloc_host((first.n_regions,), label=f"partials:{spec.name}")
+        last_stream = None
+        values: list[float] = []
+        for rid in range(first.n_regions):
+            buffers = []
+            ready = 0.0
+            for n in names:
+                buf, t_ready = self._managers[n].request_device(rid)
+                buffers.append(buf)
+                ready = max(ready, t_ready)
+            region = first.region(rid)
+            lo, hi = region.local_bounds(region.box)
+            qid = self._managers[names[0]].queue_id_for(rid)
+            end = self.acc.parallel_loop(
+                cost_kernel,
+                deviceptr=buffers,
+                n_cells=region.box.size,
+                collapse=region.ndim,
+                loop_dims=region.ndim,
+                async_=qid,
+                vector_length=self.vector_length,
+                after=ready,
+                params={"lo": lo, "hi": hi},
+                label=f"reduce:{spec.name}:r{rid}",
+            )
+            for n in names:
+                self._managers[n].note_device_op(rid, end)
+            last_stream = self._managers[names[0]].slot_for(rid).stream
+            if self.runtime.functional:
+                partial = spec.body(*[b.array for b in buffers], lo=lo, hi=hi, **params)
+                partials_dev.array[rid] = partial
+                values.append(partial)
+        # one batched download of all partials after the last kernel; the
+        # timing dependency is the maximum of all involved streams
+        mgr0 = self._managers[names[0]]
+        ready = max(mgr0.slot_for(rid).stream.tail for rid in range(first.n_regions))
+        self.runtime.memcpy_async(
+            partials_host, partials_dev,
+            last_stream if last_stream is not None else self.runtime.default_stream,
+            after=ready,
+            label=f"d2h:partials:{spec.name}",
+        )
+        self.runtime.stream_synchronize(
+            last_stream if last_stream is not None else self.runtime.default_stream
+        )
+        if self.runtime.functional:
+            for v in values:
+                result = spec.combine(result, v)
+        # host fold over n_regions scalars: negligible but accounted
+        self.runtime.host_compute(
+            f"fold:{spec.name}", first.n_regions / self.runtime.machine.cpu.dp_flops
+        )
+        self.runtime.free(partials_dev)
+        self.runtime.free_host(partials_host)
+        return result
+
+    # -- ghost exchange, swap, synchronization ------------------------------------
+
+    def fill_boundary(
+        self, name: str, bc: BoundaryCondition | None = None, *, safe: bool = False
+    ) -> None:
+        """Hybrid CPU/GPU ghost update for field ``name`` (§IV-B.6).
+
+        ``safe=True`` closes the cross-stream write-after-read hazard with
+        events (see :func:`~repro.core.ghost.fill_boundary_hybrid`)."""
+        fill_boundary_hybrid(self, name, bc, safe=safe)
+
+    def swap(self, name_a: str, name_b: str) -> None:
+        """Exchange two fields (old/new time levels) without moving data.
+
+        Pure renaming: host allocations, device slots, streams and cache
+        state all travel with the array."""
+        ta_a, ta_b = self.field(name_a), self.field(name_b)
+        self._fields[name_a], self._fields[name_b] = ta_b, ta_a
+        self._managers[name_a], self._managers[name_b] = (
+            self._managers[name_b],
+            self._managers[name_a],
+        )
+        self._names_by_array[id(ta_a)] = name_b
+        self._names_by_array[id(ta_b)] = name_a
+
+    def synchronize(self) -> float:
+        """Drain all device work (``acc wait`` over every queue)."""
+        return self.acc.wait()
+
+    # -- results --------------------------------------------------------------------
+
+    def gather(self, name: str) -> np.ndarray:
+        """Download field ``name`` and assemble the global interior array."""
+        mgr = self.manager(name)
+        mgr.flush_to_host()
+        return self.field(name).to_global()
+
+    def scatter(self, name: str, arr: np.ndarray) -> None:
+        """Overwrite field ``name`` from a global array (host side).
+
+        Regions currently device-resident are downloaded first so the
+        last-location cache stays truthful."""
+        mgr = self.manager(name)
+        mgr.flush_to_host()
+        self.field(name).from_global(arr)
+
+    @property
+    def now(self) -> float:
+        """Virtual wall-clock, seconds (what the paper's timings measure)."""
+        return self.runtime.now
+
+    @property
+    def trace(self):
+        return self.runtime.trace
+
+    # -- lifetime -------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush every field to the host and free all device slots."""
+        for name in self.field_names():
+            mgr = self._managers[name]
+            if not mgr.read_only:
+                mgr.flush_to_host()
+            mgr.release_device_memory()
+
+    def __enter__(self) -> "TidaAcc":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,40 @@
+"""Device memory slots (§IV-B.1).
+
+TileAcc keeps a list of device memory pointers, each with a CUDA stream
+assigned to it.  When device memory cannot hold every region, several
+regions share one slot (``region_id % n_slots``), and the cache list
+(:attr:`DeviceSlot.bound`) records which region's data currently occupies
+the slot (-1 when empty) — the §IV-B.4 caching structure.
+"""
+
+from __future__ import annotations
+
+from ..cuda.stream import Stream
+from ..sim.device import DeviceBuffer
+
+#: Region-location markers for the last-accessed-address-space cache (§III).
+HOST = "host"
+DEVICE = "device"
+
+#: The cache-list value meaning "no region's data is in this slot" (§IV-B.4).
+EMPTY = -1
+
+
+class DeviceSlot:
+    """One device memory pointer + its assigned CUDA stream."""
+
+    __slots__ = ("index", "queue_id", "stream", "buffer", "bound")
+
+    def __init__(self, index: int, queue_id: int, stream: Stream) -> None:
+        self.index = index
+        self.queue_id = queue_id      # OpenACC async value backing `stream`
+        self.stream = stream
+        self.buffer: DeviceBuffer | None = None
+        self.bound: int = EMPTY       # region id occupying the slot, or EMPTY
+
+    @property
+    def is_empty(self) -> bool:
+        return self.bound == EMPTY
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DeviceSlot({self.index}, bound={self.bound}, queue={self.queue_id})"

@@ -1,0 +1,236 @@
+"""TileAcc: device-memory management, caching, and region transfers (§IV-B).
+
+One ``TileAcc`` manages the device side of one tileArray:
+
+1. **Slot sizing** — it asks ``cudaMemGetInfo`` how much device memory is
+   free and creates ``min(n_regions, fits)`` device memory slots, each
+   with its own CUDA stream (via OpenACC activity queues, so kernels and
+   copies interoperate, §IV-B.1/2).
+2. **Caching** — each slot's ``bound`` field is the paper's cache list:
+   the id of the region whose data occupies the slot, or -1.  A second
+   per-region record tracks the address space where the region was last
+   accessed (§III), so repeated same-side accesses move no data.
+3. **Transfers** — regions are the transfer unit.  Uploads are
+   ``cudaMemcpyAsync`` on the region's slot stream and need no further
+   synchronization (in-stream FIFO); downloads are followed by a
+   ``cudaStreamSynchronize`` because the caller may read the host data
+   immediately (§IV-B.3).
+4. **Eviction** — when a requested region's slot is occupied by another
+   region, the occupant is downloaded first (queued on the same slot
+   stream, so ordering is free) and then the new region is uploaded —
+   this is what lets applications larger than device memory run (§IV-B.4,
+   Figs. 7/8).
+"""
+
+from __future__ import annotations
+
+from ..cuda.runtime import CudaRuntime
+from ..errors import TileAccError
+from ..openacc.runtime import AccRuntime
+from ..sim.device import DeviceBuffer
+from ..tida.region import Region
+from ..tida.tile_array import TileArray
+from .slots import DEVICE, EMPTY, HOST, DeviceSlot
+
+
+class TileAcc:
+    """Device-side manager for one tileArray."""
+
+    def __init__(
+        self,
+        runtime: CudaRuntime,
+        acc: AccRuntime,
+        tile_array: TileArray,
+        *,
+        n_slots: int | None = None,
+        read_only: bool = False,
+    ) -> None:
+        if acc.cuda is not runtime:
+            raise TileAccError("AccRuntime must be bound to the same CudaRuntime")
+        self.runtime = runtime
+        self.acc = acc
+        self.tile_array = tile_array
+        # Extension beyond the paper's last-location model: a field declared
+        # read-only (coefficients, lookup tables) never needs write-back.
+        # Evictions drop the device copy for free, host requests are free,
+        # and both copies stay valid simultaneously.  Host-side updates must
+        # be followed by invalidate_device().
+        self.read_only = bool(read_only)
+        n_regions = tile_array.n_regions
+
+        slot_bytes = max(r.nbytes for r in tile_array.regions)
+        free, _total = runtime.mem_get_info()
+        fits = free // slot_bytes if slot_bytes > 0 else n_regions
+        if n_slots is None:
+            n_slots = min(n_regions, int(fits))
+        else:
+            if n_slots < 1:
+                raise TileAccError(f"n_slots must be >= 1, got {n_slots}")
+            n_slots = min(n_slots, n_regions)
+            if n_slots > fits:
+                raise TileAccError(
+                    f"{n_slots} slots of {slot_bytes} bytes exceed free device "
+                    f"memory ({free} bytes)"
+                )
+        if n_slots < 1:
+            raise TileAccError(
+                f"not even one region ({slot_bytes} bytes) fits in free device "
+                f"memory ({free} bytes)"
+            )
+        self.slots: list[DeviceSlot] = []
+        for i in range(n_slots):
+            qid = acc.new_auto_queue()
+            self.slots.append(DeviceSlot(i, qid, acc.queue(qid)))
+        self._location: list[str] = [HOST] * n_regions
+        self._ready: list[float] = [0.0] * n_regions
+        self.h2d_count = 0
+        self.d2h_count = 0
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def n_slots(self) -> int:
+        return len(self.slots)
+
+    def slot_for(self, rid: int) -> DeviceSlot:
+        """The slot assigned to region ``rid`` (the §IV-B.1 id mapping)."""
+        self.tile_array.region(rid)  # range check
+        return self.slots[rid % self.n_slots]
+
+    def location(self, rid: int) -> str:
+        self.tile_array.region(rid)
+        return self._location[rid]
+
+    def is_on_device(self, rid: int) -> bool:
+        slot = self.slot_for(rid)
+        return slot.bound == rid and self._location[rid] == DEVICE
+
+    def device_ready(self, rid: int) -> float:
+        """Virtual time at which region ``rid``'s device data is valid."""
+        return self._ready[rid]
+
+    def note_device_op(self, rid: int, end: float) -> None:
+        """Record that a device operation touching ``rid`` completes at ``end``
+        (cross-stream consumers use this as a readiness dependency)."""
+        if end > self._ready[rid]:
+            self._ready[rid] = end
+
+    def queue_id_for(self, rid: int) -> int:
+        return self.slot_for(rid).queue_id
+
+    # -- the cache/transfer protocol (§IV-B.3/4) --------------------------------
+
+    def _evict(self, slot: DeviceSlot) -> None:
+        old = slot.bound
+        if old == EMPTY:
+            return
+        if self._location[old] == DEVICE:
+            if self.read_only:
+                # the host copy is authoritative by contract: drop for free
+                self._location[old] = HOST
+            else:
+                region = self.tile_array.region(old)
+                end = self.runtime.memcpy_async(
+                    region.data, slot.buffer, slot.stream, label=f"evict:{region.label}"
+                )
+                self.d2h_count += 1
+                self._location[old] = HOST
+                self.note_device_op(old, end)
+        slot.bound = EMPTY
+
+    def _ensure_buffer(self, slot: DeviceSlot, region: Region) -> None:
+        shape = region.local_shape
+        if slot.buffer is not None and slot.buffer.shape == shape:
+            return
+        if slot.buffer is not None:
+            # realloc for a differently-shaped (edge) region; the eviction
+            # download already executed, and the upload below lands in the
+            # fresh buffer, so the swap is safe.  Clear the reference first:
+            # if the new allocation fails (another allocation raced us for
+            # device memory), the slot must not point at freed memory.
+            self.runtime.free(slot.buffer)
+            slot.buffer = None
+        slot.buffer = self.runtime.malloc(
+            shape, self.tile_array.dtype, label=f"{self.tile_array.label}.slot{slot.index}"
+        )
+
+    def request_device(self, rid: int) -> tuple[DeviceBuffer, float]:
+        """Make region ``rid`` resident on the device.
+
+        Returns its device buffer and the virtual time at which the data
+        is valid there.  Pure cache hit when the region was last accessed
+        on the device (§III's caching).
+        """
+        region = self.tile_array.region(rid)
+        slot = self.slot_for(rid)
+        if slot.bound == rid and self._location[rid] == DEVICE:
+            return slot.buffer, self._ready[rid]
+        if slot.bound not in (EMPTY, rid):
+            self._evict(slot)
+        self._ensure_buffer(slot, region)
+        end = self.runtime.memcpy_async(
+            slot.buffer, region.data, slot.stream, label=f"h2d:{region.label}"
+        )
+        self.h2d_count += 1
+        slot.bound = rid
+        self._location[rid] = DEVICE
+        self._ready[rid] = end
+        return slot.buffer, end
+
+    def request_host(self, rid: int) -> Region:
+        """Make region ``rid``'s data current on the host.
+
+        When the region lives on the device, a download is queued on its
+        stream and the host *waits* for it — the caller may touch the data
+        immediately after this returns (§IV-B.3).
+        """
+        region = self.tile_array.region(rid)
+        slot = self.slot_for(rid)
+        if self._location[rid] == DEVICE:
+            if slot.bound != rid:
+                raise TileAccError(
+                    f"cache inconsistency: region {rid} marked on-device but "
+                    f"slot {slot.index} holds {slot.bound}"
+                )
+            if self.read_only:
+                # host copy never went stale; the device copy stays valid too
+                return region
+            end = self.runtime.memcpy_async(
+                region.data, slot.buffer, slot.stream, label=f"d2h:{region.label}"
+            )
+            self.d2h_count += 1
+            self.note_device_op(rid, end)
+            self.runtime.stream_synchronize(slot.stream)
+            self._location[rid] = HOST
+        return region
+
+    def flush_to_host(self) -> None:
+        """Download every device-resident region (end-of-run gather)."""
+        for rid in range(self.tile_array.n_regions):
+            self.request_host(rid)
+
+    def invalidate_device(self) -> None:
+        """Host data changed for a read-only field: drop all device copies."""
+        for rid in range(self.tile_array.n_regions):
+            self._location[rid] = HOST
+        for slot in self.slots:
+            slot.bound = EMPTY
+
+    def release_device_memory(self) -> None:
+        """Free all slot buffers (keeps host data; used on teardown)."""
+        for slot in self.slots:
+            if (
+                not self.read_only
+                and slot.bound != EMPTY
+                and self._location[slot.bound] == DEVICE
+            ):
+                raise TileAccError(
+                    f"region {slot.bound} still dirty on device; flush_to_host first"
+                )
+            if slot.buffer is not None:
+                self.runtime.free(slot.buffer)
+                slot.buffer = None
+            slot.bound = EMPTY
+        # no device copies remain anywhere
+        for rid in range(self.tile_array.n_regions):
+            self._location[rid] = HOST

@@ -1,0 +1,26 @@
+"""Simulated CUDA runtime.
+
+A virtual-time reimplementation of the slice of the CUDA runtime API the
+paper's library uses (§IV): ``cudaMalloc``/``cudaMallocHost``/
+``cudaMallocManaged``, ``cudaMemGetInfo``, ``cudaMemcpy``/
+``cudaMemcpyAsync``, streams, events, and kernel launches.  Device
+allocations are numpy-backed in functional mode, so kernels really execute
+and results can be verified; in timing-only mode only virtual time and
+byte counts flow, so paper-sized problems (512³ doubles) simulate in
+milliseconds.
+"""
+
+from .kernel import KernelSpec, LaunchConfig
+from .stream import Stream
+from .event import Event
+from .runtime import CudaRuntime
+from .uvm import ManagedBuffer
+
+__all__ = [
+    "CudaRuntime",
+    "KernelSpec",
+    "LaunchConfig",
+    "Stream",
+    "Event",
+    "ManagedBuffer",
+]

@@ -1,0 +1,170 @@
+"""Kernel specifications: functional body + analytic cost model.
+
+A :class:`KernelSpec` pairs the numpy implementation of a kernel body
+(executed in functional mode, so numerics are real and testable) with
+per-cell cost metadata (consumed by the roofline duration model in
+timing mode).  Special-function counts (sin/cos/sqrt) are kept separate
+from plain flops because the paper's Fig. 6 compares three math code
+generation paths (CUDA libm, PGI, ``--use_fast_math``) whose only
+difference is the cost of those calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..config import MachineSpec, MathModel
+from ..errors import CudaInvalidValueError
+
+#: Maximum threads per block on every CUDA architecture the paper targets.
+MAX_THREADS_PER_BLOCK = 1024
+#: Kepler limit on grid dimension x.
+MAX_GRID_DIM = 2 ** 31 - 1
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """Grid/block geometry for a kernel launch.
+
+    The paper tunes geometry by hand for the CUDA baselines and lets the
+    compiler pick for OpenACC (§II-C); ``tuned`` carries that distinction
+    into the cost model.
+    """
+
+    grid: tuple[int, ...]
+    block: tuple[int, ...]
+    tuned: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.grid or not self.block:
+            raise CudaInvalidValueError("grid and block must be non-empty")
+        if len(self.grid) > 3 or len(self.block) > 3:
+            raise CudaInvalidValueError("grid and block have at most 3 dimensions")
+        if any(g <= 0 for g in self.grid) or any(b <= 0 for b in self.block):
+            raise CudaInvalidValueError("grid and block extents must be positive")
+        if self.threads_per_block > MAX_THREADS_PER_BLOCK:
+            raise CudaInvalidValueError(
+                f"block {self.block} exceeds {MAX_THREADS_PER_BLOCK} threads"
+            )
+        if self.grid[0] > MAX_GRID_DIM:
+            raise CudaInvalidValueError(f"grid.x {self.grid[0]} exceeds {MAX_GRID_DIM}")
+
+    @property
+    def threads_per_block(self) -> int:
+        n = 1
+        for b in self.block:
+            n *= b
+        return n
+
+    @property
+    def total_threads(self) -> int:
+        n = self.threads_per_block
+        for g in self.grid:
+            n *= g
+        return n
+
+    @classmethod
+    def for_cells(cls, n_cells: int, *, block: tuple[int, ...] = (256,), tuned: bool = True) -> "LaunchConfig":
+        """1-D geometry covering ``n_cells`` iteration points."""
+        if n_cells <= 0:
+            raise CudaInvalidValueError(f"n_cells must be positive, got {n_cells}")
+        cfg = cls(grid=(1,), block=block, tuned=tuned)
+        per_block = cfg.threads_per_block
+        grid_x = (n_cells + per_block - 1) // per_block
+        return cls(grid=(grid_x,), block=block, tuned=tuned)
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """A GPU kernel: functional body plus per-cell cost metadata.
+
+    ``body`` receives the numpy arrays of the launch's buffers (in order)
+    followed by the launch's keyword ``params``; it mutates the output
+    array(s) in place.  ``body`` may be ``None`` for pure-timing kernels.
+
+    Costs are *per iteration-space cell*:
+
+    * ``bytes_per_cell`` — device-memory traffic (reads+writes, assuming
+      cache-friendly access, e.g. 16 B/cell for an 8-byte stencil that
+      streams one read and one write per cell);
+    * ``flops_per_cell`` — plain FMA-class arithmetic;
+    * ``sin/cos/sqrt_per_cell`` — special-function calls, costed via the
+      active :class:`~repro.config.MathModel`.
+    """
+
+    name: str
+    body: Callable[..., None] | None
+    bytes_per_cell: float
+    flops_per_cell: float = 0.0
+    sin_per_cell: float = 0.0
+    cos_per_cell: float = 0.0
+    sqrt_per_cell: float = 0.0
+    #: Extra per-cell DRAM traffic on the *CPU* when a tile's working set
+    #: exceeds the last-level cache (stencil planes falling out between row
+    #: sweeps) — the §IV-A cache-reuse effect tiles exist to avoid.
+    cpu_spill_bytes_per_cell: float = 0.0
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for attr in (
+            "bytes_per_cell", "flops_per_cell", "sin_per_cell",
+            "cos_per_cell", "sqrt_per_cell", "cpu_spill_bytes_per_cell",
+        ):
+            if getattr(self, attr) < 0:
+                raise CudaInvalidValueError(f"{attr} must be >= 0")
+
+    def flop_equivalents(self, math: MathModel, n_cells: int) -> float:
+        """Total FMA-equivalent work for ``n_cells``, folding in special functions."""
+        per_cell = (
+            self.flops_per_cell
+            + self.sin_per_cell * math.sin_cost
+            + self.cos_per_cell * math.cos_cost
+            + self.sqrt_per_cell * math.sqrt_cost
+        )
+        return per_cell * n_cells
+
+    def bytes_moved(self, n_cells: int) -> float:
+        return self.bytes_per_cell * n_cells
+
+    def duration_on_gpu(
+        self,
+        machine: MachineSpec,
+        n_cells: int,
+        *,
+        tuned_geometry: bool = True,
+        math: MathModel | None = None,
+    ) -> float:
+        """Kernel-body duration on the machine's GPU (launch overhead excluded)."""
+        if n_cells < 0:
+            raise CudaInvalidValueError(f"n_cells must be >= 0, got {n_cells}")
+        math = math if math is not None else machine.math
+        return machine.gpu.kernel_time(
+            bytes_moved=self.bytes_moved(n_cells),
+            flops=self.flop_equivalents(math, n_cells),
+            tuned_geometry=tuned_geometry,
+        )
+
+    def duration_on_cpu(
+        self,
+        machine: MachineSpec,
+        n_cells: int,
+        *,
+        math: MathModel | None = None,
+        working_set_bytes: float | None = None,
+    ) -> float:
+        """Duration of the same loop nest executed on the host CPU.
+
+        When ``working_set_bytes`` is given, the §IV-A cache model applies:
+        working sets beyond the LLC pay ``cpu_spill_bytes_per_cell`` of
+        extra DRAM traffic — the reason CPU tiles should be cache-sized.
+        """
+        if n_cells < 0:
+            raise CudaInvalidValueError(f"n_cells must be >= 0, got {n_cells}")
+        math = math if math is not None else machine.math
+        return machine.cpu.kernel_time(
+            bytes_moved=self.bytes_moved(n_cells),
+            flops=self.flop_equivalents(math, n_cells),
+            spill_bytes=self.cpu_spill_bytes_per_cell * n_cells,
+            working_set_bytes=working_set_bytes,
+        )

@@ -1,0 +1,511 @@
+"""The simulated CUDA runtime: memory, streams, copies, kernels, events.
+
+Semantics reproduced from the real runtime (and relied on by the paper):
+
+* **streams are FIFO**: operations issued to one stream execute in issue
+  order; different streams may overlap (§IV-B.2);
+* **two copy engines** (K40m): one H2D and one D2H DMA engine, each FIFO,
+  so an upload, a download and a kernel can all proceed simultaneously —
+  the mechanism behind Figs. 3 and 7;
+* **pinned vs pageable**: ``cudaMemcpyAsync`` from/to pageable memory is
+  synchronous with respect to the host and runs at staging bandwidth;
+  only pinned transfers overlap (§II-B, §II-C);
+* **managed memory** (Kepler): whole allocations migrate to the device at
+  kernel launch and back on host access, at a fraction of pinned
+  bandwidth plus a per-launch cost (:mod:`repro.cuda.uvm`);
+* **kernel launches** cost host API time plus a device-side launch
+  overhead serialized on the compute engine, so many small kernels are
+  visibly worse than one large one (the paper's §II-C observation about
+  OpenACC boundary kernels).
+
+Every operation is recorded in a :class:`~repro.sim.trace.Trace`; the
+host clock (`now`) is the virtual wall-clock the benches measure with.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..config import DEFAULT_MACHINE, MachineSpec, MathModel
+from ..errors import (
+    CudaInvalidResourceHandleError,
+    CudaInvalidValueError,
+)
+from ..sim.device import DeviceBuffer, DeviceMemoryPool
+from ..sim.engine import FifoEngine, HostClock
+from ..sim.hostmem import HostBuffer
+from ..sim.trace import Trace
+from .event import Event
+from .kernel import KernelSpec, LaunchConfig
+from .stream import Stream
+from .uvm import DEVICE, HOST, ManagedBuffer
+
+_runtime_ids = itertools.count(1)
+
+
+class CudaRuntime:
+    """One simulated device context.
+
+    Parameters
+    ----------
+    machine:
+        Hardware specification (defaults to the paper's K40m testbed).
+    functional:
+        If True, allocations carry numpy arrays and kernel bodies really
+        execute (use for correctness tests at small sizes).  If False,
+        only virtual time flows (use for paper-sized benches).
+    device_memory_limit:
+        Optional cap (bytes) on allocatable device memory, below the
+        hardware size — how the paper emulates the limited-memory case
+        of Figs. 7/8.
+    """
+
+    def __init__(
+        self,
+        machine: MachineSpec | None = None,
+        *,
+        functional: bool = True,
+        device_memory_limit: int | None = None,
+        clock: HostClock | None = None,
+        trace: Trace | None = None,
+        lane_prefix: str = "",
+    ) -> None:
+        self.machine = machine if machine is not None else DEFAULT_MACHINE
+        self.functional = bool(functional)
+        capacity = self.machine.gpu.allocatable_bytes
+        if device_memory_limit is not None:
+            if device_memory_limit <= 0:
+                raise CudaInvalidValueError("device_memory_limit must be positive")
+            capacity = min(capacity, device_memory_limit)
+        self.pool = DeviceMemoryPool(capacity)
+        # clock and trace may be shared across several runtimes — the
+        # multi-GPU setup has one host thread driving N devices
+        self.clock = clock if clock is not None else HostClock()
+        self.trace = trace if trace is not None else Trace()
+        self.lane_prefix = lane_prefix
+        self.compute_engine = FifoEngine(f"{lane_prefix}compute")
+        self.h2d_engine = FifoEngine(f"{lane_prefix}h2d")
+        if self.machine.gpu.copy_engines == 2:
+            self.d2h_engine = FifoEngine(f"{lane_prefix}d2h")
+        else:
+            self.d2h_engine = self.h2d_engine
+        self._runtime_id = next(_runtime_ids)
+        self.default_stream = Stream(0, self._runtime_id)
+        self._streams: dict[int, Stream] = {0: self.default_stream}
+        self._next_stream_id = 1
+        self._managed_reservations: dict[int, DeviceBuffer] = {}
+
+    # -- host clock -------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current host virtual time, seconds."""
+        return self.clock.now
+
+    def _api(self) -> None:
+        """Charge one runtime API call on the host."""
+        self.clock.advance(self.machine.cpu.api_call_overhead)
+
+    def host_compute(self, name: str, duration: float, **meta: Any) -> float:
+        """Account for host-side work (e.g. ghost-index computation, §IV-B.6)."""
+        if duration < 0:
+            raise CudaInvalidValueError("host work duration must be >= 0")
+        start = self.clock.now
+        end = self.clock.advance(duration)
+        self.trace.record(name, "host", "host", start, end, **meta)
+        return end
+
+    # -- memory management --------------------------------------------------
+
+    def malloc(
+        self,
+        shape: int | tuple[int, ...],
+        dtype: Any = np.float64,
+        *,
+        label: str = "",
+    ) -> DeviceBuffer:
+        """``cudaMalloc``: allocate device memory."""
+        self._api()
+        return self.pool.allocate(shape, dtype, functional=self.functional, label=label)
+
+    def free(self, buf: DeviceBuffer) -> None:
+        """``cudaFree``."""
+        self._api()
+        self.pool.free(buf)
+
+    def malloc_host(
+        self,
+        shape: int | tuple[int, ...],
+        dtype: Any = np.float64,
+        *,
+        fill: float | None = None,
+        label: str = "",
+    ) -> HostBuffer:
+        """``cudaMallocHost``: pinned (page-locked) host memory."""
+        self._api()
+        return HostBuffer(
+            shape, dtype, pinned=True, functional=self.functional, fill=fill, label=label
+        )
+
+    def host_malloc(
+        self,
+        shape: int | tuple[int, ...],
+        dtype: Any = np.float64,
+        *,
+        fill: float | None = None,
+        label: str = "",
+    ) -> HostBuffer:
+        """Ordinary pageable host allocation (plain ``malloc``/``new``)."""
+        return HostBuffer(
+            shape, dtype, pinned=False, functional=self.functional, fill=fill, label=label
+        )
+
+    def free_host(self, buf: HostBuffer) -> None:
+        """``cudaFreeHost`` / ``free``."""
+        self._api()
+        buf.free()
+
+    def malloc_managed(
+        self,
+        shape: int | tuple[int, ...],
+        dtype: Any = np.float64,
+        *,
+        fill: float | None = None,
+        label: str = "",
+    ) -> ManagedBuffer:
+        """``cudaMallocManaged``: unified memory.
+
+        On Kepler, managed allocations reserve device memory up front (no
+        oversubscription), so the allocation is accounted against the pool.
+        """
+        self._api()
+        buf = ManagedBuffer(shape, dtype, functional=self.functional, fill=fill, label=label)
+        reservation = self.pool.allocate(
+            buf.shape, buf.dtype, functional=False, label=f"managed:{label}"
+        )
+        self._managed_reservations[id(buf)] = reservation
+        return buf
+
+    def free_managed(self, buf: ManagedBuffer) -> None:
+        self._api()
+        reservation = self._managed_reservations.pop(id(buf), None)
+        if reservation is None:
+            raise CudaInvalidValueError("managed buffer not owned by this runtime (or already freed)")
+        self.pool.free(reservation)
+        buf._mark_freed()
+
+    def mem_get_info(self) -> tuple[int, int]:
+        """``cudaMemGetInfo``: (free, total) allocatable device bytes."""
+        self._api()
+        return self.pool.mem_get_info()
+
+    # -- streams ------------------------------------------------------------
+
+    def create_stream(self) -> Stream:
+        """``cudaStreamCreate`` (also backs OpenACC activity queues)."""
+        self._api()
+        stream = Stream(self._next_stream_id, self._runtime_id)
+        self._streams[self._next_stream_id] = stream
+        self._next_stream_id += 1
+        return stream
+
+    def destroy_stream(self, stream: Stream) -> None:
+        """``cudaStreamDestroy`` (blocks until the stream drains, as CUDA does)."""
+        self._check_stream(stream)
+        if stream.is_default:
+            raise CudaInvalidValueError("the default stream cannot be destroyed")
+        self._api()
+        self.clock.advance_to(stream.tail)
+        stream._destroy()
+        del self._streams[stream.stream_id]
+
+    def _check_stream(self, stream: Stream) -> None:
+        if not isinstance(stream, Stream):
+            raise CudaInvalidResourceHandleError(f"not a stream: {stream!r}")
+        stream._check_usable(self._runtime_id)
+
+    @property
+    def streams(self) -> tuple[Stream, ...]:
+        return tuple(self._streams.values())
+
+    # -- copies ---------------------------------------------------------------
+
+    @staticmethod
+    def _classify_copy(dst: Any, src: Any) -> tuple[str, HostBuffer]:
+        """Return (direction, host-side buffer) for a host<->device copy."""
+        if isinstance(dst, DeviceBuffer) and isinstance(src, HostBuffer):
+            return "h2d", src
+        if isinstance(dst, HostBuffer) and isinstance(src, DeviceBuffer):
+            return "d2h", dst
+        raise CudaInvalidValueError(
+            f"unsupported copy {type(src).__name__} -> {type(dst).__name__}; "
+            "expected one host buffer and one device buffer"
+        )
+
+    def _do_functional_copy(self, dst: Any, src: Any) -> None:
+        if not self.functional:
+            return
+        dst_arr, src_arr = dst.array, src.array
+        if dst_arr.size != src_arr.size:
+            raise CudaInvalidValueError(
+                f"copy size mismatch: {src_arr.shape} -> {dst_arr.shape}"
+            )
+        dst_arr.reshape(-1)[:] = src_arr.reshape(-1)
+
+    def _validate_copy_operands(self, dst: Any, src: Any) -> None:
+        for buf in (dst, src):
+            if getattr(buf, "freed", False):
+                raise CudaInvalidValueError(f"copy involves freed buffer {buf!r}")
+        if dst.nbytes != src.nbytes:
+            raise CudaInvalidValueError(
+                f"copy byte-count mismatch: src {src.nbytes} != dst {dst.nbytes}"
+            )
+
+    def memcpy(self, dst: Any, src: Any, *, label: str = "") -> float:
+        """``cudaMemcpy``: synchronous host<->device copy."""
+        return self.memcpy_async(dst, src, self.default_stream, label=label, _force_sync=True)
+
+    def memcpy_async(
+        self,
+        dst: Any,
+        src: Any,
+        stream: Stream | None = None,
+        *,
+        after: float = 0.0,
+        label: str = "",
+        _force_sync: bool = False,
+    ) -> float:
+        """``cudaMemcpyAsync``: queue a copy on ``stream``.
+
+        Returns the virtual completion time of the copy.  ``after`` adds an
+        extra readiness dependency (used by TileAcc when an upload must wait
+        for the eviction download sharing the same device pointer).
+
+        Pageable host memory makes the call synchronous with respect to the
+        host (the documented CUDA behaviour that breaks overlap, §II-B).
+        """
+        stream = stream if stream is not None else self.default_stream
+        self._check_stream(stream)
+        self._validate_copy_operands(dst, src)
+        direction, host_buf = self._classify_copy(dst, src)
+        self._api()
+        link = self.machine.link
+        duration = link.transfer_time(src.nbytes, direction=direction, pinned=host_buf.pinned)
+        engine = self.h2d_engine if direction == "h2d" else self.d2h_engine
+        ready = max(self.now, stream.tail, after)
+        start, end = engine.submit(ready, duration)
+        stream._push(end)
+        self.trace.record(
+            label or f"{direction}:{getattr(src, 'label', '') or getattr(dst, 'label', '')}",
+            direction,
+            engine.name,
+            start,
+            end,
+            stream=stream.stream_id,
+            nbytes=src.nbytes,
+        )
+        self._do_functional_copy(dst, src)
+        synchronous = _force_sync or (
+            not host_buf.pinned and link.pageable_async_is_sync
+        )
+        if synchronous:
+            self.clock.advance_to(end)
+        return end
+
+    # -- managed-memory migration ---------------------------------------------
+
+    def _managed_transfer_time(self, nbytes: int, direction: str) -> float:
+        link = self.machine.link
+        base = link.transfer_time(nbytes, direction=direction, pinned=True)
+        # migration runs at a fraction of pinned bandwidth; keep latency as is
+        bw_time = base - link.latency
+        return link.latency + bw_time / self.machine.gpu.managed_bandwidth_factor
+
+    def _migrate_managed_to_device(self, buf: ManagedBuffer, stream: Stream) -> float:
+        if buf.location == DEVICE:
+            return stream.tail
+        duration = self._managed_transfer_time(buf.nbytes, "h2d")
+        ready = max(self.now, stream.tail)
+        start, end = self.h2d_engine.submit(ready, duration)
+        stream._push(end)
+        buf.location = DEVICE
+        self.trace.record(
+            f"uvm-migrate-h2d:{buf.label}",
+            "h2d",
+            self.h2d_engine.name,
+            start,
+            end,
+            stream=stream.stream_id,
+            nbytes=buf.nbytes,
+            managed=True,
+        )
+        return end
+
+    def managed_host_access(self, buf: ManagedBuffer) -> np.ndarray | None:
+        """Host touches a managed allocation: migrate back if needed, block.
+
+        Returns the backing array in functional mode (None otherwise).
+        """
+        if buf.freed:
+            raise CudaInvalidValueError("managed buffer used after free")
+        if id(buf) not in self._managed_reservations:
+            raise CudaInvalidValueError("managed buffer not owned by this runtime")
+        if buf.location == DEVICE:
+            # the host page fault stalls until every kernel that may touch
+            # managed data completes (Kepler semantics: full sync)
+            self.device_synchronize()
+            duration = self._managed_transfer_time(buf.nbytes, "d2h")
+            start, end = self.d2h_engine.submit(self.now, duration)
+            self.trace.record(
+                f"uvm-migrate-d2h:{buf.label}",
+                "d2h",
+                self.d2h_engine.name,
+                start,
+                end,
+                nbytes=buf.nbytes,
+                managed=True,
+            )
+            self.clock.advance_to(end)
+            buf.location = HOST
+        return buf.array if self.functional else None
+
+    # -- kernels ---------------------------------------------------------------
+
+    def launch(
+        self,
+        kernel: KernelSpec,
+        *,
+        buffers: Sequence[DeviceBuffer | ManagedBuffer] = (),
+        n_cells: int | None = None,
+        params: dict[str, Any] | None = None,
+        stream: Stream | None = None,
+        config: LaunchConfig | None = None,
+        tuned_geometry: bool | None = None,
+        math: MathModel | None = None,
+        after: float = 0.0,
+        label: str = "",
+    ) -> float:
+        """Launch ``kernel`` over ``n_cells`` iteration points on ``stream``.
+
+        Returns the virtual completion time.  In functional mode the kernel
+        body executes immediately against the buffers' arrays (in-stream
+        issue order equals execution order, so eager execution is sound).
+        """
+        stream = stream if stream is not None else self.default_stream
+        self._check_stream(stream)
+        params = dict(params or {})
+        if tuned_geometry is None:
+            tuned_geometry = config.tuned if config is not None else True
+        if n_cells is None:
+            if not buffers:
+                raise CudaInvalidValueError(
+                    "launch needs n_cells or at least one buffer to infer it from"
+                )
+            first = buffers[0]
+            n_cells = 1
+            for s in first.shape:
+                n_cells *= s
+        if n_cells < 0:
+            raise CudaInvalidValueError(f"n_cells must be >= 0, got {n_cells}")
+
+        managed = [b for b in buffers if isinstance(b, ManagedBuffer)]
+        for buf in buffers:
+            if getattr(buf, "freed", False):
+                raise CudaInvalidValueError(
+                    f"kernel {kernel.name!r} references freed buffer {buf!r}"
+                )
+            if isinstance(buf, DeviceBuffer) and buf.pool is not self.pool:
+                raise CudaInvalidValueError(
+                    f"kernel {kernel.name!r} references a buffer from another device"
+                )
+            if isinstance(buf, ManagedBuffer) and id(buf) not in self._managed_reservations:
+                raise CudaInvalidValueError(
+                    f"kernel {kernel.name!r} references a foreign managed buffer"
+                )
+
+        self._api()
+        ready = max(self.now, stream.tail, after)
+        if managed:
+            # Kepler: the driver migrates touched managed allocations before
+            # the kernel runs and charges a per-launch management cost.
+            self.clock.advance(self.machine.gpu.managed_launch_overhead)
+            for buf in managed:
+                ready = max(ready, self._migrate_managed_to_device(buf, stream))
+            ready = max(ready, self.now)
+
+        body = kernel.duration_on_gpu(
+            self.machine, n_cells, tuned_geometry=tuned_geometry, math=math
+        )
+        duration = self.machine.gpu.kernel_launch_overhead + body
+        start, end = self.compute_engine.submit(ready, duration)
+        stream._push(end)
+        self.trace.record(
+            label or f"kernel:{kernel.name}",
+            "kernel",
+            self.compute_engine.name,
+            start,
+            end,
+            stream=stream.stream_id,
+            n_cells=n_cells,
+        )
+        if self.functional and kernel.body is not None:
+            arrays = [b.array for b in buffers]
+            kernel.body(*arrays, **params)
+        return end
+
+    # -- synchronization ----------------------------------------------------
+
+    def stream_synchronize(self, stream: Stream) -> float:
+        """``cudaStreamSynchronize``: block the host until the stream drains."""
+        self._check_stream(stream)
+        self._api()
+        start = self.now
+        end = self.clock.advance_to(stream.tail)
+        if end > start:
+            self.trace.record(
+                f"sync:stream{stream.stream_id}", "sync", "host", start, end,
+                stream=stream.stream_id,
+            )
+        return end
+
+    def device_synchronize(self) -> float:
+        """``cudaDeviceSynchronize``: block until all device work drains."""
+        self._api()
+        start = self.now
+        target = max(
+            [self.compute_engine.tail, self.h2d_engine.tail, self.d2h_engine.tail]
+            + [s.tail for s in self._streams.values()]
+        )
+        end = self.clock.advance_to(target)
+        if end > start:
+            self.trace.record("sync:device", "sync", "host", start, end)
+        return end
+
+    # -- events ------------------------------------------------------------
+
+    def create_event(self) -> Event:
+        self._api()
+        return Event(self._runtime_id)
+
+    def event_record(self, event: Event, stream: Stream | None = None) -> None:
+        """``cudaEventRecord``: the event completes when the stream drains."""
+        stream = stream if stream is not None else self.default_stream
+        self._check_stream(stream)
+        event._check_usable(self._runtime_id)
+        self._api()
+        event._record(max(self.now, stream.tail))
+
+    def event_synchronize(self, event: Event) -> float:
+        event._check_usable(self._runtime_id)
+        self._api()
+        return self.clock.advance_to(event.time)
+
+    def stream_wait_event(self, stream: Stream, event: Event) -> None:
+        """``cudaStreamWaitEvent``: later work on ``stream`` waits for ``event``."""
+        self._check_stream(stream)
+        event._check_usable(self._runtime_id)
+        self._api()
+        stream._push(event.time)

@@ -1,0 +1,59 @@
+"""CUDA streams.
+
+A stream is a FIFO sequence of device operations (§IV-B.2): operations in
+one stream execute in issue order; operations in different streams may
+overlap.  The simulated stream tracks only the completion time of its most
+recently issued operation — that is all the FIFO discipline requires —
+plus identity/lifetime bookkeeping so misuse (foreign streams, destroyed
+streams) fails the way the real runtime would.
+"""
+
+from __future__ import annotations
+
+from ..errors import CudaInvalidResourceHandleError
+
+
+class Stream:
+    """One CUDA stream (or OpenACC activity queue; they interoperate, §IV-B.2)."""
+
+    __slots__ = ("stream_id", "_tail", "_destroyed", "_runtime_id")
+
+    def __init__(self, stream_id: int, runtime_id: int) -> None:
+        self.stream_id = stream_id
+        self._tail = 0.0
+        self._destroyed = False
+        self._runtime_id = runtime_id
+
+    @property
+    def tail(self) -> float:
+        """Virtual completion time of the last operation issued to this stream."""
+        return self._tail
+
+    @property
+    def destroyed(self) -> bool:
+        return self._destroyed
+
+    def _check_usable(self, runtime_id: int) -> None:
+        if self._destroyed:
+            raise CudaInvalidResourceHandleError(
+                f"stream {self.stream_id} has been destroyed"
+            )
+        if runtime_id != self._runtime_id:
+            raise CudaInvalidResourceHandleError(
+                f"stream {self.stream_id} belongs to a different runtime/context"
+            )
+
+    def _push(self, end: float) -> None:
+        if end > self._tail:
+            self._tail = end
+
+    def _destroy(self) -> None:
+        self._destroyed = True
+
+    @property
+    def is_default(self) -> bool:
+        return self.stream_id == 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "destroyed" if self._destroyed else f"tail={self._tail:.6g}"
+        return f"Stream({self.stream_id}, {state})"

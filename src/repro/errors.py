@@ -1,0 +1,80 @@
+"""Exception hierarchy for the TiDA-acc reproduction.
+
+Every layer of the stack (simulated CUDA runtime, OpenACC layer, TiDA
+tiling library, TiDA-acc core) raises exceptions rooted at
+:class:`ReproError` so callers can catch at the granularity they need.
+The CUDA-facing errors mirror the ``cudaError_t`` values the paper's
+library would encounter (allocation failure, invalid value, invalid
+resource handle), which lets the failure-injection tests assert on the
+same conditions a real CUDA program would see.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """Invalid hardware specification or calibration constant."""
+
+
+class SimulationError(ReproError):
+    """Internal inconsistency in the virtual-time engine (a bug, not user error)."""
+
+
+# ---------------------------------------------------------------------------
+# CUDA runtime errors (mirroring cudaError_t)
+# ---------------------------------------------------------------------------
+
+class CudaError(ReproError):
+    """Base class for simulated CUDA runtime errors."""
+
+
+class CudaMemoryAllocationError(CudaError):
+    """cudaErrorMemoryAllocation: device memory exhausted."""
+
+
+class CudaInvalidValueError(CudaError):
+    """cudaErrorInvalidValue: bad argument to a runtime call."""
+
+
+class CudaInvalidResourceHandleError(CudaError):
+    """cudaErrorInvalidResourceHandle: stream/event/buffer not owned or destroyed."""
+
+
+class CudaIllegalAddressError(CudaError):
+    """cudaErrorIllegalAddress: kernel touched freed or foreign memory."""
+
+
+# ---------------------------------------------------------------------------
+# OpenACC layer errors
+# ---------------------------------------------------------------------------
+
+class AccError(ReproError):
+    """Base class for OpenACC layer errors."""
+
+
+class AccPresentError(AccError):
+    """Data referenced by ``present`` clause is not in the present table."""
+
+
+class AccCompileError(AccError):
+    """The directive 'compiler' rejected the construct (bad collapse, etc.)."""
+
+
+# ---------------------------------------------------------------------------
+# Tiling library errors
+# ---------------------------------------------------------------------------
+
+class TidaError(ReproError):
+    """Base class for TiDA tiling-library errors."""
+
+
+class DecompositionError(TidaError):
+    """Domain cannot be decomposed as requested."""
+
+
+class TileAccError(ReproError):
+    """Base class for TiDA-acc core errors (slot/cache management, compute)."""

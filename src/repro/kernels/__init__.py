@@ -1,0 +1,38 @@
+"""Workload kernels.
+
+The paper evaluates two kernels — the 3-D heat solver (data
+transfer-intensive, §VI-A) and NVIDIA's sin/cos benchmark kernel
+(compute-intensive, §VI-B) — plus the ghost-copy and boundary-face
+kernels the library launches internally.  Two extra workloads (2-D blur,
+2-D wave equation) exercise the public API in the examples and widen the
+test surface.
+
+Each kernel is a :class:`~repro.cuda.kernel.KernelSpec`: a vectorised
+numpy body (functional mode) plus per-cell cost metadata (timing mode).
+Bodies take the buffers' arrays followed by ``lo``/``hi`` local bounds,
+so the same body serves whole-array baselines and per-tile launches.
+"""
+
+from .heat import heat_kernel, heat_reference_step, HEAT_BYTES_PER_CELL
+from .compute_intensive import compute_intensive_kernel, compute_intensive_reference_step
+from .exchange import ghost_copy_kernel, face_fill_kernel, face_copy_kernel
+from .blur import blur_kernel, blur_reference_step
+from .wave import wave_kernel, wave_reference_step
+from .registry import KERNELS, get_kernel_factory
+
+__all__ = [
+    "heat_kernel",
+    "heat_reference_step",
+    "HEAT_BYTES_PER_CELL",
+    "compute_intensive_kernel",
+    "compute_intensive_reference_step",
+    "ghost_copy_kernel",
+    "face_fill_kernel",
+    "face_copy_kernel",
+    "blur_kernel",
+    "blur_reference_step",
+    "wave_kernel",
+    "wave_reference_step",
+    "KERNELS",
+    "get_kernel_factory",
+]

@@ -1,0 +1,48 @@
+"""2-D box-blur stencil: the image-processing workload the intro motivates.
+
+A 3×3 mean filter — a second transfer-intensive kernel with a different
+stencil footprint (corners included), used by the image-pipeline example
+and as extra coverage for the ghost machinery (it needs corner ghosts,
+unlike the face-only heat stencil).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cuda.kernel import KernelSpec
+
+
+def _blur_body(
+    dst: np.ndarray,
+    src: np.ndarray,
+    lo: tuple[int, ...],
+    hi: tuple[int, ...],
+) -> None:
+    if dst.ndim != 2:
+        raise ValueError("blur kernel is 2-D")
+    acc = np.zeros(tuple(h - l for l, h in zip(lo, hi)), dtype=dst.dtype)
+    for dy in (-1, 0, 1):
+        for dx in (-1, 0, 1):
+            acc += src[lo[0] + dy:hi[0] + dy, lo[1] + dx:hi[1] + dx]
+    dst[lo[0]:hi[0], lo[1]:hi[1]] = acc / 9.0
+
+
+def blur_kernel() -> KernelSpec:
+    return KernelSpec(
+        name="blur3x3",
+        body=_blur_body,
+        bytes_per_cell=16.0,   # streaming read + write; neighbour reads cached
+        flops_per_cell=10.0,   # 8 adds + multiply by 1/9 + store arithmetic
+        cpu_spill_bytes_per_cell=16.0,  # two neighbour rows re-fetched without tiling
+        meta={"ndim": 2, "stencil_radius": 1, "corners": True},
+    )
+
+
+def blur_reference_step(src: np.ndarray, ghost: int = 1) -> np.ndarray:
+    """Reference blur on a global ghosted 2-D array."""
+    dst = src.copy()
+    lo = (ghost,) * src.ndim
+    hi = tuple(s - ghost for s in src.shape)
+    _blur_body(dst, src, lo, hi)
+    return dst

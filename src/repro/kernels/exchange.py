@@ -1,0 +1,106 @@
+"""Internal kernels for device-side ghost updates and boundary faces (§IV-B.6).
+
+These are the kernels TileAcc queues per region while the host computes
+the next face's index sets (the hybrid CPU/GPU update of Fig. 4):
+
+* :func:`ghost_copy_kernel` — copy a neighbour region's interior slab
+  into this region's ghost slab (both device-resident);
+* :func:`face_copy_kernel` — Neumann boundary: replicate the nearest
+  interior plane into the ghost slab of the same region;
+* :func:`face_fill_kernel` — Dirichlet boundary: fill the ghost slab with
+  a constant.
+
+Slices are passed as kernel parameters: the host computed them — that is
+precisely the index work §IV-B.6 offloads to the CPU to avoid branch
+divergence in the device code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cuda.kernel import KernelSpec
+
+#: Transfers per ghost cell: one read + one write of a double.
+_COPY_BYTES_PER_CELL = 16.0
+#: A pure fill only writes.
+_FILL_BYTES_PER_CELL = 8.0
+
+
+def _ghost_copy_body(
+    dst: np.ndarray,
+    src: np.ndarray,
+    dst_slices: tuple[slice, ...],
+    src_slices: tuple[slice, ...],
+) -> None:
+    dst[dst_slices] = src[src_slices]
+
+
+def ghost_copy_kernel() -> KernelSpec:
+    return KernelSpec(
+        name="ghost-copy",
+        body=_ghost_copy_body,
+        bytes_per_cell=_COPY_BYTES_PER_CELL,
+        flops_per_cell=0.0,
+    )
+
+
+def _face_copy_body(
+    arr: np.ndarray,
+    dst_slices: tuple[slice, ...],
+    src_slices: tuple[slice, ...],
+) -> None:
+    arr[dst_slices] = arr[src_slices]
+
+
+def face_copy_kernel() -> KernelSpec:
+    return KernelSpec(
+        name="face-copy",
+        body=_face_copy_body,
+        bytes_per_cell=_COPY_BYTES_PER_CELL,
+        flops_per_cell=0.0,
+    )
+
+
+def _bc_faces_body(
+    arr: np.ndarray,
+    ops: tuple[tuple[str, tuple[slice, ...], object], ...],
+) -> None:
+    """Apply a batch of boundary-face operations to one region's array.
+
+    Each op is ``("fill", dst_slices, value)`` or ``("copy", dst_slices,
+    src_slices)``.  TiDA-acc batches all domain faces of a region into a
+    single launch — the host already computed every index set, so one
+    kernel can walk the precomputed list without divergence.
+    """
+    for kind, dst_slices, payload in ops:
+        if kind == "fill":
+            arr[dst_slices] = payload
+        else:
+            arr[dst_slices] = arr[payload]
+
+
+def bc_faces_kernel() -> KernelSpec:
+    return KernelSpec(
+        name="bc-faces",
+        body=_bc_faces_body,
+        bytes_per_cell=_COPY_BYTES_PER_CELL,
+        flops_per_cell=0.0,
+    )
+
+
+def _face_fill_body(
+    arr: np.ndarray,
+    dst_slices: tuple[slice, ...],
+    value: float,
+) -> None:
+    arr[dst_slices] = value
+
+
+def face_fill_kernel() -> KernelSpec:
+    return KernelSpec(
+        name="face-fill",
+        body=_face_fill_body,
+        bytes_per_cell=_FILL_BYTES_PER_CELL,
+        flops_per_cell=0.0,
+    )

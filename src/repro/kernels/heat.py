@@ -1,0 +1,79 @@
+"""The heat-equation stencil (§VI-A): the data transfer-intensive kernel.
+
+Explicit 7-point (in 3-D) finite-difference step::
+
+    dst[i] = src[i] + coef * (sum of 2*ndim nearest neighbours - 2*ndim*src[i])
+
+The body works for any rank (1-D to 3-D) by summing shifted slices, so
+the same kernel drives the paper's 384³/512³ experiments and the small
+grids the correctness tests use.
+
+Cost metadata: with a ghost-cell layout every cell streams one read and
+one write per array through device memory (the neighbour reads hit
+cache), i.e. 16 B/cell in double precision; arithmetic is ``2*ndim + 2``
+flops/cell — deeply memory-bound, which is exactly why the paper calls
+this kernel transfer-intensive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cuda.kernel import KernelSpec
+
+#: Streaming traffic per cell: one 8-byte read of src + one 8-byte write of dst.
+HEAT_BYTES_PER_CELL = 16.0
+
+
+def _heat_body(
+    dst: np.ndarray,
+    src: np.ndarray,
+    lo: tuple[int, ...],
+    hi: tuple[int, ...],
+    coef: float = 0.1,
+) -> None:
+    """Apply one stencil step on local index box [lo, hi)."""
+    ndim = dst.ndim
+    interior = tuple(slice(l, h) for l, h in zip(lo, hi))
+    acc = (-2.0 * ndim) * src[interior]
+    for axis in range(ndim):
+        lo_m = tuple(
+            slice(l - (1 if a == axis else 0), h - (1 if a == axis else 0))
+            for a, (l, h) in enumerate(zip(lo, hi))
+        )
+        lo_p = tuple(
+            slice(l + (1 if a == axis else 0), h + (1 if a == axis else 0))
+            for a, (l, h) in enumerate(zip(lo, hi))
+        )
+        acc = acc + src[lo_m] + src[lo_p]
+    dst[interior] = src[interior] + coef * acc
+
+
+def heat_kernel(ndim: int = 3) -> KernelSpec:
+    """The heat stencil as a launchable kernel spec."""
+    return KernelSpec(
+        name=f"heat{ndim}d",
+        body=_heat_body,
+        bytes_per_cell=HEAT_BYTES_PER_CELL,
+        flops_per_cell=2.0 * ndim + 2.0,
+        # On a CPU whose LLC cannot hold the working set, the two
+        # neighbouring stencil planes fall out between row sweeps and are
+        # re-fetched from DRAM (+2 x 8 B per cell) — the classic reuse
+        # loss that cache-sized tiles avoid (§IV-A).
+        cpu_spill_bytes_per_cell=16.0,
+        meta={"ndim": ndim, "stencil_radius": 1},
+    )
+
+
+def heat_reference_step(src: np.ndarray, coef: float = 0.1, ghost: int = 1) -> np.ndarray:
+    """Reference step on a global ghosted array (for correctness checks).
+
+    ``src`` includes a ghost layer of width ``ghost``; returns a new array
+    of the same shape whose interior holds the stepped values and whose
+    ghosts copy ``src``'s (BCs are applied separately by the caller).
+    """
+    dst = src.copy()
+    lo = (ghost,) * src.ndim
+    hi = tuple(s - ghost for s in src.shape)
+    _heat_body(dst, src, lo, hi, coef=coef)
+    return dst

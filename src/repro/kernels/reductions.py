@@ -1,0 +1,103 @@
+"""Reduction kernels: per-tile partial reductions combined on the host.
+
+Reductions are the one pattern the paper's compute method cannot express
+(a lambda that only writes tiles).  TiDA-acc's natural extension — and a
+requirement of real solvers (residual norms, dot products for CG, energy
+diagnostics) — is a per-region partial reduction on the device whose
+scalar partials stream back over the region's own slot stream and are
+combined on the host.  :meth:`repro.core.library.TidaAcc.reduce_field`
+implements that; these specs describe the device kernels it launches.
+
+A :class:`ReductionSpec` mirrors :class:`~repro.cuda.kernel.KernelSpec`
+but its body *returns* the partial value instead of mutating an output
+array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from ..cuda.kernel import KernelSpec
+from ..errors import CudaInvalidValueError
+
+
+@dataclass(frozen=True)
+class ReductionSpec:
+    """A device reduction: per-cell cost metadata + a partial-producing body.
+
+    ``body(*arrays, lo=..., hi=..., **params) -> float`` computes the
+    partial over the local index box.  ``combine`` folds two partials
+    (must be associative and commutative — region order is unspecified);
+    ``identity`` is the fold's unit.
+    """
+
+    name: str
+    body: Callable[..., float]
+    combine: Callable[[float, float], float]
+    identity: float
+    bytes_per_cell: float
+    flops_per_cell: float = 0.0
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.bytes_per_cell < 0 or self.flops_per_cell < 0:
+            raise CudaInvalidValueError("per-cell costs must be >= 0")
+
+    def as_kernel(self) -> KernelSpec:
+        """The launch-cost view of this reduction (body handled separately:
+        reductions return values, which KernelSpec bodies do not)."""
+        return KernelSpec(
+            name=f"reduce:{self.name}",
+            body=None,
+            bytes_per_cell=self.bytes_per_cell,
+            flops_per_cell=self.flops_per_cell,
+            meta=dict(self.meta),
+        )
+
+
+def _view(arr: np.ndarray, lo, hi) -> np.ndarray:
+    return arr[tuple(slice(l, h) for l, h in zip(lo, hi))]
+
+
+def sum_reduction() -> ReductionSpec:
+    """Sum of all cells."""
+    def body(arr, lo, hi):
+        return float(_view(arr, lo, hi).sum())
+    return ReductionSpec(
+        name="sum", body=body, combine=lambda a, b: a + b, identity=0.0,
+        bytes_per_cell=8.0, flops_per_cell=1.0,
+    )
+
+
+def max_reduction() -> ReductionSpec:
+    """Maximum over all cells."""
+    def body(arr, lo, hi):
+        return float(_view(arr, lo, hi).max())
+    return ReductionSpec(
+        name="max", body=body, combine=max, identity=float("-inf"),
+        bytes_per_cell=8.0, flops_per_cell=1.0,
+    )
+
+
+def norm2_reduction() -> ReductionSpec:
+    """Sum of squares (callers take sqrt of the final fold)."""
+    def body(arr, lo, hi):
+        v = _view(arr, lo, hi)
+        return float((v * v).sum())
+    return ReductionSpec(
+        name="norm2", body=body, combine=lambda a, b: a + b, identity=0.0,
+        bytes_per_cell=8.0, flops_per_cell=2.0,
+    )
+
+
+def dot_reduction() -> ReductionSpec:
+    """Dot product of two fields (the CG inner product)."""
+    def body(a, b, lo, hi):
+        return float((_view(a, lo, hi) * _view(b, lo, hi)).sum())
+    return ReductionSpec(
+        name="dot", body=body, combine=lambda a, b: a + b, identity=0.0,
+        bytes_per_cell=16.0, flops_per_cell=2.0,
+    )

@@ -1,0 +1,28 @@
+"""Kernel registry: name -> factory, for CLI-ish example/bench plumbing."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..cuda.kernel import KernelSpec
+from ..errors import ReproError
+from .blur import blur_kernel
+from .compute_intensive import compute_intensive_kernel
+from .heat import heat_kernel
+from .wave import wave_kernel
+
+KERNELS: dict[str, Callable[..., KernelSpec]] = {
+    "heat": heat_kernel,
+    "compute-intensive": compute_intensive_kernel,
+    "blur": blur_kernel,
+    "wave": wave_kernel,
+}
+
+
+def get_kernel_factory(name: str) -> Callable[..., KernelSpec]:
+    try:
+        return KERNELS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown kernel {name!r}; available: {sorted(KERNELS)}"
+        ) from None

@@ -1,0 +1,20 @@
+"""Analytic performance model and region-size autotuner.
+
+§III: "tools such as ExaSAT can be leveraged to determine optimal sizes
+for working set and available cache."  This package provides the
+equivalent for TiDA-acc's knob that matters — the region count — via a
+closed-form pipeline model (:mod:`~repro.model.analytic`) and a sweep
+driver that can either consult the model or measure the simulator
+(:mod:`~repro.model.autotune`).  Ablation A3 compares the two.
+"""
+
+from .analytic import PipelineEstimate, estimate_resident, estimate_streaming
+from .autotune import autotune_region_count, sweep_region_counts
+
+__all__ = [
+    "PipelineEstimate",
+    "estimate_streaming",
+    "estimate_resident",
+    "autotune_region_count",
+    "sweep_region_counts",
+]

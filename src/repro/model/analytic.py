@@ -1,0 +1,154 @@
+"""Closed-form estimates of TiDA-acc pipeline time.
+
+Two regimes cover the paper's experiments:
+
+* **streaming** (device memory holds a few regions, Figs. 7/8): each
+  step moves every region in and out; with enough slots the three
+  engines (H2D, D2H, compute) run concurrently, so the steady-state step
+  time is the *maximum* of the three engine loads, plus the pipeline
+  fill/drain of one region on each side.
+* **resident** (everything fits, Figs. 5/6): transfers happen once
+  around the time loop and overlap the first/last steps' compute; every
+  step pays per-region kernel launches and (for stencils) the ghost
+  exchange.
+
+The estimates deliberately use only :class:`~repro.config.MachineSpec`
+numbers and kernel cost metadata — no simulation — so they can drive an
+autotuner, and ablation A3 quantifies how close they come to the
+simulator (they ignore slot-collision bubbles and host API costs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import MachineSpec
+from ..cuda.kernel import KernelSpec
+from ..errors import ReproError
+
+
+@dataclass(frozen=True)
+class PipelineEstimate:
+    """Breakdown of a predicted TiDA-acc run."""
+
+    total: float            # predicted end-to-end seconds
+    per_step: float         # steady-state seconds per time step
+    h2d: float              # H2D engine load per step (streaming) or once (resident)
+    d2h: float              # D2H engine load, same convention
+    compute: float          # compute engine load per step
+    ghost: float            # ghost-update cost per step (engine + launches)
+    bottleneck: str         # which engine bounds the steady state
+
+    def __post_init__(self) -> None:
+        if self.total < 0:
+            raise ReproError("negative predicted time")
+
+
+def _per_step_compute(
+    machine: MachineSpec, kernel: KernelSpec, domain_cells: int, n_regions: int
+) -> float:
+    cells_per_region = domain_cells / n_regions
+    body = kernel.duration_on_gpu(machine, int(round(cells_per_region)), tuned_geometry=True)
+    return n_regions * (body + machine.gpu.kernel_launch_overhead)
+
+
+def _ghost_per_step(
+    machine: MachineSpec,
+    domain_cells: int,
+    n_regions: int,
+    *,
+    ghost_width: int,
+    itemsize: int = 8,
+) -> float:
+    """Slab-decomposition ghost cost: 2 internal faces per interior region
+    pair, copied on-device at memory bandwidth, plus one launch each."""
+    if ghost_width == 0 or n_regions <= 1:
+        return 0.0
+    # slab decomposition along one axis: a face has domain_cells^(2/3)
+    # cells for a cubical domain; generalized as domain_cells / extent.
+    face_cells = domain_cells ** (2.0 / 3.0) * ghost_width
+    pairs = 2 * (n_regions - 1)
+    copy_bytes = 2 * itemsize * face_cells
+    per_face = copy_bytes / machine.gpu.mem_bandwidth + machine.gpu.kernel_launch_overhead
+    return pairs * per_face
+
+
+def estimate_streaming(
+    machine: MachineSpec,
+    kernel: KernelSpec,
+    *,
+    domain_cells: int,
+    steps: int,
+    n_regions: int,
+    fields: int = 1,
+    itemsize: int = 8,
+) -> PipelineEstimate:
+    """Steady-state estimate when every region streams in and out each step."""
+    if n_regions < 1 or steps < 1 or domain_cells < 1:
+        raise ReproError("domain_cells, steps and n_regions must be positive")
+    bytes_per_step = fields * domain_cells * itemsize
+    link = machine.link
+    h2d = n_regions * link.latency + bytes_per_step / link.h2d_bandwidth
+    d2h = n_regions * link.latency + bytes_per_step / link.d2h_bandwidth
+    compute = _per_step_compute(machine, kernel, domain_cells, n_regions)
+    per_step = max(h2d, d2h, compute)
+    bottleneck = {h2d: "h2d", d2h: "d2h", compute: "compute"}[per_step]
+    # fill/drain: one region's upload before the first kernel, one
+    # region's download after the last
+    fringe = (bytes_per_step / n_regions) * (1.0 / link.h2d_bandwidth + 1.0 / link.d2h_bandwidth)
+    total = steps * per_step + fringe
+    return PipelineEstimate(
+        total=total, per_step=per_step, h2d=h2d, d2h=d2h,
+        compute=compute, ghost=0.0, bottleneck=bottleneck,
+    )
+
+
+def estimate_resident(
+    machine: MachineSpec,
+    kernel: KernelSpec,
+    *,
+    domain_cells: int,
+    steps: int,
+    n_regions: int,
+    fields: int = 1,
+    result_fields: int = 1,
+    ghost_width: int = 0,
+    itemsize: int = 8,
+) -> PipelineEstimate:
+    """Estimate when all regions stay device-resident across the run.
+
+    Uploads overlap the first step's compute (pipelined per region);
+    the final download overlaps nothing (it happens after the loop).
+    """
+    if n_regions < 1 or steps < 1 or domain_cells < 1:
+        raise ReproError("domain_cells, steps and n_regions must be positive")
+    link = machine.link
+    upload_bytes = fields * domain_cells * itemsize
+    h2d = n_regions * fields * link.latency + upload_bytes / link.h2d_bandwidth
+    download_bytes = result_fields * domain_cells * itemsize
+    d2h = n_regions * result_fields * link.latency + download_bytes / link.d2h_bandwidth
+    compute = _per_step_compute(machine, kernel, domain_cells, n_regions)
+    ghost = _ghost_per_step(
+        machine, domain_cells, n_regions, ghost_width=ghost_width, itemsize=itemsize
+    )
+    per_step = compute + ghost
+    # Per-region pipeline overlap: uploads interleave with the first step's
+    # kernels, and the final downloads interleave with the last step's
+    # kernels (each region downloads as soon as its last kernel finishes).
+    per_region_h2d = h2d / n_regions
+    per_region_step = per_step / n_regions
+    if steps == 1:
+        total = max(
+            h2d,
+            per_step + per_region_h2d,
+            d2h + per_region_h2d + per_region_step,
+        )
+    else:
+        first = max(h2d, per_step + per_region_h2d)
+        last = max(per_step, d2h + per_region_step)
+        total = first + (steps - 2) * per_step + last
+    bottleneck = "h2d" if h2d > steps * per_step else "compute"
+    return PipelineEstimate(
+        total=total, per_step=per_step, h2d=h2d, d2h=d2h,
+        compute=compute, ghost=ghost, bottleneck=bottleneck,
+    )

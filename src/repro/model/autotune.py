@@ -1,0 +1,87 @@
+"""Region-count autotuning (the knob Fig. 5's caption fixes at 16).
+
+Two strategies:
+
+* ``strategy="model"`` — evaluate the closed-form estimate for each
+  candidate count (microseconds per candidate);
+* ``strategy="measure"`` — run the timing-only simulator for each
+  candidate (milliseconds per candidate, exact within the simulation).
+
+Both return the full sweep so ablation A1 can print the U-shaped curve:
+too few regions ⇒ coarse pipelining (poor overlap), too many ⇒ launch
+overhead and ghost-face volume dominate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..config import DEFAULT_MACHINE, MachineSpec
+from ..cuda.kernel import KernelSpec
+from ..errors import ReproError
+from .analytic import estimate_resident, estimate_streaming
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    n_regions: int
+    seconds: float
+
+
+def sweep_region_counts(
+    machine: MachineSpec | None = None,
+    *,
+    kernel: KernelSpec,
+    domain_cells: int,
+    steps: int,
+    candidates: Sequence[int] = (1, 2, 4, 8, 16, 32, 64),
+    strategy: str = "model",
+    resident: bool = True,
+    fields: int = 1,
+    result_fields: int = 1,
+    ghost_width: int = 0,
+    measure_fn: Callable[[int], float] | None = None,
+) -> list[SweepPoint]:
+    """Evaluate every candidate region count; returns the full sweep.
+
+    With ``strategy="measure"``, ``measure_fn(n_regions) -> seconds`` must
+    be supplied (typically a lambda around a timing-only
+    :func:`~repro.baselines.tida_runners.run_tida_heat` /
+    ``run_tida_compute`` call).
+    """
+    machine = machine if machine is not None else DEFAULT_MACHINE
+    if strategy not in ("model", "measure"):
+        raise ReproError(f"strategy must be 'model' or 'measure', got {strategy!r}")
+    if strategy == "measure" and measure_fn is None:
+        raise ReproError("strategy='measure' requires measure_fn")
+    if not candidates:
+        raise ReproError("candidates must be non-empty")
+    points: list[SweepPoint] = []
+    for n in candidates:
+        if n < 1:
+            raise ReproError(f"candidate region counts must be >= 1, got {n}")
+        if strategy == "measure":
+            seconds = measure_fn(n)
+        elif resident:
+            seconds = estimate_resident(
+                machine, kernel,
+                domain_cells=domain_cells, steps=steps, n_regions=n,
+                fields=fields, result_fields=result_fields, ghost_width=ghost_width,
+            ).total
+        else:
+            seconds = estimate_streaming(
+                machine, kernel,
+                domain_cells=domain_cells, steps=steps, n_regions=n, fields=fields,
+            ).total
+        points.append(SweepPoint(n_regions=n, seconds=seconds))
+    return points
+
+
+def autotune_region_count(
+    machine: MachineSpec | None = None,
+    **kwargs,
+) -> int:
+    """The candidate with the smallest predicted/measured time."""
+    sweep = sweep_region_counts(machine, **kwargs)
+    return min(sweep, key=lambda p: p.seconds).n_regions

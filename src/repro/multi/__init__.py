@@ -1,0 +1,22 @@
+"""Multi-GPU extension (the related-work direction of §VII).
+
+The paper's related work points at multi-GPU systems (XACC, dCUDA) as the
+natural next step for directive-based tiling; this package provides that
+demonstrator on the simulated substrate:
+
+* :class:`~repro.multi.runtime.MultiGpuRuntime` — N simulated devices
+  sharing one host thread (one virtual clock, one trace), with
+  peer-to-peer copies that occupy the source's D2H and the destination's
+  H2D engines (PCIe P2P semantics, as on the paper's K40m era hardware);
+* :func:`~repro.multi.heat.run_multi_gpu_heat` — the heat solver
+  domain-decomposed across devices, each device running TiDA-acc over its
+  slab, with packed peer transfers for the inter-device halos.
+
+Ablation A5 (`benchmarks/test_ablation_multi_gpu.py`) measures the
+strong-scaling curve.
+"""
+
+from .runtime import MultiGpuRuntime
+from .heat import run_multi_gpu_heat
+
+__all__ = ["MultiGpuRuntime", "run_multi_gpu_heat"]

@@ -1,0 +1,274 @@
+"""Multi-GPU heat solver: TiDA-acc per device + packed peer halo exchange.
+
+The global domain is slab-decomposed across devices along axis 0; each
+device runs the ordinary TiDA-acc pipeline over its subdomain (regions in
+*global* coordinates, so all index algebra stays consistent), and the
+inter-device halos move as pack-kernel → ``cudaMemcpyPeerAsync`` →
+unpack-kernel chains on the edge regions' own slot streams.
+
+Ordering trick: each step first runs the normal per-device ghost update
+(which fills the cut-face ghosts with locally-wrong values, since the
+device cannot see its neighbour), then the peer halos overwrite exactly
+those ghost planes — so Dirichlet/Neumann/Periodic all come out right and
+the single-device code path is reused unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines.common import BaselineResult, default_init
+from ..config import DEFAULT_MACHINE, MachineSpec
+from ..core.library import TidaAcc
+from ..cuda.kernel import KernelSpec
+from ..errors import TidaError
+from ..kernels.heat import heat_kernel
+from ..openacc.runtime import AccRuntime
+from ..tida.boundary import BoundaryCondition, Neumann, Periodic
+from ..tida.box import Box
+from .runtime import MultiGpuRuntime
+
+
+def _pack_body(staging, field, src_slices):
+    staging[...] = field[src_slices]
+
+
+def _unpack_body(field, staging, dst_slices):
+    field[dst_slices] = staging
+
+
+def _pack_kernel() -> KernelSpec:
+    return KernelSpec(name="halo-pack", body=_pack_body, bytes_per_cell=16.0)
+
+
+def _unpack_kernel() -> KernelSpec:
+    return KernelSpec(name="halo-unpack", body=_unpack_body, bytes_per_cell=16.0)
+
+
+class _Halo:
+    """One direction of one inter-device cut: src plane -> dst ghost plane."""
+
+    __slots__ = (
+        "src_dev", "dst_dev", "src_rid", "dst_rid",
+        "src_box", "dst_box", "src_stage", "dst_stage",
+    )
+
+    def __init__(self, src_dev, dst_dev, src_rid, dst_rid, src_box, dst_box,
+                 src_stage, dst_stage):
+        self.src_dev = src_dev
+        self.dst_dev = dst_dev
+        self.src_rid = src_rid
+        self.dst_rid = dst_rid
+        self.src_box = src_box
+        self.dst_box = dst_box
+        self.src_stage = src_stage
+        self.dst_stage = dst_stage
+
+
+class MultiGpuHeat:
+    """The multi-device heat driver (also reusable from tests/examples)."""
+
+    def __init__(
+        self,
+        machine: MachineSpec | None = None,
+        *,
+        shape: tuple[int, ...],
+        n_devices: int = 2,
+        regions_per_device: int = 4,
+        functional: bool = False,
+        bc: BoundaryCondition | None = None,
+        coef: float = 0.1,
+    ) -> None:
+        if len(shape) < 1:
+            raise TidaError("shape must have at least one dimension")
+        if shape[0] % n_devices != 0:
+            raise TidaError(
+                f"axis-0 extent {shape[0]} must divide evenly across {n_devices} devices"
+            )
+        self.machine = machine if machine is not None else DEFAULT_MACHINE
+        self.shape = shape
+        self.bc = bc if bc is not None else Neumann()
+        self.coef = coef
+        self.mgr = MultiGpuRuntime(self.machine, n_devices, functional=functional)
+        self.kernel = heat_kernel(len(shape))
+        self.ghost = 1
+
+        slab = shape[0] // n_devices
+        self.libs: list[TidaAcc] = []
+        self.subdomains: list[Box] = []
+        for d, dev in enumerate(self.mgr.devices):
+            lo = (d * slab,) + (0,) * (len(shape) - 1)
+            hi = ((d + 1) * slab,) + tuple(shape[1:])
+            sub = Box(lo, hi)
+            lib = TidaAcc(runtime=dev, acc=AccRuntime(dev))
+            lib.add_array("old", sub, n_regions=regions_per_device, ghost=self.ghost)
+            lib.add_array("new", sub, n_regions=regions_per_device, ghost=self.ghost)
+            self.libs.append(lib)
+            self.subdomains.append(sub)
+        self._halos = self._build_halos()
+
+    # -- halo plumbing -------------------------------------------------------
+
+    def _cut_pairs(self) -> list[tuple[int, int]]:
+        """(left device, right device) pairs, including the periodic wrap."""
+        n = self.mgr.n_devices
+        pairs = [(d, d + 1) for d in range(n - 1)]
+        if isinstance(self.bc, Periodic) and n > 1:
+            pairs.append((n - 1, 0))
+        return pairs
+
+    def _build_halos(self) -> list[_Halo]:
+        halos: list[_Halo] = []
+        ndim = len(self.shape)
+        plane_shape = (self.ghost,) + tuple(self.shape[1:]) if ndim > 1 else (self.ghost,)
+        for left, right in self._cut_pairs():
+            sub_l, sub_r = self.subdomains[left], self.subdomains[right]
+            rid_l = self.libs[left].field("old").n_regions - 1   # rightmost region
+            rid_r = 0                                            # leftmost region
+            wrap = left > right  # the periodic (n-1, 0) pair
+            back = (-self.shape[0],) + (0,) * (ndim - 1)
+            fwd = (self.shape[0],) + (0,) * (ndim - 1)
+
+            # left's top interior plane -> right's low ghost plane
+            src_box = _plane(sub_l, axis=0, side=+1, ghost=self.ghost)
+            dst_box = src_box.shift(back) if wrap else src_box
+            halos.append(self._make_halo(left, right, rid_l, rid_r,
+                                         src_box, dst_box, plane_shape))
+            # right's bottom interior plane -> left's high ghost plane
+            src_box = _plane(sub_r, axis=0, side=-1, ghost=self.ghost)
+            dst_box = src_box.shift(fwd) if wrap else src_box
+            halos.append(self._make_halo(right, left, rid_r, rid_l,
+                                         src_box, dst_box, plane_shape))
+        return halos
+
+    def _make_halo(self, src_dev, dst_dev, src_rid, dst_rid, src_box, dst_box, plane_shape):
+        src_stage = self.mgr.device(src_dev).malloc(plane_shape, label=f"halo-stage-s{src_dev}")
+        dst_stage = self.mgr.device(dst_dev).malloc(plane_shape, label=f"halo-stage-d{dst_dev}")
+        return _Halo(src_dev, dst_dev, src_rid, dst_rid, src_box, dst_box, src_stage, dst_stage)
+
+    def _exchange_halos(self, field: str) -> None:
+        pack = _pack_kernel()
+        unpack = _unpack_kernel()
+        for h in self._halos:
+            lib_s, lib_d = self.libs[h.src_dev], self.libs[h.dst_dev]
+            mgr_s, mgr_d = lib_s.manager(field), lib_d.manager(field)
+            src_region = lib_s.field(field).region(h.src_rid)
+            dst_region = lib_d.field(field).region(h.dst_rid)
+            src_buf, src_ready = mgr_s.request_device(h.src_rid)
+            dst_buf, dst_ready = mgr_d.request_device(h.dst_rid)
+            src_stream = mgr_s.slot_for(h.src_rid).stream
+            dst_stream = mgr_d.slot_for(h.dst_rid).stream
+            n_cells = h.src_box.size
+
+            lib_s.acc.parallel_loop(
+                pack,
+                deviceptr=[h.src_stage, src_buf],
+                n_cells=n_cells,
+                async_=mgr_s.queue_id_for(h.src_rid),
+                vector_length=lib_s.vector_length,
+                after=src_ready,
+                params={"src_slices": src_region.local_slices(h.src_box)},
+                label=f"halo-pack:gpu{h.src_dev}",
+            )
+            end = self.mgr.peer_copy(
+                h.dst_dev, h.dst_stage, h.src_dev, h.src_stage,
+                dst_stream=dst_stream, src_stream=src_stream,
+            )
+            end = lib_d.acc.parallel_loop(
+                unpack,
+                deviceptr=[dst_buf, h.dst_stage],
+                n_cells=n_cells,
+                async_=mgr_d.queue_id_for(h.dst_rid),
+                vector_length=lib_d.vector_length,
+                after=max(end, dst_ready),
+                params={"dst_slices": dst_region.local_slices(h.dst_box)},
+                label=f"halo-unpack:gpu{h.dst_dev}",
+            )
+            mgr_s.note_device_op(h.src_rid, end)
+            mgr_d.note_device_op(h.dst_rid, end)
+
+    # -- driver ---------------------------------------------------------------
+
+    def set_initial(self, interior: np.ndarray) -> None:
+        for lib, sub in zip(self.libs, self.subdomains):
+            window = interior[sub.slices()]
+            lib.scatter("old", window)
+            lib.scatter("new", window)
+
+    def step(self, n: int = 1) -> None:
+        for _ in range(n):
+            for lib in self.libs:
+                lib.fill_boundary("old", self.bc)
+            if self.mgr.n_devices > 1:
+                self._exchange_halos("old")
+            for lib in self.libs:
+                it = lib.iterator("new", "old").reset(gpu=True)
+                while it.is_valid():
+                    lib.compute(it, self.kernel, params={"coef": self.coef})
+                    it.next()
+            for lib in self.libs:
+                lib.swap("old", "new")
+
+    def gather(self) -> np.ndarray:
+        out = np.empty(self.shape)
+        for lib, sub in zip(self.libs, self.subdomains):
+            out[sub.slices()] = lib.gather("old")
+        return out
+
+    def synchronize(self) -> float:
+        return self.mgr.synchronize_all()
+
+    @property
+    def now(self) -> float:
+        return self.mgr.now
+
+    @property
+    def trace(self):
+        return self.mgr.trace
+
+
+def _plane(sub: Box, *, axis: int, side: int, ghost: int) -> Box:
+    """The interior boundary plane of a subdomain (global coordinates)."""
+    lo = list(sub.lo)
+    hi = list(sub.hi)
+    if side < 0:
+        hi[axis] = sub.lo[axis] + ghost
+    else:
+        lo[axis] = sub.hi[axis] - ghost
+    return Box(tuple(lo), tuple(hi))
+
+
+def run_multi_gpu_heat(
+    machine: MachineSpec | None = None,
+    *,
+    shape: tuple[int, ...] = (512, 512, 512),
+    steps: int = 100,
+    n_devices: int = 2,
+    regions_per_device: int = 8,
+    functional: bool = False,
+    bc: BoundaryCondition | None = None,
+    coef: float = 0.1,
+    initial: np.ndarray | None = None,
+) -> BaselineResult:
+    """Run the multi-GPU heat solver; timing starts after initialization."""
+    solver = MultiGpuHeat(
+        machine, shape=shape, n_devices=n_devices,
+        regions_per_device=regions_per_device, functional=functional,
+        bc=bc, coef=coef,
+    )
+    if functional:
+        init = initial if initial is not None else default_init(shape, 0)
+        solver.set_initial(init)
+    t0 = solver.now
+    solver.step(steps)
+    result = solver.gather() if functional else None
+    if not functional:
+        for lib in solver.libs:
+            lib.manager("old").flush_to_host()
+    solver.synchronize()
+    elapsed = solver.now - t0
+    return BaselineResult(
+        name=f"tida-acc-{n_devices}gpu", elapsed=elapsed, shape=shape, steps=steps,
+        trace=solver.trace, result=result,
+        meta={"n_devices": n_devices, "regions_per_device": regions_per_device},
+    )

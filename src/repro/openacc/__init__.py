@@ -1,0 +1,20 @@
+"""Simulated OpenACC layer (PGI-17.1-shaped).
+
+Directive-based programming surface from §II: ``parallel loop`` /
+``kernels`` constructs (compiler-chosen launch geometry), structured and
+unstructured data regions with a present table, activity queues
+interoperable with CUDA streams (``acc_get_cuda_stream``), and the
+``-ta=tesla:pinned`` / ``-ta=tesla:managed`` compiler-flag behaviours.
+
+The performance-relevant compiler behaviours the paper measures are
+modelled explicitly: implicit per-construct data movement when arrays are
+not present, untuned launch geometry (a fixed efficiency penalty versus
+hand-tuned CUDA), and PGI's own math code generation (the
+:class:`~repro.config.MathModel` difference behind Fig. 6).
+"""
+
+from .compiler import AccFlags
+from .data import PresentTable
+from .runtime import AccRuntime
+
+__all__ = ["AccRuntime", "AccFlags", "PresentTable"]

@@ -1,0 +1,56 @@
+"""OpenACC 'compiler' model: target flags and construct validation.
+
+``-ta=tesla:pinned`` makes the runtime allocate user data in pinned host
+memory; ``-ta=tesla:managed`` switches allocations to CUDA managed memory
+(§II-B).  The flags object is how a 'build' of an OpenACC application
+selects its memory behaviour, mirroring the paper's per-bar variants in
+Fig. 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import AccCompileError
+
+
+@dataclass(frozen=True)
+class AccFlags:
+    """Compile-time configuration of the simulated OpenACC toolchain."""
+
+    target: str = "tesla"
+    pinned: bool = False   # -ta=tesla:pinned
+    managed: bool = False  # -ta=tesla:managed
+
+    def __post_init__(self) -> None:
+        if self.target != "tesla":
+            raise AccCompileError(f"unsupported -ta target {self.target!r}")
+        if self.pinned and self.managed:
+            raise AccCompileError("-ta=tesla:pinned and -ta=tesla:managed are exclusive")
+
+    @property
+    def describe(self) -> str:
+        if self.managed:
+            return "-ta=tesla:managed"
+        if self.pinned:
+            return "-ta=tesla:pinned"
+        return "-ta=tesla"
+
+
+def validate_collapse(collapse: int | None, loop_dims: int) -> int:
+    """Check a ``collapse(n)`` clause against the loop nest depth.
+
+    The PGI compiler rejects collapsing more loops than are tightly
+    nested; we reproduce that as :class:`AccCompileError`.
+    """
+    if loop_dims < 1:
+        raise AccCompileError(f"loop nest must have >= 1 dimension, got {loop_dims}")
+    if collapse is None:
+        return 1
+    if not isinstance(collapse, int) or collapse < 1:
+        raise AccCompileError(f"collapse takes a positive integer, got {collapse!r}")
+    if collapse > loop_dims:
+        raise AccCompileError(
+            f"collapse({collapse}) exceeds the {loop_dims}-deep tightly nested loop"
+        )
+    return collapse

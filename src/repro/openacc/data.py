@@ -1,0 +1,77 @@
+"""OpenACC data environment: the present table and data regions.
+
+OpenACC tracks which host arrays currently have a device copy in a
+*present table*.  Structured ``data`` regions and unstructured
+``enter data``/``exit data`` directives manipulate it with reference
+counting (nested regions naming the same array don't re-copy), and a
+``present`` clause on a construct asserts membership (§II-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import AccPresentError
+from ..sim.device import DeviceBuffer
+from ..sim.hostmem import HostBuffer
+
+
+@dataclass
+class PresentEntry:
+    host: HostBuffer
+    device: DeviceBuffer
+    refcount: int
+    copyout_on_delete: bool
+
+
+class PresentTable:
+    """Host-array -> device-copy mapping with OpenACC refcount semantics."""
+
+    def __init__(self) -> None:
+        self._entries: dict[int, PresentEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, host: HostBuffer) -> PresentEntry | None:
+        return self._entries.get(id(host))
+
+    def is_present(self, host: HostBuffer) -> bool:
+        return id(host) in self._entries
+
+    def device_of(self, host: HostBuffer) -> DeviceBuffer:
+        entry = self.lookup(host)
+        if entry is None:
+            raise AccPresentError(
+                f"array {host.label or id(host)} is not present on the device "
+                "(no enclosing data region created a device copy)"
+            )
+        return entry.device
+
+    def insert(self, host: HostBuffer, device: DeviceBuffer, *, copyout_on_delete: bool) -> PresentEntry:
+        if id(host) in self._entries:
+            raise AccPresentError(f"array {host.label or id(host)} is already present")
+        entry = PresentEntry(host=host, device=device, refcount=1, copyout_on_delete=copyout_on_delete)
+        self._entries[id(host)] = entry
+        return entry
+
+    def retain(self, host: HostBuffer) -> PresentEntry:
+        entry = self.lookup(host)
+        if entry is None:
+            raise AccPresentError(f"cannot retain non-present array {host.label or id(host)}")
+        entry.refcount += 1
+        return entry
+
+    def release(self, host: HostBuffer) -> PresentEntry | None:
+        """Decrement; return the entry if its refcount hit zero (caller
+        performs the copyout/free and then calls :meth:`drop`)."""
+        entry = self.lookup(host)
+        if entry is None:
+            raise AccPresentError(f"cannot release non-present array {host.label or id(host)}")
+        entry.refcount -= 1
+        if entry.refcount < 0:
+            raise AccPresentError("present-table refcount underflow")
+        return entry if entry.refcount == 0 else None
+
+    def drop(self, host: HostBuffer) -> None:
+        del self._entries[id(host)]

@@ -1,0 +1,315 @@
+"""The OpenACC runtime: activity queues, data regions, parallel loops.
+
+This is the layer TiDA-acc leans on for kernel code generation (§IV):
+``parallel_loop(collapse=..., deviceptr=..., async_=...)`` turns into a
+CUDA kernel launch with *compiler-chosen* geometry and PGI math codegen,
+issued to the CUDA stream backing the requested activity queue
+(``acc_get_cuda_stream`` interoperability, §IV-B.2).
+
+It is also a complete enough OpenACC runtime to write the paper's
+OpenACC-only baselines against: structured/unstructured data regions,
+implicit per-construct ``copy`` movement when an array is not present
+(the behaviour that makes naive OpenACC "extremely low performance",
+§II-B), and the ``-ta=tesla:pinned/managed`` flag variants.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, Iterator, Sequence
+
+from ..cuda.kernel import KernelSpec
+from ..cuda.runtime import CudaRuntime
+from ..cuda.stream import Stream
+from ..cuda.uvm import ManagedBuffer
+from ..errors import AccError
+from ..sim.device import DeviceBuffer
+from ..sim.hostmem import HostBuffer
+from .compiler import AccFlags, validate_collapse
+from .data import PresentTable
+
+#: Any buffer an OpenACC construct can reference.
+AccArray = HostBuffer | DeviceBuffer | ManagedBuffer
+
+
+class AccRuntime:
+    """One OpenACC device context bound to a simulated CUDA runtime."""
+
+    def __init__(self, cuda: CudaRuntime, flags: AccFlags | None = None) -> None:
+        self.cuda = cuda
+        self.flags = flags if flags is not None else AccFlags()
+        self.present = PresentTable()
+        self._queues: dict[int, Stream] = {}
+        # async values handed out to library code (TileAcc slots) live in a
+        # high range so they never collide with user-chosen small values
+        self._next_auto_queue = 10_000
+
+    # -- allocation respecting -ta flags -----------------------------------
+
+    def alloc_data(
+        self,
+        shape: int | tuple[int, ...],
+        dtype: Any = "float64",
+        *,
+        fill: float | None = None,
+        label: str = "",
+    ) -> AccArray:
+        """Allocate application data the way this 'build' of the program would.
+
+        Plain build: pageable host memory.  ``-ta=tesla:pinned``: pinned
+        host memory.  ``-ta=tesla:managed``: CUDA managed memory.
+        """
+        if self.flags.managed:
+            return self.cuda.malloc_managed(shape, dtype, fill=fill, label=label)
+        if self.flags.pinned:
+            return self.cuda.malloc_host(shape, dtype, fill=fill, label=label)
+        return self.cuda.host_malloc(shape, dtype, fill=fill, label=label)
+
+    # -- activity queues -----------------------------------------------------
+
+    def queue(self, async_value: int | None) -> Stream:
+        """``acc_get_cuda_stream``: the CUDA stream behind an activity queue.
+
+        ``async_value=None`` is the synchronous queue (CUDA default stream).
+        Queues are created on first use, exactly like OpenACC async values.
+        """
+        if async_value is None:
+            return self.cuda.default_stream
+        if not isinstance(async_value, int) or async_value < 0:
+            raise AccError(f"async value must be a non-negative int, got {async_value!r}")
+        stream = self._queues.get(async_value)
+        if stream is None:
+            stream = self.cuda.create_stream()
+            self._queues[async_value] = stream
+        return stream
+
+    def new_auto_queue(self) -> int:
+        """Reserve a fresh async value (TileAcc's one-queue-per-slot setup)."""
+        qid = self._next_auto_queue
+        self._next_auto_queue += 1
+        self.queue(qid)  # materialize the stream now
+        return qid
+
+    @property
+    def queues(self) -> dict[int, Stream]:
+        return dict(self._queues)
+
+    def wait(self, async_value: int | None = None) -> float:
+        """``#pragma acc wait [(queue)]``: block the host until work drains."""
+        if async_value is not None:
+            return self.cuda.stream_synchronize(self.queue(async_value))
+        end = self.cuda.now
+        for stream in self._queues.values():
+            end = self.cuda.stream_synchronize(stream)
+        end = max(end, self.cuda.stream_synchronize(self.cuda.default_stream))
+        return end
+
+    # -- data regions ----------------------------------------------------------
+
+    def _copyin_one(self, host: HostBuffer, *, copyout: bool) -> None:
+        if self.present.is_present(host):
+            self.present.retain(host)
+            return
+        device = self.cuda.malloc(host.shape, host.dtype, label=f"acc:{host.label}")
+        self.cuda.memcpy(device, host, label=f"acc-copyin:{host.label}")
+        self.present.insert(host, device, copyout_on_delete=copyout)
+
+    def _create_one(self, host: HostBuffer) -> None:
+        if self.present.is_present(host):
+            self.present.retain(host)
+            return
+        device = self.cuda.malloc(host.shape, host.dtype, label=f"acc:{host.label}")
+        self.present.insert(host, device, copyout_on_delete=False)
+
+    def _release_one(self, host: HostBuffer, *, force_copyout: bool | None = None) -> None:
+        entry = self.present.release(host)
+        if entry is None:
+            return
+        copyout = entry.copyout_on_delete if force_copyout is None else force_copyout
+        if copyout:
+            self.cuda.memcpy(host, entry.device, label=f"acc-copyout:{host.label}")
+        self.cuda.free(entry.device)
+        self.present.drop(host)
+
+    @staticmethod
+    def _only_host(arrays: Sequence[AccArray], clause: str) -> list[HostBuffer]:
+        out: list[HostBuffer] = []
+        for a in arrays:
+            if isinstance(a, ManagedBuffer):
+                # managed data needs no data clauses; accept and ignore,
+                # like the PGI managed-memory mode does.
+                continue
+            if not isinstance(a, HostBuffer):
+                raise AccError(f"{clause} clause expects host arrays, got {type(a).__name__}")
+            out.append(a)
+        return out
+
+    @contextlib.contextmanager
+    def data(
+        self,
+        *,
+        copy: Sequence[AccArray] = (),
+        copyin: Sequence[AccArray] = (),
+        copyout: Sequence[AccArray] = (),
+        create: Sequence[AccArray] = (),
+        present: Sequence[AccArray] = (),
+    ) -> Iterator[None]:
+        """Structured ``#pragma acc data`` region (§II-B)."""
+        for host in self._only_host(copy, "copy"):
+            self._copyin_one(host, copyout=True)
+        for host in self._only_host(copyin, "copyin"):
+            self._copyin_one(host, copyout=False)
+        for host in self._only_host(copyout, "copyout"):
+            self._create_one(host)
+            self.present.lookup(host).copyout_on_delete = True
+        for host in self._only_host(create, "create"):
+            self._create_one(host)
+        for host in self._only_host(present, "present"):
+            self.present.device_of(host)  # raises AccPresentError when absent
+        try:
+            yield
+        finally:
+            for host in self._only_host(copy, "copy"):
+                self._release_one(host)
+            for host in self._only_host(copyin, "copyin"):
+                self._release_one(host)
+            for host in self._only_host(copyout, "copyout"):
+                self._release_one(host)
+            for host in self._only_host(create, "create"):
+                self._release_one(host)
+
+    def enter_data(
+        self,
+        *,
+        copyin: Sequence[AccArray] = (),
+        create: Sequence[AccArray] = (),
+    ) -> None:
+        """Unstructured ``#pragma acc enter data``."""
+        for host in self._only_host(copyin, "copyin"):
+            self._copyin_one(host, copyout=False)
+        for host in self._only_host(create, "create"):
+            self._create_one(host)
+
+    def exit_data(
+        self,
+        *,
+        copyout: Sequence[AccArray] = (),
+        delete: Sequence[AccArray] = (),
+    ) -> None:
+        """Unstructured ``#pragma acc exit data``."""
+        for host in self._only_host(copyout, "copyout"):
+            self._release_one(host, force_copyout=True)
+        for host in self._only_host(delete, "delete"):
+            self._release_one(host, force_copyout=False)
+
+    def update_host(self, *arrays: AccArray) -> None:
+        """``#pragma acc update self(...)``: refresh host copies."""
+        for host in self._only_host(arrays, "update self"):
+            entry = self.present.lookup(host)
+            if entry is None:
+                raise AccError(f"update self on non-present array {host.label or id(host)}")
+            self.cuda.memcpy(host, entry.device, label=f"acc-update-host:{host.label}")
+
+    def update_device(self, *arrays: AccArray) -> None:
+        """``#pragma acc update device(...)``: refresh device copies."""
+        for host in self._only_host(arrays, "update device"):
+            entry = self.present.lookup(host)
+            if entry is None:
+                raise AccError(f"update device on non-present array {host.label or id(host)}")
+            self.cuda.memcpy(entry.device, host, label=f"acc-update-device:{host.label}")
+
+    # -- compute constructs -----------------------------------------------------
+
+    def parallel_loop(
+        self,
+        kernel: KernelSpec,
+        *,
+        arrays: Sequence[AccArray] = (),
+        deviceptr: Sequence[DeviceBuffer] = (),
+        n_cells: int | None = None,
+        collapse: int | None = None,
+        loop_dims: int = 1,
+        async_: int | None = None,
+        num_gangs: int | None = None,
+        num_workers: int | None = None,
+        vector_length: int | None = None,
+        after: float = 0.0,
+        params: dict[str, Any] | None = None,
+        label: str = "",
+    ) -> float:
+        """``#pragma acc parallel loop collapse(n) deviceptr(...) async(q)``.
+
+        ``arrays`` are data the loop reads/writes by host reference: if an
+        array is present (or managed) its device copy is used; otherwise
+        the compiler inserts an implicit ``copy`` around this construct —
+        the §II-B behaviour responsible for the slow naive-OpenACC bars.
+        ``deviceptr`` arrays are raw device pointers (TiDA-acc's path).
+
+        Geometry clauses (``num_gangs``/``num_workers``/``vector_length``,
+        §II-A) let the caller tune the generated kernel; when none is
+        given the compiler picks, at the §II-C efficiency penalty.  This
+        is how TiDA-acc's compute method recovers hand-tuned-CUDA kernel
+        performance while still using OpenACC codegen.
+
+        ``after`` adds a readiness dependency on another queue's operation
+        (TileAcc uses it when a kernel consumes a transfer issued on a
+        different array's stream).
+
+        Returns the virtual completion time of the generated kernel.
+        """
+        validate_collapse(collapse, loop_dims)
+        for clause, value in (
+            ("num_gangs", num_gangs),
+            ("num_workers", num_workers),
+            ("vector_length", vector_length),
+        ):
+            if value is not None and (not isinstance(value, int) or value < 1):
+                raise AccError(f"{clause} takes a positive integer, got {value!r}")
+        tuned = any(v is not None for v in (num_gangs, num_workers, vector_length))
+        stream = self.queue(async_)
+
+        launch_buffers: list[DeviceBuffer | ManagedBuffer] = []
+        implicit: list[HostBuffer] = []
+        for dev in deviceptr:
+            if not isinstance(dev, DeviceBuffer):
+                raise AccError(
+                    f"deviceptr clause expects device pointers, got {type(dev).__name__}"
+                )
+            launch_buffers.append(dev)
+        for arr in arrays:
+            if isinstance(arr, ManagedBuffer):
+                launch_buffers.append(arr)
+            elif isinstance(arr, DeviceBuffer):
+                raise AccError(
+                    "raw device pointers must be passed via the deviceptr clause"
+                )
+            else:
+                entry = self.present.lookup(arr)
+                if entry is not None:
+                    launch_buffers.append(entry.device)
+                else:
+                    # implicit copy: in before the kernel, out after it
+                    self._copyin_one(arr, copyout=True)
+                    implicit.append(arr)
+                    launch_buffers.append(self.present.device_of(arr))
+
+        end = self.cuda.launch(
+            kernel,
+            buffers=launch_buffers,
+            n_cells=n_cells,
+            params=params,
+            stream=stream,
+            tuned_geometry=tuned,  # compiler-chosen unless geometry clauses given
+            math=self.cuda.machine.math,
+            after=after,
+            label=label or f"acc:{kernel.name}",
+        )
+        for host in implicit:
+            self._release_one(host)
+        return end
+
+    def kernels_construct(self, kernel: KernelSpec, **kwargs: Any) -> float:
+        """``#pragma acc kernels``: same generated code, compiler-analyzed
+        parallelism.  PGI maps simple tightly nested loops identically to
+        ``parallel loop``, so the cost model is shared."""
+        return self.parallel_loop(kernel, **kwargs)

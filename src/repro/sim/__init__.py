@@ -1,0 +1,23 @@
+"""Virtual-time simulation substrate.
+
+This package provides the building blocks the simulated CUDA runtime is
+made of: a host clock, FIFO hardware engines (compute engine, H2D and D2H
+copy engines), a trace recorder for timeline figures and overlap metrics,
+and host/device memory buffers that carry real numpy data in functional
+mode or only byte counts in timing-only mode.
+"""
+
+from .engine import FifoEngine, HostClock
+from .trace import Trace, TraceEvent
+from .hostmem import HostBuffer
+from .device import DeviceBuffer, DeviceMemoryPool
+
+__all__ = [
+    "FifoEngine",
+    "HostClock",
+    "Trace",
+    "TraceEvent",
+    "HostBuffer",
+    "DeviceBuffer",
+    "DeviceMemoryPool",
+]

@@ -1,0 +1,106 @@
+"""Virtual clock and FIFO hardware engines.
+
+The runtime models time the way CUDA hardware schedules work:
+
+* the **host clock** advances as the host thread executes API calls
+  (every runtime call costs :attr:`CpuSpec.api_call_overhead`) and jumps
+  forward when the host blocks in a synchronize call;
+* each hardware **engine** (the compute engine and the two DMA copy
+  engines on a K40m) is a FIFO queue: operations start no earlier than
+  both their *ready time* (all dependencies satisfied) and the completion
+  of the previously queued operation on the same engine.
+
+This matches real CUDA behaviour: commands are pushed to hardware queues
+in issue order, an engine executes one command at a time, and a command
+that is issued early but not yet ready blocks later commands on the same
+engine (the classic false-serialization pitfall the paper's one-stream-
+per-slot design avoids).
+
+The model is deterministic and needs no event calendar: because engines
+are FIFO in issue order, each operation's start/end can be computed
+greedily at submission time.
+"""
+
+from __future__ import annotations
+
+from ..errors import SimulationError
+
+
+class HostClock:
+    """The host thread's position in virtual time."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise SimulationError(f"clock cannot start at negative time {start!r}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        """Spend ``dt`` seconds of host time (API call, host compute)."""
+        if dt < 0:
+            raise SimulationError(f"cannot advance clock by negative dt {dt!r}")
+        self._now += dt
+        return self._now
+
+    def advance_to(self, t: float) -> float:
+        """Block the host until virtual time ``t`` (no-op if already past)."""
+        if t > self._now:
+            self._now = t
+        return self._now
+
+
+class FifoEngine:
+    """One hardware execution engine (compute, H2D copy, or D2H copy).
+
+    Operations submitted to the engine run back-to-back in submission
+    order.  :meth:`submit` returns the scheduled ``(start, end)`` pair.
+    """
+
+    __slots__ = ("name", "_tail", "_busy_time", "_op_count")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._tail = 0.0
+        self._busy_time = 0.0
+        self._op_count = 0
+
+    @property
+    def tail(self) -> float:
+        """Completion time of the last submitted operation."""
+        return self._tail
+
+    @property
+    def busy_time(self) -> float:
+        """Total time this engine has spent executing operations."""
+        return self._busy_time
+
+    @property
+    def op_count(self) -> int:
+        return self._op_count
+
+    def submit(self, ready: float, duration: float) -> tuple[float, float]:
+        """Queue an operation that becomes ready at ``ready`` and takes ``duration``.
+
+        Returns the ``(start, end)`` the FIFO discipline assigns to it.
+        """
+        if ready < 0:
+            raise SimulationError(f"ready time must be >= 0, got {ready!r}")
+        if duration < 0:
+            raise SimulationError(f"duration must be >= 0, got {duration!r}")
+        start = max(ready, self._tail)
+        end = start + duration
+        self._tail = end
+        self._busy_time += duration
+        self._op_count += 1
+        return start, end
+
+    def reset(self) -> None:
+        """Forget all queued work (used only by tests)."""
+        self._tail = 0.0
+        self._busy_time = 0.0
+        self._op_count = 0

@@ -1,0 +1,282 @@
+"""Operation trace: the raw material for timeline figures and overlap metrics.
+
+Every operation the runtime schedules (transfers, kernels, host-side index
+computation, synchronization waits) is recorded as a :class:`TraceEvent`.
+From the trace we derive:
+
+* the end-to-end span of an experiment (what the paper's timing loops
+  measure);
+* per-lane busy time and the **overlap fraction** between copy engines and
+  the compute engine — the quantity Figs. 3 and 7 illustrate;
+* an ASCII Gantt chart that regenerates the shape of Figs. 3, 4 and 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator
+
+from ..errors import SimulationError
+
+#: Event categories used by the runtime.
+CATEGORIES = ("h2d", "d2h", "kernel", "host", "sync")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One scheduled operation.
+
+    ``lane`` is the resource the operation occupied (engine name, or
+    ``"host"``); ``stream`` is the CUDA stream id it was issued to (or
+    ``None`` for host work); ``nbytes`` is the payload for transfers.
+    """
+
+    name: str
+    category: str
+    lane: str
+    start: float
+    end: float
+    stream: int | None = None
+    nbytes: int = 0
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise SimulationError(f"event {self.name!r} ends before it starts")
+        if self.category not in CATEGORIES:
+            raise SimulationError(
+                f"unknown category {self.category!r}; expected one of {CATEGORIES}"
+            )
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Trace:
+    """Append-only record of scheduled operations."""
+
+    def __init__(self) -> None:
+        self._events: list[TraceEvent] = []
+
+    def add(self, event: TraceEvent) -> TraceEvent:
+        self._events.append(event)
+        return event
+
+    def record(
+        self,
+        name: str,
+        category: str,
+        lane: str,
+        start: float,
+        end: float,
+        *,
+        stream: int | None = None,
+        nbytes: int = 0,
+        **meta: Any,
+    ) -> TraceEvent:
+        return self.add(
+            TraceEvent(
+                name=name,
+                category=category,
+                lane=lane,
+                start=start,
+                end=end,
+                stream=stream,
+                nbytes=nbytes,
+                meta=meta,
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    @property
+    def events(self) -> tuple[TraceEvent, ...]:
+        return tuple(self._events)
+
+    def filter(self, predicate: Callable[[TraceEvent], bool]) -> list[TraceEvent]:
+        return [e for e in self._events if predicate(e)]
+
+    def by_category(self, *categories: str) -> list[TraceEvent]:
+        wanted = set(categories)
+        return [e for e in self._events if e.category in wanted]
+
+    def by_lane(self, lane: str) -> list[TraceEvent]:
+        return [e for e in self._events if e.lane == lane]
+
+    def lanes(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for e in self._events:
+            seen.setdefault(e.lane, None)
+        return list(seen)
+
+    # -- metrics ----------------------------------------------------------
+
+    def span(self) -> float:
+        """End-to-end duration covered by the trace."""
+        if not self._events:
+            return 0.0
+        start = min(e.start for e in self._events)
+        end = max(e.end for e in self._events)
+        return end - start
+
+    def busy_time(self, lane: str) -> float:
+        """Total busy time on ``lane`` (its events never overlap: FIFO engine)."""
+        return sum(e.duration for e in self._events if e.lane == lane)
+
+    @staticmethod
+    def _merge_intervals(intervals: list[tuple[float, float]]) -> list[tuple[float, float]]:
+        if not intervals:
+            return []
+        intervals = sorted(intervals)
+        merged = [intervals[0]]
+        for lo, hi in intervals[1:]:
+            last_lo, last_hi = merged[-1]
+            if lo <= last_hi:
+                merged[-1] = (last_lo, max(last_hi, hi))
+            else:
+                merged.append((lo, hi))
+        return merged
+
+    def overlap_time(self, lanes_a: Iterable[str], lanes_b: Iterable[str]) -> float:
+        """Total time during which some lane in ``lanes_a`` AND some lane in
+        ``lanes_b`` were simultaneously busy.
+
+        ``overlap_time({"compute"}, {"h2d", "d2h"})`` is the transfer time
+        the pipeline successfully hid behind computation.
+        """
+        set_a, set_b = set(lanes_a), set(lanes_b)
+        ivs_a = self._merge_intervals(
+            [(e.start, e.end) for e in self._events if e.lane in set_a and e.duration > 0]
+        )
+        ivs_b = self._merge_intervals(
+            [(e.start, e.end) for e in self._events if e.lane in set_b and e.duration > 0]
+        )
+        total = 0.0
+        i = j = 0
+        while i < len(ivs_a) and j < len(ivs_b):
+            lo = max(ivs_a[i][0], ivs_b[j][0])
+            hi = min(ivs_a[i][1], ivs_b[j][1])
+            if hi > lo:
+                total += hi - lo
+            if ivs_a[i][1] <= ivs_b[j][1]:
+                i += 1
+            else:
+                j += 1
+        return total
+
+    def overlap_fraction(self, transfer_lanes: Iterable[str], compute_lanes: Iterable[str]) -> float:
+        """Fraction of transfer time hidden behind compute (0 when no transfers)."""
+        transfer_lanes = list(transfer_lanes)
+        transfer = sum(self.busy_time(lane) for lane in transfer_lanes)
+        if transfer == 0.0:
+            return 0.0
+        return self.overlap_time(transfer_lanes, compute_lanes) / transfer
+
+    # -- rendering --------------------------------------------------------
+
+    def to_rows(self) -> list[dict[str, Any]]:
+        """Plain-dict rows, convenient for JSON dumps and table printing."""
+        return [
+            {
+                "name": e.name,
+                "category": e.category,
+                "lane": e.lane,
+                "stream": e.stream,
+                "start": e.start,
+                "end": e.end,
+                "nbytes": e.nbytes,
+                **({"meta": e.meta} if e.meta else {}),
+            }
+            for e in self._events
+        ]
+
+    def to_chrome_trace(self) -> list[dict[str, Any]]:
+        """Chrome/Perfetto trace-event format (``chrome://tracing``).
+
+        Lanes map to thread ids within one process; times are emitted in
+        microseconds as complete ('X') events, so a timing-only simulation
+        can be inspected with standard profiling UIs.
+        """
+        lane_tids = {lane: tid for tid, lane in enumerate(self.lanes())}
+        events = []
+        for e in self._events:
+            events.append(
+                {
+                    "name": e.name,
+                    "cat": e.category,
+                    "ph": "X",
+                    "ts": e.start * 1e6,
+                    "dur": e.duration * 1e6,
+                    "pid": 0,
+                    "tid": lane_tids[e.lane],
+                    "args": {
+                        **({"stream": e.stream} if e.stream is not None else {}),
+                        **({"nbytes": e.nbytes} if e.nbytes else {}),
+                        **e.meta,
+                    },
+                }
+            )
+        # thread-name metadata so the UI labels lanes
+        for lane, tid in lane_tids.items():
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": tid,
+                    "args": {"name": lane},
+                }
+            )
+        return events
+
+    def save_chrome_trace(self, path: str) -> str:
+        """Write :meth:`to_chrome_trace` JSON to ``path``; returns the path."""
+        import json
+        from pathlib import Path
+
+        p = Path(path)
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(json.dumps({"traceEvents": self.to_chrome_trace()}))
+        return str(p)
+
+    def gantt(self, *, width: int = 100, lanes: list[str] | None = None) -> str:
+        """Render an ASCII Gantt chart (one row per lane).
+
+        The symbols distinguish categories: ``#`` kernels, ``<`` H2D, ``>``
+        D2H, ``:`` host work, ``.`` sync waits.  This is how the benches
+        regenerate Figs. 3 and 7.
+        """
+        if width < 10:
+            raise SimulationError("gantt width must be >= 10")
+        if not self._events:
+            return "(empty trace)"
+        t0 = min(e.start for e in self._events)
+        t1 = max(e.end for e in self._events)
+        span = max(t1 - t0, 1e-30)
+        symbols = {"kernel": "#", "h2d": "<", "d2h": ">", "host": ":", "sync": "."}
+        lane_names = lanes if lanes is not None else self.lanes()
+        label_w = max((len(name) for name in lane_names), default=4) + 1
+        lines = [
+            f"{'':<{label_w}}|0.0s{' ' * (width - 12)}{span:.4g}s|"
+        ]
+        for lane in lane_names:
+            row = [" "] * width
+            for e in self._events:
+                if e.lane != lane or e.duration <= 0:
+                    continue
+                lo = int((e.start - t0) / span * (width - 1))
+                hi = int((e.end - t0) / span * (width - 1))
+                sym = symbols.get(e.category, "?")
+                for k in range(lo, max(hi, lo + 1)):
+                    if 0 <= k < width:
+                        row[k] = sym
+            lines.append(f"{lane:<{label_w}}|{''.join(row)}|")
+        lines.append(
+            f"{'':<{label_w}} legend: # kernel   < H2D   > D2H   : host   . sync"
+        )
+        return "\n".join(lines)

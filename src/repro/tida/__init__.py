@@ -1,0 +1,35 @@
+"""TiDA: the tiling library the paper extends (Unat et al. [12]).
+
+Provides the three abstractions of §IV-A:
+
+* **regions** — physically separated partitions of the data, each with
+  its own allocation (and ghost cells);
+* **tiles** — logical partitions of a region's iteration space;
+* **tile iterator** — traversal over tiles/regions, the engine on which
+  TiDA-acc hangs GPU execution.
+
+Plus the supporting machinery: integer box algebra, regular domain
+decomposition, the ``tileArray`` container, host-side ghost-cell
+exchange and domain boundary conditions.
+"""
+
+from .box import Box
+from .decomposition import Decomposition
+from .region import Region
+from .tile import Tile
+from .tile_array import TileArray
+from .tile_iterator import TileIterator
+from .boundary import BoundaryCondition, Dirichlet, Neumann, Periodic
+
+__all__ = [
+    "Box",
+    "Decomposition",
+    "Region",
+    "Tile",
+    "TileArray",
+    "TileIterator",
+    "BoundaryCondition",
+    "Dirichlet",
+    "Neumann",
+    "Periodic",
+]

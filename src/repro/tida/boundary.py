@@ -1,0 +1,92 @@
+"""Domain boundary conditions.
+
+The ghost cells of regions that touch the domain edge are filled by a
+boundary condition rather than by a neighbour exchange:
+
+* :class:`Dirichlet` — fixed value;
+* :class:`Neumann` — zero-flux: ghost planes copy the nearest interior
+  plane (this is the "update data boundaries" the paper's heat solver
+  performs every time step, which is why boundary kernels appear in the
+  per-step kernel counts of §II-C);
+* :class:`Periodic` — ghosts wrap around the domain (handled by the
+  exchange itself; the BC object only marks the intent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import TidaError
+from .box import Box
+from .region import Region
+
+
+@dataclass(frozen=True)
+class BoundaryCondition:
+    """Base class; concrete BCs below."""
+
+    @property
+    def is_periodic(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class Dirichlet(BoundaryCondition):
+    value: float = 0.0
+
+    def fill_face(self, ghost_view: np.ndarray, interior_plane: np.ndarray) -> None:
+        ghost_view[...] = self.value
+
+
+@dataclass(frozen=True)
+class Neumann(BoundaryCondition):
+    def fill_face(self, ghost_view: np.ndarray, interior_plane: np.ndarray) -> None:
+        ghost_view[...] = interior_plane
+
+
+@dataclass(frozen=True)
+class Periodic(BoundaryCondition):
+    @property
+    def is_periodic(self) -> bool:
+        return True
+
+    def fill_face(self, ghost_view: np.ndarray, interior_plane: np.ndarray) -> None:  # pragma: no cover
+        raise TidaError("periodic ghosts are filled by the exchange, not by a face fill")
+
+
+def domain_faces(region: Region, domain: Box) -> list[tuple[int, int, Box, Box]]:
+    """Ghost slabs of ``region`` that lie outside ``domain``.
+
+    Yields ``(axis, side, ghost_box, source_box)`` where ``side`` is -1
+    (low face) or +1 (high face), ``ghost_box`` is the slab of ghost cells
+    to fill and ``source_box`` is the adjacent interior plane (the data a
+    Neumann fill copies), both in global coordinates.
+    """
+    faces: list[tuple[int, int, Box, Box]] = []
+    g = region.ghost
+    for axis in range(region.ndim):
+        if g[axis] == 0:
+            continue
+        if region.box.lo[axis] == domain.lo[axis]:
+            lo = list(region.grown.lo)
+            hi = list(region.grown.hi)
+            hi[axis] = region.box.lo[axis]
+            ghost_box = Box(tuple(lo), tuple(hi))
+            src_lo = list(lo)
+            src_hi = list(hi)
+            src_lo[axis] = region.box.lo[axis]
+            src_hi[axis] = region.box.lo[axis] + 1
+            faces.append((axis, -1, ghost_box, Box(tuple(src_lo), tuple(src_hi))))
+        if region.box.hi[axis] == domain.hi[axis]:
+            lo = list(region.grown.lo)
+            hi = list(region.grown.hi)
+            lo[axis] = region.box.hi[axis]
+            ghost_box = Box(tuple(lo), tuple(hi))
+            src_lo = list(lo)
+            src_hi = list(hi)
+            src_lo[axis] = region.box.hi[axis] - 1
+            src_hi[axis] = region.box.hi[axis]
+            faces.append((axis, +1, ghost_box, Box(tuple(src_lo), tuple(src_hi))))
+    return faces

@@ -1,0 +1,172 @@
+"""Integer box algebra.
+
+A :class:`Box` is an axis-aligned n-dimensional index region with
+inclusive lower bound ``lo`` and *exclusive* upper bound ``hi`` (numpy
+slice convention).  Boxes describe domains, regions, tiles, ghost zones
+and their intersections; the decomposition and ghost-exchange logic is
+built entirely on this algebra, which is what the property-based tests
+target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import TidaError
+
+
+@dataclass(frozen=True)
+class Box:
+    """Half-open integer box ``[lo, hi)`` in n dimensions."""
+
+    lo: tuple[int, ...]
+    hi: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        lo = tuple(int(x) for x in self.lo)
+        hi = tuple(int(x) for x in self.hi)
+        object.__setattr__(self, "lo", lo)
+        object.__setattr__(self, "hi", hi)
+        if len(lo) != len(hi):
+            raise TidaError(f"lo {lo} and hi {hi} have different ranks")
+        if len(lo) == 0:
+            raise TidaError("boxes must have at least one dimension")
+        if any(h < l for l, h in zip(lo, hi)):
+            raise TidaError(f"box has negative extent: lo={lo}, hi={hi}")
+
+    @classmethod
+    def from_shape(cls, shape: tuple[int, ...], origin: tuple[int, ...] | None = None) -> "Box":
+        """The box ``[origin, origin + shape)`` (origin defaults to zero)."""
+        shape = tuple(int(s) for s in shape)
+        if origin is None:
+            origin = (0,) * len(shape)
+        origin = tuple(int(o) for o in origin)
+        return cls(lo=origin, hi=tuple(o + s for o, s in zip(origin, shape)))
+
+    # -- basic geometry ------------------------------------------------------
+
+    @property
+    def ndim(self) -> int:
+        return len(self.lo)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(h - l for l, h in zip(self.lo, self.hi))
+
+    @property
+    def size(self) -> int:
+        n = 1
+        for s in self.shape:
+            n *= s
+        return n
+
+    @property
+    def is_empty(self) -> bool:
+        return any(h == l for l, h in zip(self.lo, self.hi))
+
+    def contains_point(self, point: tuple[int, ...]) -> bool:
+        if len(point) != self.ndim:
+            raise TidaError(f"point rank {len(point)} != box rank {self.ndim}")
+        return all(l <= p < h for l, p, h in zip(self.lo, point, self.hi))
+
+    def contains(self, other: "Box") -> bool:
+        """True when ``other`` lies entirely inside this box (empty boxes count)."""
+        self._check_rank(other)
+        if other.is_empty:
+            return True
+        return all(
+            sl <= ol and oh <= sh
+            for sl, ol, oh, sh in zip(self.lo, other.lo, other.hi, self.hi)
+        )
+
+    def _check_rank(self, other: "Box") -> None:
+        if other.ndim != self.ndim:
+            raise TidaError(f"rank mismatch: {self.ndim} vs {other.ndim}")
+
+    # -- algebra ---------------------------------------------------------------
+
+    def intersect(self, other: "Box") -> "Box":
+        """The overlap of two boxes (possibly empty, clamped per-axis)."""
+        self._check_rank(other)
+        lo = tuple(max(a, b) for a, b in zip(self.lo, other.lo))
+        hi = tuple(min(a, b) for a, b in zip(self.hi, other.hi))
+        hi = tuple(max(l, h) for l, h in zip(lo, hi))
+        return Box(lo=lo, hi=hi)
+
+    def intersects(self, other: "Box") -> bool:
+        return not self.intersect(other).is_empty
+
+    def grow(self, ghost: int | tuple[int, ...]) -> "Box":
+        """Expand by ``ghost`` cells on every face (per-axis when a tuple)."""
+        g = self._ghost_tuple(ghost)
+        return Box(
+            lo=tuple(l - gi for l, gi in zip(self.lo, g)),
+            hi=tuple(h + gi for h, gi in zip(self.hi, g)),
+        )
+
+    def shrink(self, ghost: int | tuple[int, ...]) -> "Box":
+        g = self._ghost_tuple(ghost)
+        return self.grow(tuple(-gi for gi in g))
+
+    def _ghost_tuple(self, ghost: int | tuple[int, ...]) -> tuple[int, ...]:
+        if isinstance(ghost, int):
+            return (ghost,) * self.ndim
+        ghost = tuple(int(g) for g in ghost)
+        if len(ghost) != self.ndim:
+            raise TidaError(f"ghost rank {len(ghost)} != box rank {self.ndim}")
+        return ghost
+
+    def shift(self, offset: tuple[int, ...]) -> "Box":
+        """Translate by ``offset``."""
+        if len(offset) != self.ndim:
+            raise TidaError(f"offset rank {len(offset)} != box rank {self.ndim}")
+        return Box(
+            lo=tuple(l + o for l, o in zip(self.lo, offset)),
+            hi=tuple(h + o for h, o in zip(self.hi, offset)),
+        )
+
+    # -- numpy interface --------------------------------------------------------
+
+    def slices(self, origin: tuple[int, ...] | None = None) -> tuple[slice, ...]:
+        """Numpy slices selecting this box from an array whose index 0 sits
+        at ``origin`` in global coordinates (defaults to the global origin)."""
+        if origin is None:
+            origin = (0,) * self.ndim
+        if len(origin) != self.ndim:
+            raise TidaError(f"origin rank {len(origin)} != box rank {self.ndim}")
+        for l, o in zip(self.lo, origin):
+            if l - o < 0:
+                raise TidaError(f"box {self} extends below array origin {origin}")
+        return tuple(slice(l - o, h - o) for l, h, o in zip(self.lo, self.hi, origin))
+
+    # -- decomposition support ----------------------------------------------------
+
+    def split(self, axis: int, cut: int) -> tuple["Box", "Box"]:
+        """Split into two boxes at global index ``cut`` along ``axis``."""
+        if not 0 <= axis < self.ndim:
+            raise TidaError(f"axis {axis} out of range for rank {self.ndim}")
+        if not self.lo[axis] <= cut <= self.hi[axis]:
+            raise TidaError(f"cut {cut} outside box extent on axis {axis}")
+        hi_a = list(self.hi)
+        hi_a[axis] = cut
+        lo_b = list(self.lo)
+        lo_b[axis] = cut
+        return Box(self.lo, tuple(hi_a)), Box(tuple(lo_b), self.hi)
+
+    def chunks(self, axis: int, chunk: int) -> Iterator["Box"]:
+        """Yield consecutive boxes of at most ``chunk`` extent along ``axis``."""
+        if chunk <= 0:
+            raise TidaError(f"chunk extent must be positive, got {chunk}")
+        lo = self.lo[axis]
+        while lo < self.hi[axis]:
+            hi = min(lo + chunk, self.hi[axis])
+            lo_t = list(self.lo)
+            hi_t = list(self.hi)
+            lo_t[axis] = lo
+            hi_t[axis] = hi
+            yield Box(tuple(lo_t), tuple(hi_t))
+            lo = hi
+
+    def __repr__(self) -> str:
+        return f"Box(lo={self.lo}, hi={self.hi})"

@@ -1,0 +1,103 @@
+"""Regions: physically separated partitions of the data (§IV-A).
+
+Each region owns its own allocation covering its interior box grown by
+the ghost width.  Views into the allocation are addressed in *global*
+index space, so ghost exchange and tile execution never do index
+arithmetic by hand.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TidaError
+from ..sim.hostmem import HostBuffer
+from .box import Box
+
+
+class Region:
+    """One region: interior box + ghost zone + backing host allocation."""
+
+    __slots__ = ("rid", "box", "ghost", "grown", "data", "label")
+
+    def __init__(
+        self,
+        rid: int,
+        box: Box,
+        ghost: int | tuple[int, ...],
+        data: HostBuffer | None = None,
+        label: str = "",
+    ) -> None:
+        if box.is_empty:
+            raise TidaError(f"region {rid} has an empty interior box")
+        self.rid = rid
+        self.box = box
+        self.grown = box.grow(ghost)
+        if isinstance(ghost, int):
+            ghost = (ghost,) * box.ndim
+        self.ghost = tuple(int(g) for g in ghost)
+        if any(g < 0 for g in self.ghost):
+            raise TidaError(f"ghost width must be >= 0, got {self.ghost}")
+        self.label = label or f"region{rid}"
+        self.data = data
+        if data is not None and tuple(data.shape) != self.local_shape:
+            raise TidaError(
+                f"region {rid} data shape {data.shape} != local shape {self.local_shape}"
+            )
+
+    @property
+    def ndim(self) -> int:
+        return self.box.ndim
+
+    @property
+    def local_shape(self) -> tuple[int, ...]:
+        """Shape of the backing allocation (interior + ghosts)."""
+        return self.grown.shape
+
+    @property
+    def nbytes(self) -> int:
+        if self.data is None:
+            raise TidaError(f"region {self.rid} has no allocation")
+        return self.data.nbytes
+
+    # -- coordinate mapping ----------------------------------------------------
+
+    def local_slices(self, global_box: Box) -> tuple[slice, ...]:
+        """Numpy slices selecting ``global_box`` from this region's array."""
+        if not self.grown.contains(global_box):
+            raise TidaError(
+                f"box {global_box} is not inside region {self.rid}'s "
+                f"allocation {self.grown}"
+            )
+        return global_box.slices(origin=self.grown.lo)
+
+    def local_bounds(self, global_box: Box) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """(lo, hi) local index bounds of ``global_box`` (for kernel params)."""
+        slices = self.local_slices(global_box)
+        return tuple(s.start for s in slices), tuple(s.stop for s in slices)
+
+    @property
+    def interior_slices(self) -> tuple[slice, ...]:
+        return self.local_slices(self.box)
+
+    # -- functional views ---------------------------------------------------------
+
+    def view(self, global_box: Box) -> np.ndarray:
+        """Array view of ``global_box`` (functional mode only)."""
+        if self.data is None:
+            raise TidaError(f"region {self.rid} has no allocation")
+        return self.data.array[self.local_slices(global_box)]
+
+    @property
+    def interior(self) -> np.ndarray:
+        return self.view(self.box)
+
+    @property
+    def array(self) -> np.ndarray:
+        """The whole local array, ghosts included."""
+        if self.data is None:
+            raise TidaError(f"region {self.rid} has no allocation")
+        return self.data.array
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Region({self.rid}, box={self.box}, ghost={self.ghost})"

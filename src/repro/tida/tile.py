@@ -1,0 +1,60 @@
+"""Tiles: logical partitions of a region's iteration space (§IV-A).
+
+Unlike regions, tiles are not physically separated — a tile is a box of
+iteration points inside one region, plus enough context (its region and
+owning tileArray) for the compute machinery to find data pointers and
+local index bounds.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..errors import TidaError
+from .box import Box
+from .region import Region
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .tile_array import TileArray
+
+
+class Tile:
+    """One tile: an iteration-space box within a region."""
+
+    __slots__ = ("region", "box", "array")
+
+    def __init__(self, region: Region, box: Box, array: "TileArray | None" = None) -> None:
+        if not region.box.contains(box):
+            raise TidaError(
+                f"tile box {box} escapes region {region.rid} interior {region.box}"
+            )
+        if box.is_empty:
+            raise TidaError("tiles must be non-empty")
+        self.region = region
+        self.box = box
+        self.array = array
+
+    @property
+    def rid(self) -> int:
+        return self.region.rid
+
+    @property
+    def n_cells(self) -> int:
+        return self.box.size
+
+    @property
+    def local_bounds(self) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """(lo, hi) bounds of this tile inside the region's local array —
+        what the compute method passes to the user lambda (§V)."""
+        return self.region.local_bounds(self.box)
+
+    def subrange(self, lo: tuple[int, ...], hi: tuple[int, ...]) -> "Tile":
+        """A tile restricted to global bounds [lo, hi) (the two-argument
+        compute variant of §V)."""
+        sub = self.box.intersect(Box(lo, hi))
+        if sub.is_empty:
+            raise TidaError(f"subrange [{lo}, {hi}) does not intersect tile {self.box}")
+        return Tile(self.region, sub, self.array)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tile(region={self.region.rid}, box={self.box})"

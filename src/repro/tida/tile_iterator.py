@@ -1,0 +1,108 @@
+"""Tile iterator: out-of-order traversal over tiles, and the GPU switch (§V).
+
+The paper's user interface::
+
+    for (tlIter.reset(GPU=true); tlIter.isValid(); tlIter.next()) {
+        compute(tlIter.tile(), lambda ...);
+    }
+
+maps to either the same explicit style or a Pythonic ``for`` loop.  The
+``gpu`` flag set at :meth:`reset` is what TiDA-acc's compute method reads
+to decide between host execution and device offload.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from ..errors import TidaError
+from .tile import Tile
+from .tile_array import TileArray
+
+
+class TileIterator:
+    """Iterate over the tiles of one or more compatible tile arrays.
+
+    With several arrays, iteration yields *tuples* of tiles (one per
+    array, same box) — the multi-input compute signature of §V.
+    """
+
+    def __init__(
+        self,
+        *arrays: TileArray,
+        tile_shape: tuple[int, ...] | None = None,
+        order: str = "sequential",
+        seed: int | None = None,
+    ) -> None:
+        if not arrays:
+            raise TidaError("TileIterator needs at least one tile array")
+        first = arrays[0]
+        for other in arrays[1:]:
+            if not first.compatible_with(other):
+                raise TidaError(
+                    "all tile arrays in one iterator must share domain, "
+                    "decomposition and ghost width"
+                )
+        if order not in ("sequential", "shuffled"):
+            raise TidaError(f"order must be 'sequential' or 'shuffled', got {order!r}")
+        self.arrays = arrays
+        self.tile_shape = tile_shape
+        per_array = [a.tiles(tile_shape) for a in arrays]
+        counts = {len(t) for t in per_array}
+        if len(counts) != 1:
+            raise TidaError("tile arrays produced different tile counts")
+        self._tuples: list[tuple[Tile, ...]] = list(zip(*per_array))
+        if order == "shuffled":
+            rng = random.Random(seed)
+            rng.shuffle(self._tuples)
+        self._pos = 0
+        self._gpu = False
+
+    # -- paper-style interface ------------------------------------------------
+
+    def reset(self, gpu: bool = False) -> "TileIterator":
+        """Restart traversal; ``gpu=True`` enables device execution for the
+        loop (the ``tlIter.reset(GPU=true)`` of §V)."""
+        self._pos = 0
+        self._gpu = bool(gpu)
+        return self
+
+    def is_valid(self) -> bool:
+        return self._pos < len(self._tuples)
+
+    def next(self) -> None:
+        if not self.is_valid():
+            raise TidaError("iterator advanced past the end")
+        self._pos += 1
+
+    def tile(self) -> Tile:
+        """The current tile (single-array iterators)."""
+        if len(self.arrays) != 1:
+            raise TidaError("tile() is for single-array iterators; use tiles()")
+        return self.tiles()[0]
+
+    def tiles(self) -> tuple[Tile, ...]:
+        """The current tile tuple (one tile per array)."""
+        if not self.is_valid():
+            raise TidaError("iterator is exhausted")
+        return self._tuples[self._pos]
+
+    @property
+    def gpu(self) -> bool:
+        return self._gpu
+
+    @property
+    def n_tiles(self) -> int:
+        return len(self._tuples)
+
+    # -- Pythonic interface ---------------------------------------------------------
+
+    def __iter__(self) -> Iterator[tuple[Tile, ...]]:
+        """Yield tile tuples from the current position to the end."""
+        while self.is_valid():
+            yield self.tiles()
+            self.next()
+
+    def __len__(self) -> int:
+        return len(self._tuples)

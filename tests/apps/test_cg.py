@@ -1,0 +1,105 @@
+"""Tiled conjugate-gradient solver tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps import TiledCG
+from repro.apps.cg import assemble_laplacian_dense, laplacian_kernel
+from repro.errors import ReproError
+
+
+class TestOperator:
+    def test_dense_assembly_spd(self):
+        A = assemble_laplacian_dense((4, 4))
+        np.testing.assert_array_equal(A, A.T)
+        eigvals = np.linalg.eigvalsh(A)
+        assert eigvals.min() > 0
+
+    def test_matvec_matches_dense(self, machine):
+        """The tiled stencil matvec equals the dense operator."""
+        from repro.core.library import TidaAcc
+        from repro.tida.boundary import Dirichlet
+        shape = (6, 6)
+        rng = np.random.default_rng(0)
+        x = rng.random(shape)
+        lib = TidaAcc(machine)
+        lib.add_array("x", shape, n_regions=2, ghost=1)
+        lib.add_array("y", shape, n_regions=2, ghost=1)
+        lib.scatter("x", x)
+        lib.fill_boundary("x", Dirichlet(0.0))
+        k = laplacian_kernel(2)
+        for y_t, x_t in lib.iterator("y", "x").reset(gpu=True):
+            lib.compute((y_t, x_t), k, gpu=True)
+        A = assemble_laplacian_dense(shape)
+        np.testing.assert_allclose(lib.gather("y"), (A @ x.ravel()).reshape(shape))
+
+
+class TestSolver:
+    @pytest.mark.parametrize("shape,n_regions", [((8, 8), 2), ((12,), 3), ((4, 4, 4), 2)])
+    def test_matches_dense_solve(self, shape, n_regions):
+        rng = np.random.default_rng(2)
+        b = rng.random(shape)
+        cg = TiledCG(shape, n_regions=n_regions)
+        res = cg.solve(b, tol=1e-10)
+        A = assemble_laplacian_dense(shape)
+        x_ref = np.linalg.solve(A, b.ravel()).reshape(shape)
+        assert res.converged
+        np.testing.assert_allclose(res.x, x_ref, atol=1e-6)
+
+    def test_residual_decreases(self):
+        rng = np.random.default_rng(3)
+        b = rng.random((10, 10))
+        res = TiledCG((10, 10), n_regions=2).solve(b, tol=1e-10)
+        r = res.residual_norms
+        assert r[-1] < r[0] * 1e-6
+
+    def test_zero_rhs_trivial(self):
+        res = TiledCG((6, 6), n_regions=2).solve(np.zeros((6, 6)))
+        assert res.converged
+        assert res.iterations == 0
+        np.testing.assert_array_equal(res.x, 0.0)
+
+    def test_converges_within_n_iterations(self):
+        """Exact-arithmetic CG converges in <= n steps; allow slack for fp."""
+        shape = (6, 6)
+        b = np.ones(shape)
+        res = TiledCG(shape, n_regions=2).solve(b, tol=1e-9)
+        assert res.converged
+        assert res.iterations <= 36 + 5
+
+    def test_max_iterations_cap(self):
+        b = np.ones((8, 8))
+        res = TiledCG((8, 8), n_regions=2).solve(b, tol=1e-14, max_iterations=3)
+        assert res.iterations == 3
+        assert not res.converged
+
+    def test_limited_memory_solve(self):
+        """CG out-of-core: 2 slots per field, same answer."""
+        shape = (8, 8)
+        rng = np.random.default_rng(4)
+        b = rng.random(shape)
+        full = TiledCG(shape, n_regions=4).solve(b, tol=1e-10)
+        lim = TiledCG(shape, n_regions=4, n_slots=2).solve(b, tol=1e-10)
+        np.testing.assert_allclose(lim.x, full.x, atol=1e-9)
+
+    def test_rhs_validation(self):
+        cg = TiledCG((8, 8), n_regions=2)
+        with pytest.raises(ReproError):
+            cg.solve(np.zeros((4, 4)))
+        with pytest.raises(ReproError):
+            cg.solve(None)
+
+    def test_timing_only_mode(self):
+        cg = TiledCG((64, 64), n_regions=4, functional=False)
+        res = cg.solve(None, max_iterations=5)
+        assert res.iterations == 5
+        assert res.x is None
+        assert res.elapsed > 0
+
+    def test_virtual_time_accounted(self):
+        b = np.ones((8, 8))
+        cg = TiledCG((8, 8), n_regions=2)
+        res = cg.solve(b, tol=1e-9)
+        assert res.elapsed > 0
+        trace = cg.lib.trace
+        assert len(trace.by_category("kernel")) > res.iterations  # matvec+axpy+reduce

@@ -1,0 +1,138 @@
+"""Shared baseline helpers: init determinism, global BC, boundary plans."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.common import (
+    apply_bc_global,
+    bc_kernel_launches,
+    default_init,
+    face_slab_slices,
+    interior,
+    reference_compute_intensive,
+    reference_heat,
+)
+from repro.errors import ReproError
+from repro.tida.boundary import Dirichlet, Neumann, Periodic
+
+
+class TestDefaultInit:
+    def test_deterministic(self):
+        a = default_init((8, 8), 1)
+        b = default_init((8, 8), 1)
+        np.testing.assert_array_equal(a, b)
+
+    def test_ghosted_shape(self):
+        assert default_init((8, 6), 2).shape == (12, 10)
+
+    def test_values_in_unit_interval(self):
+        a = default_init((16,), 0)
+        assert a.min() >= 0.0 and a.max() < 1.0
+
+    def test_not_constant(self):
+        assert default_init((64,), 0).std() > 0.1
+
+
+class TestInteriorAndSlices:
+    def test_interior(self):
+        arr = np.arange(36.0).reshape(6, 6)
+        inner = interior(arr, 1)
+        assert inner.shape == (4, 4)
+        assert inner[0, 0] == arr[1, 1]
+
+    def test_interior_zero_ghost(self):
+        arr = np.ones((4, 4))
+        assert interior(arr, 0) is arr
+
+    def test_face_slab_slices_low(self):
+        dst, src = face_slab_slices((8, 8), 1, axis=0, side=-1)
+        assert dst[0] == slice(0, 1)
+        assert src[0] == slice(1, 2)
+        assert dst[1] == slice(None)
+
+    def test_face_slab_slices_high(self):
+        dst, src = face_slab_slices((8, 8), 2, axis=1, side=+1)
+        assert dst[1] == slice(6, 8)
+        assert src[1] == slice(5, 6)
+
+
+class TestApplyBcGlobal:
+    def test_neumann(self):
+        arr = np.arange(6.0)
+        apply_bc_global(arr, 1, Neumann())
+        assert arr[0] == arr[1] and arr[-1] == arr[-2]
+
+    def test_dirichlet(self):
+        arr = np.arange(6.0)
+        apply_bc_global(arr, 1, Dirichlet(9.0))
+        assert arr[0] == 9.0 and arr[-1] == 9.0
+
+    def test_periodic(self):
+        arr = np.arange(6.0)
+        apply_bc_global(arr, 1, Periodic())
+        assert arr[0] == 4.0 and arr[-1] == 1.0
+
+    def test_zero_ghost_noop(self):
+        arr = np.arange(6.0)
+        before = arr.copy()
+        apply_bc_global(arr, 0, Neumann())
+        np.testing.assert_array_equal(arr, before)
+
+    def test_unknown_bc_rejected(self):
+        class Weird(Neumann.__mro__[1]):  # BoundaryCondition subclass
+            pass
+        with pytest.raises(ReproError):
+            apply_bc_global(np.zeros(4), 1, Weird())
+
+
+class TestBcKernelPlans:
+    def test_neumann_one_kernel_per_face(self):
+        plan = bc_kernel_launches((10, 10, 10), 1, Neumann())
+        assert len(plan) == 6
+        assert all(kind == "copy" for kind, _, _ in plan)
+
+    def test_dirichlet_fill_kernels(self):
+        plan = bc_kernel_launches((10, 10), 1, Dirichlet(0.5))
+        assert len(plan) == 4
+        assert all(kind == "fill" for kind, _, _ in plan)
+        assert all(p["value"] == 0.5 for _, p, _ in plan)
+
+    def test_periodic_two_copies_per_axis(self):
+        plan = bc_kernel_launches((10, 10), 1, Periodic())
+        assert len(plan) == 4
+        assert all(kind == "copy" for kind, _, _ in plan)
+
+    def test_cell_counts(self):
+        plan = bc_kernel_launches((10, 12), 1, Neumann())
+        counts = sorted(n for _, _, n in plan)
+        assert counts == [10, 10, 12, 12]
+
+    def test_zero_ghost_empty_plan(self):
+        assert bc_kernel_launches((10, 10), 0, Neumann()) == []
+
+    def test_plan_matches_apply_bc_functionally(self):
+        """Applying the plan's slice operations reproduces apply_bc_global."""
+        rng = np.random.default_rng(0)
+        for bc in (Neumann(), Dirichlet(1.5), Periodic()):
+            base = rng.random((7, 8))
+            via_plan = base.copy()
+            for kind, params, _ in bc_kernel_launches(base.shape, 1, bc):
+                if kind == "fill":
+                    via_plan[params["dst_slices"]] = params["value"]
+                else:
+                    via_plan[params["dst_slices"]] = via_plan[params["src_slices"]]
+            via_global = base.copy()
+            apply_bc_global(via_global, 1, bc)
+            np.testing.assert_array_equal(via_plan, via_global)
+
+
+class TestReferences:
+    def test_reference_heat_dissipates_variance(self):
+        init = default_init((12, 12), 1)
+        out = reference_heat(init, 20, coef=0.1, bc=Neumann(), ghost=1)
+        assert out.std() < interior(init, 1).std()
+
+    def test_reference_compute_intensive_additive(self):
+        init = np.zeros((4, 4))
+        out = reference_compute_intensive(init, 3, kernel_iteration=2)
+        np.testing.assert_allclose(out, 6.0)

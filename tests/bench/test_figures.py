@@ -1,0 +1,125 @@
+"""Bench harness smoke tests: every figure function at tiny sizes.
+
+The full-scale runs live under ``benchmarks/``; here we verify the
+experiment code paths, table schemas, and harness file output quickly.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import figures
+from repro.bench.harness import run_all
+from repro.bench.report import Table
+from repro.errors import ReproError
+
+SMALL = (32, 32, 32)
+
+
+class TestTable:
+    def test_add_row_and_format(self):
+        t = Table(title="T", columns=["a", "b"])
+        t.add_row(1, 2.5)
+        t.add_note("hello")
+        out = t.format()
+        assert "T" in out and "2.5" in out and "note: hello" in out
+
+    def test_row_arity_checked(self):
+        t = Table(title="T", columns=["a", "b"])
+        with pytest.raises(ReproError):
+            t.add_row(1)
+
+    def test_column_and_row_by(self):
+        t = Table(title="T", columns=["k", "v"])
+        t.add_row("x", 1.0)
+        t.add_row("y", 2.0)
+        assert t.column("v") == [1.0, 2.0]
+        assert t.row_by("k", "y") == ["y", 2.0]
+        with pytest.raises(ReproError):
+            t.column("missing")
+        with pytest.raises(ReproError):
+            t.row_by("k", "z")
+
+    def test_markdown(self):
+        t = Table(title="T", columns=["a"])
+        t.add_row(3)
+        md = t.to_markdown()
+        assert md.startswith("### T")
+        assert "| 3 |" in md
+
+    def test_save_json(self, tmp_path):
+        t = Table(title="T", columns=["a"])
+        t.add_row(3)
+        p = t.save_json(tmp_path / "t.json")
+        data = json.loads(p.read_text())
+        assert data["rows"] == [[3]]
+
+
+class TestFigureFunctions:
+    def test_figure1_schema(self):
+        t = figures.figure1(shape=SMALL, steps=2)
+        assert t.columns == ["model", "memory", "seconds"]
+        assert len(t.rows) == 9
+        assert all(r[2] > 0 for r in t.rows)
+
+    def test_figure3_overlap(self):
+        r = figures.figure3(shape=SMALL, n_regions=4)
+        assert 0.0 <= r.overlap_fraction <= 1.0
+        assert "legend" in r.gantt
+
+    def test_figure4_has_both_lanes(self):
+        r = figures.figure4(shape=SMALL, n_regions=4)
+        host = r.table.row_by("quantity", "host index computation")[1]
+        gpu = r.table.row_by("quantity", "gpu ghost kernels")[1]
+        assert host > 0 and gpu > 0
+
+    def test_figure5_schema(self):
+        t = figures.figure5(shape=SMALL, iterations=(1, 5), n_regions=4)
+        assert t.columns[0] == "iterations"
+        assert len(t.rows) == 2
+
+    def test_figure6_schema(self):
+        t = figures.figure6(shape=SMALL, steps=2, n_regions=4, kernel_iteration=4)
+        names = t.column("implementation")
+        assert "tida-acc" in names and "cuda-pinned-fastmath" in names
+
+    def test_figure7_two_slots(self):
+        r = figures.figure7(shape=(64, 64, 64), steps=2, n_regions=4)
+        assert r.overlap_fraction > 0.0
+
+    def test_figure8_schema(self):
+        t = figures.figure8(shape=(64, 64, 64), steps=5, n_regions=4)
+        assert len(t.rows) == 3
+        limited = t.row_by("configuration", "tida-acc limited memory")
+        assert limited[2] == 2  # slots
+
+    def test_ablation_region_count(self):
+        t = figures.ablation_region_count(shape=SMALL, steps=2, candidates=(1, 2, 4))
+        assert len(t.rows) == 3
+        assert all(r[1] > 0 and r[2] > 0 for r in t.rows)
+
+    def test_ablation_interconnect(self):
+        t = figures.ablation_interconnect(shape=SMALL, steps=1, n_regions=4)
+        pcie = t.row_by("interconnect", "pcie-gen3-x16")
+        nvl = t.row_by("interconnect", "nvlink-1.0")
+        assert nvl[1] < pcie[1]  # faster link, faster CUDA transfers
+
+    def test_ablation_model_accuracy(self):
+        t = figures.ablation_model_accuracy(shape=(64, 64, 64), n_regions=4)
+        assert all(0.3 < row[3] < 3.0 for row in t.rows)
+
+    def test_ablation_tile_size_monotone_launches(self):
+        t = figures.ablation_tile_size(shape=(64, 64, 64), steps=2, n_regions=4)
+        launches = t.column("kernel_launches")
+        assert launches[0] < launches[1] <= launches[2]
+
+
+class TestHarness:
+    def test_run_all_quick_writes_files(self, tmp_path):
+        tables = run_all(tmp_path, quick=True, echo=False)
+        assert len(tables) == 13
+        assert (tmp_path / "fig5.json").exists()
+        assert (tmp_path / "fig7.txt").exists()
+        assert (tmp_path / "all_results.md").exists()
+        md = (tmp_path / "all_results.md").read_text()
+        assert md.count("###") == 13

@@ -1,0 +1,126 @@
+"""Failure injection across the TiDA-acc stack."""
+
+import numpy as np
+import pytest
+
+from repro.core.library import TidaAcc
+from repro.core.tile_acc import TileAcc
+from repro.cuda.kernel import KernelSpec
+from repro.cuda.runtime import CudaRuntime
+from repro.errors import (
+    CudaMemoryAllocationError,
+    TidaError,
+    TileAccError,
+)
+from repro.openacc.runtime import AccRuntime
+from repro.tida.tile_array import TileArray
+
+
+class TestOutOfMemory:
+    def test_second_field_does_not_fit(self, machine):
+        """The first field's TileAcc grabs the memory; the second can't
+        get even one slot."""
+        region_bytes = 4 * 8
+        rt = CudaRuntime(machine, device_memory_limit=region_bytes + 8)
+        acc = AccRuntime(rt)
+        ta1 = TileArray((16,), n_regions=4, runtime=rt, label="a")
+        mgr1 = TileAcc(rt, acc, ta1)
+        assert mgr1.n_slots == 1
+        mgr1.request_device(0)  # slot buffer now allocated
+        ta2 = TileArray((16,), n_regions=4, runtime=rt, label="b")
+        with pytest.raises(TileAccError):
+            TileAcc(rt, acc, ta2)
+
+    def test_mid_run_realloc_oom_surfaces_and_recovers(self, machine):
+        """Uneven regions force a realloc; if a rogue allocation stole the
+        memory meanwhile, request_device raises cudaErrorMemoryAllocation
+        without corrupting state, and works again once memory returns."""
+        rt = CudaRuntime(machine, device_memory_limit=184)
+        acc = AccRuntime(rt)
+        # interiors 4,4,2 -> ghosted local buffers of 48,48,32 bytes
+        ta = TileArray((10,), n_regions=3, runtime=rt, ghost=1, label="u")
+        mgr = TileAcc(rt, acc, ta, n_slots=1)
+        mgr.request_device(2)           # small edge region: 32-byte buffer
+        hog = rt.malloc((18,))          # 144 bytes
+        mgr.request_host(2)
+        with pytest.raises(CudaMemoryAllocationError):
+            # region 0 needs a 48-byte buffer: realloc frees 32 but only
+            # 40 are free -> cudaErrorMemoryAllocation
+            mgr.request_device(0)
+        rt.free(hog)
+        buf, _ = mgr.request_device(0)  # recovers once memory is back
+        assert buf.shape == (6,)
+        mgr.request_host(0)
+
+    def test_library_reports_unfittable_field(self, machine):
+        lib = TidaAcc(machine, device_memory_limit=64)
+        with pytest.raises(TileAccError):
+            lib.add_array("u", (64,), n_regions=2)  # 32-cell regions: 256 B
+
+
+class TestApiMisuse:
+    def test_compute_with_foreign_tile(self, machine):
+        lib_a = TidaAcc(machine)
+        lib_b = TidaAcc(machine)
+        lib_a.add_array("u", (8,), n_regions=2)
+        lib_b.add_array("u", (8,), n_regions=2)
+        tile_from_b = lib_b.field("u").tiles()[0]
+        k = KernelSpec(name="k", body=None, bytes_per_cell=8.0)
+        with pytest.raises(TidaError):
+            lib_a.compute(tile_from_b, k, gpu=True)
+
+    def test_iterator_mixing_libraries(self, machine):
+        from repro.tida.tile_iterator import TileIterator
+        lib_a = TidaAcc(machine)
+        lib_a.add_array("u", (8,), n_regions=2)
+        foreign = TileArray((8,), n_regions=2)
+        it = TileIterator(lib_a.field("u"), foreign)
+        k = KernelSpec(name="k", body=None, bytes_per_cell=8.0)
+        with pytest.raises(TidaError):
+            lib_a.compute(it.reset(gpu=True), k)
+
+    def test_swap_unknown_field(self, machine):
+        lib = TidaAcc(machine)
+        lib.add_array("u", (8,), n_regions=2)
+        with pytest.raises(TidaError):
+            lib.swap("u", "ghost-field")
+
+    def test_fill_boundary_unknown_field(self, machine):
+        lib = TidaAcc(machine)
+        with pytest.raises(TidaError):
+            lib.fill_boundary("nope")
+
+    def test_mismatched_acc_runtime(self, machine):
+        rt_a = CudaRuntime(machine)
+        rt_b = CudaRuntime(machine)
+        with pytest.raises(TileAccError):
+            TidaAcc(runtime=rt_a, acc=AccRuntime(rt_b))
+
+
+class TestStateRecovery:
+    def test_failed_compute_leaves_cache_consistent(self, machine):
+        """A kernel body that raises (user bug) must not corrupt the cache:
+        the next request works and data is intact."""
+        lib = TidaAcc(machine)
+        lib.add_array("u", (8,), n_regions=2, fill=3.0)
+
+        def bad_body(arr, lo, hi):
+            raise RuntimeError("user bug")
+
+        bad = KernelSpec(name="bad", body=bad_body, bytes_per_cell=8.0)
+        tile = lib.field("u").tiles()[0]
+        with pytest.raises(RuntimeError):
+            lib.compute(tile, bad, gpu=True)
+        # the region is marked device-resident (launch was issued); the
+        # library can still round-trip it
+        assert np.all(lib.gather("u") == 3.0)
+
+    def test_oom_field_leaves_library_usable(self, machine):
+        lib = TidaAcc(machine, device_memory_limit=1024)
+        lib.add_array("small", (8,), n_regions=2, fill=1.0)
+        with pytest.raises(TileAccError):
+            lib.add_array("huge", (4096,), n_regions=2)
+        # the failed field is not half-registered
+        with pytest.raises(TidaError):
+            lib.field("huge")
+        assert np.all(lib.gather("small") == 1.0)

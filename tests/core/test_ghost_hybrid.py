@@ -1,0 +1,129 @@
+"""Hybrid CPU/GPU ghost update: correctness vs the host path, and overlap."""
+
+import numpy as np
+import pytest
+
+from repro.core.library import TidaAcc
+from repro.tida.boundary import Dirichlet, Neumann, Periodic
+from repro.tida.tile_array import TileArray
+
+
+def fresh_lib(machine, shape, spec, fill_data, ghost=1, **lib_kw):
+    lib = TidaAcc(machine, functional=True, **lib_kw)
+    lib.add_array("u", shape, ghost=ghost, **spec)
+    lib.field("u").from_global(fill_data)
+    return lib
+
+
+def host_reference(shape, spec, data, bc, ghost=1):
+    """Plain TiDA host-side exchange as the oracle."""
+    ta = TileArray(shape, ghost=ghost, **spec)
+    ta.from_global(data)
+    ta.fill_boundary(bc)
+    return ta
+
+
+@pytest.mark.parametrize("bc", [Neumann(), Dirichlet(1.5), Periodic(), None])
+@pytest.mark.parametrize("shape,spec", [
+    ((12,), {"n_regions": 3}),
+    ((8, 8), {"region_shape": (4, 4)}),
+    ((6, 6, 6), {"n_regions": 3}),
+])
+def test_device_update_matches_host_path(machine, bc, shape, spec):
+    rng = np.random.default_rng(3)
+    data = rng.random(shape)
+    lib = fresh_lib(machine, shape, spec, data)
+    # put every region on the device first so the GPU path is taken
+    mgr = lib.manager("u")
+    for rid in range(lib.field("u").n_regions):
+        mgr.request_device(rid)
+    lib.fill_boundary("u", bc)
+    oracle = host_reference(shape, spec, data, bc)
+    mgr.flush_to_host()
+    for region, ref_region in zip(lib.field("u").regions, oracle.regions):
+        np.testing.assert_array_equal(region.array, ref_region.array)
+
+
+def test_device_path_used_when_resident(machine):
+    data = np.arange(12, dtype=float)
+    lib = fresh_lib(machine, (12,), {"n_regions": 3}, data)
+    mgr = lib.manager("u")
+    for rid in range(3):
+        mgr.request_device(rid)
+    lib.fill_boundary("u", Neumann())
+    ghost_kernels = [e for e in lib.trace if e.name.startswith(("ghost:", "bc-faces"))]
+    assert ghost_kernels, "expected device-side ghost kernels"
+    assert all(mgr.is_on_device(rid) for rid in range(3))
+
+
+def test_host_fallback_when_regions_on_host(machine):
+    data = np.arange(12, dtype=float)
+    lib = fresh_lib(machine, (12,), {"n_regions": 3}, data)
+    lib.fill_boundary("u", Neumann())  # nothing resident: host path
+    assert not [e for e in lib.trace if e.name.startswith("ghost:")]
+    assert [e for e in lib.trace if e.name.startswith("fill_boundary-host")]
+
+
+def test_mixed_residency_falls_back_consistently(machine):
+    """One region on device, neighbours on host: everything lands on host
+    and the values still match the oracle."""
+    data = np.arange(12, dtype=float)
+    lib = fresh_lib(machine, (12,), {"n_regions": 3}, data)
+    lib.manager("u").request_device(1)
+    lib.fill_boundary("u", Neumann())
+    oracle = host_reference((12,), {"n_regions": 3}, data, Neumann())
+    lib.manager("u").flush_to_host()
+    for region, ref_region in zip(lib.field("u").regions, oracle.regions):
+        np.testing.assert_array_equal(region.array, ref_region.array)
+
+
+def test_zero_ghost_is_noop(machine):
+    lib = TidaAcc(machine)
+    lib.add_array("u", (12,), n_regions=3, ghost=0)
+    t0 = lib.now
+    lib.fill_boundary("u", Neumann())
+    assert lib.now == t0
+    assert len(lib.trace) == 0
+
+
+def test_host_index_work_overlaps_gpu_kernels(machine):
+    """Fig. 4's property: index computation (host lane) overlaps the ghost
+    kernels (compute lane) in virtual time."""
+    lib = TidaAcc(machine, functional=False)
+    lib.add_array("u", (64, 64, 64), n_regions=8, ghost=1)
+    mgr = lib.manager("u")
+    for rid in range(8):
+        mgr.request_device(rid)
+    lib.synchronize()
+    start = len(lib.trace)
+    lib.fill_boundary("u", Neumann())
+    events = lib.trace.events[start:]
+    host_idx = [e for e in events if e.name.startswith(("ghost-idx", "bc-idx"))]
+    kernels = [e for e in events if e.category == "kernel"]
+    assert host_idx and kernels
+    # at least one index computation runs while some kernel executes
+    overlapped = any(
+        h.start < k.end and k.start < h.end for h in host_idx for k in kernels
+    )
+    assert overlapped
+
+
+def test_update_keeps_timestep_loop_correct_with_limited_memory(machine):
+    """Ghost exchange with eviction in the mix (regions 0 and 2 share a slot)."""
+    from repro.baselines.common import reference_heat, default_init
+    from repro.kernels.heat import heat_kernel
+    shape = (12,)
+    init = default_init(shape, 1)
+    lib = TidaAcc(machine)
+    lib.add_array("old", shape, n_regions=3, ghost=1, n_slots=2)
+    lib.add_array("new", shape, n_regions=3, ghost=1, n_slots=2)
+    lib.field("old").from_global(init[1:-1])
+    lib.field("new").from_global(init[1:-1])
+    k = heat_kernel(1)
+    for _ in range(4):
+        lib.fill_boundary("old", Neumann())
+        for dst_t, src_t in lib.iterator("new", "old").reset(gpu=True):
+            lib.compute((dst_t, src_t), k, gpu=True, params={"coef": 0.1})
+        lib.swap("old", "new")
+    ref = reference_heat(init, 4, coef=0.1, bc=Neumann(), ghost=1)
+    np.testing.assert_allclose(lib.gather("old"), ref)

@@ -1,0 +1,197 @@
+"""TidaAcc facade: fields, iterators, compute dispatch, swap, gather."""
+
+import numpy as np
+import pytest
+
+from repro.core.library import TidaAcc
+from repro.cuda.kernel import KernelSpec
+from repro.errors import TidaError
+from repro.kernels.heat import heat_kernel
+
+
+def scale_kernel():
+    def body(arr, lo, hi, factor=2.0):
+        view = arr[tuple(slice(l, h) for l, h in zip(lo, hi))]
+        view *= factor
+    return KernelSpec(name="scale", body=body, bytes_per_cell=16.0, flops_per_cell=1.0)
+
+
+def axpy_kernel():
+    """dst = dst + a*src over the tile bounds (two-array kernel)."""
+    def body(dst, src, lo, hi, a=1.0):
+        sl = tuple(slice(l, h) for l, h in zip(lo, hi))
+        dst[sl] += a * src[sl]
+    return KernelSpec(name="axpy", body=body, bytes_per_cell=24.0, flops_per_cell=2.0)
+
+
+@pytest.fixture
+def lib(machine):
+    return TidaAcc(machine, functional=True)
+
+
+class TestFields:
+    def test_add_and_lookup(self, lib):
+        ta = lib.add_array("u", (16,), n_regions=4, ghost=1)
+        assert lib.field("u") is ta
+        assert lib.manager("u").tile_array is ta
+        assert lib.name_of(ta) == "u"
+        assert lib.field_names() == ["u"]
+
+    def test_duplicate_name_rejected(self, lib):
+        lib.add_array("u", (16,), n_regions=4)
+        with pytest.raises(TidaError):
+            lib.add_array("u", (16,), n_regions=4)
+
+    def test_unknown_field(self, lib):
+        with pytest.raises(TidaError):
+            lib.field("nope")
+
+    def test_unregistered_array(self, lib):
+        from repro.tida.tile_array import TileArray
+        foreign = TileArray((8,), n_regions=2)
+        with pytest.raises(TidaError):
+            lib.name_of(foreign)
+
+    def test_fields_are_pinned(self, lib):
+        ta = lib.add_array("u", (16,), n_regions=4)
+        assert all(r.data.pinned for r in ta.regions)
+
+
+class TestComputeDispatch:
+    def test_gpu_single_array(self, lib):
+        lib.add_array("u", (16,), n_regions=4, fill=1.0)
+        for (tile,) in lib.iterator("u").reset(gpu=True):
+            lib.compute(tile, scale_kernel(), gpu=True, params={"factor": 3.0})
+        assert np.all(lib.gather("u") == 3.0)
+
+    def test_cpu_single_array(self, lib):
+        lib.add_array("u", (16,), n_regions=4, fill=1.0)
+        for (tile,) in lib.iterator("u").reset(gpu=False):
+            lib.compute(tile, scale_kernel(), gpu=False, params={"factor": 3.0})
+        assert np.all(lib.gather("u") == 3.0)
+
+    def test_iterator_gpu_flag_respected(self, lib):
+        lib.add_array("u", (16,), n_regions=4, fill=1.0)
+        it = lib.iterator("u").reset(gpu=True)
+        while it.is_valid():
+            lib.compute(it, scale_kernel())
+            it.next()
+        assert len(lib.trace.by_category("kernel")) == 4
+        assert np.all(lib.gather("u") == 2.0)
+
+    def test_cpu_and_gpu_give_identical_results(self, machine):
+        results = []
+        for gpu in (False, True):
+            lib = TidaAcc(machine)
+            lib.add_array("u", (16,), n_regions=4)
+            lib.field("u").from_global(np.arange(16, dtype=float))
+            for (tile,) in lib.iterator("u").reset(gpu=gpu):
+                lib.compute(tile, scale_kernel(), gpu=gpu)
+            results.append(lib.gather("u"))
+        np.testing.assert_array_equal(results[0], results[1])
+
+    def test_multi_array_compute(self, lib):
+        lib.add_array("dst", (16,), n_regions=4, fill=1.0)
+        lib.add_array("src", (16,), n_regions=4, fill=5.0)
+        for dst_t, src_t in lib.iterator("dst", "src").reset(gpu=True):
+            lib.compute((dst_t, src_t), axpy_kernel(), gpu=True, params={"a": 2.0})
+        assert np.all(lib.gather("dst") == 11.0)
+
+    def test_bounds_subrange(self, lib):
+        lib.add_array("u", (16,), n_regions=2, fill=1.0)
+        tiles = lib.field("u").tiles()
+        lib.compute(tiles[0], scale_kernel(), gpu=True, bounds=((2,), (5,)))
+        out = lib.gather("u")
+        assert np.all(out[2:5] == 2.0)
+        assert np.all(out[:2] == 1.0) and np.all(out[5:] == 1.0)
+
+    def test_mixed_cpu_gpu_phases(self, lib):
+        """GPU step then CPU step then GPU step: caching keeps data coherent."""
+        lib.add_array("u", (16,), n_regions=4, fill=1.0)
+        for gpu in (True, False, True):
+            for (tile,) in lib.iterator("u").reset(gpu=gpu):
+                lib.compute(tile, scale_kernel(), gpu=gpu)
+        assert np.all(lib.gather("u") == 8.0)
+
+    def test_tiles_must_share_region(self, lib):
+        lib.add_array("a", (16,), n_regions=4)
+        lib.add_array("b", (16,), n_regions=4)
+        ta = lib.field("a").tiles()
+        tb = lib.field("b").tiles()
+        with pytest.raises(TidaError):
+            lib.compute((ta[0], tb[1]), axpy_kernel(), gpu=True)
+
+    def test_tile_without_array_rejected(self, lib):
+        from repro.tida.tile import Tile
+        lib.add_array("u", (16,), n_regions=4)
+        region = lib.field("u").region(0)
+        naked = Tile(region, region.box, None)
+        with pytest.raises(TidaError):
+            lib.compute(naked, scale_kernel(), gpu=True)
+
+    def test_bad_tiles_argument(self, lib):
+        with pytest.raises(TidaError):
+            lib.compute("nope", scale_kernel())
+
+    def test_gpu_kernel_launched_on_slot_stream(self, lib):
+        lib.add_array("u", (16,), n_regions=4, fill=1.0)
+        tile = lib.field("u").tiles()[2]
+        lib.compute(tile, scale_kernel(), gpu=True)
+        ev = lib.trace.by_category("kernel")[0]
+        assert ev.stream == lib.manager("u").slot_for(2).stream.stream_id
+
+
+class TestSwap:
+    def test_swap_renames_everything(self, lib):
+        a = lib.add_array("old", (8,), n_regions=2, fill=1.0)
+        b = lib.add_array("new", (8,), n_regions=2, fill=2.0)
+        lib.swap("old", "new")
+        assert lib.field("old") is b
+        assert lib.field("new") is a
+        assert lib.name_of(a) == "new"
+        assert np.all(lib.gather("old") == 2.0)
+
+    def test_swap_preserves_device_state(self, lib):
+        lib.add_array("old", (8,), n_regions=2, fill=1.0)
+        lib.add_array("new", (8,), n_regions=2, fill=0.0)
+        mgr_new = lib.manager("new")
+        mgr_new.request_device(0)
+        lib.swap("old", "new")
+        # the manager travelled with the array under its new name
+        assert lib.manager("old") is mgr_new
+        assert lib.manager("old").is_on_device(0)
+
+    def test_time_loop_with_swap(self, lib):
+        """old/new ping-pong like the heat driver, using copy semantics."""
+        lib.add_array("old", (8,), n_regions=2, fill=1.0)
+        lib.add_array("new", (8,), n_regions=2)
+        for _ in range(3):
+            for dst_t, src_t in lib.iterator("new", "old").reset(gpu=True):
+                lib.compute((dst_t, src_t), axpy_kernel(), gpu=True)
+            lib.swap("old", "new")
+        # new = new + old each step from (0,1): 1, then old=1 -> values grow
+        assert lib.gather("old").sum() > 0
+
+
+class TestGatherScatter:
+    def test_scatter_then_gather(self, lib):
+        lib.add_array("u", (16,), n_regions=4)
+        data = np.arange(16, dtype=float)
+        lib.scatter("u", data)
+        np.testing.assert_array_equal(lib.gather("u"), data)
+
+    def test_scatter_flushes_device_copies(self, lib):
+        lib.add_array("u", (16,), n_regions=4, fill=1.0)
+        lib.manager("u").request_device(0)
+        lib.scatter("u", np.zeros(16))
+        # device copy is now stale; next GPU access must re-upload
+        h2d_before = lib.manager("u").h2d_count
+        lib.manager("u").request_device(0)
+        assert lib.manager("u").h2d_count == h2d_before + 1
+
+    def test_synchronize_advances_clock_past_queues(self, lib):
+        lib.add_array("u", (16,), n_regions=4, fill=1.0)
+        for (tile,) in lib.iterator("u").reset(gpu=True):
+            lib.compute(tile, scale_kernel(), gpu=True)
+        end = lib.synchronize()
+        assert lib.now >= end

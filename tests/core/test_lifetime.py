@@ -1,0 +1,46 @@
+"""Library lifetime: context-manager close flushes and frees device memory."""
+
+import numpy as np
+
+from repro.core.library import TidaAcc
+from repro.cuda.kernel import KernelSpec
+
+
+def scale2():
+    def body(arr, lo, hi):
+        arr[tuple(slice(l, h) for l, h in zip(lo, hi))] *= 2.0
+    return KernelSpec(name="scale2", body=body, bytes_per_cell=16.0)
+
+
+def test_close_flushes_and_frees(machine):
+    lib = TidaAcc(machine)
+    lib.add_array("u", (16,), n_regions=4, fill=1.0)
+    for (tile,) in lib.iterator("u").reset(gpu=True):
+        lib.compute(tile, scale2(), gpu=True)
+    free_mid = lib.runtime.mem_get_info()[0]
+    lib.close()
+    assert lib.runtime.mem_get_info()[0] > free_mid          # slots freed
+    assert np.all(lib.field("u").to_global() == 2.0)          # results flushed
+
+
+def test_context_manager(machine):
+    with TidaAcc(machine) as lib:
+        lib.add_array("u", (16,), n_regions=2, fill=3.0)
+        lib.manager("u").request_device(0)
+    free, total = lib.runtime.mem_get_info()
+    assert free == total  # everything released
+    assert np.all(lib.field("u").to_global() == 3.0)
+
+
+def test_close_with_read_only_field(machine):
+    with TidaAcc(machine) as lib:
+        lib.add_array("coef", (16,), n_regions=2, access="ro", fill=1.0)
+        lib.manager("coef").request_device(0)
+    assert lib.runtime.mem_get_info()[0] == lib.runtime.mem_get_info()[1]
+
+
+def test_close_idempotent(machine):
+    lib = TidaAcc(machine)
+    lib.add_array("u", (16,), n_regions=2)
+    lib.close()
+    lib.close()  # second close is a no-op, not an error

@@ -1,0 +1,103 @@
+"""Read-only field hint: write-back elimination without losing coherence."""
+
+import numpy as np
+import pytest
+
+from repro.core.library import TidaAcc
+from repro.cuda.kernel import KernelSpec
+from repro.errors import TidaError
+
+
+def axpy_kernel():
+    def body(dst, coef, lo, hi, a=1.0):
+        sl = tuple(slice(l, h) for l, h in zip(lo, hi))
+        dst[sl] += a * coef[sl]
+    return KernelSpec(name="axpy-coef", body=body, bytes_per_cell=24.0, flops_per_cell=2.0)
+
+
+@pytest.fixture
+def lib(machine):
+    lib = TidaAcc(machine)
+    lib.add_array("u", (16,), n_regions=4, fill=0.0)
+    lib.add_array("coef", (16,), n_regions=4, access="ro")
+    lib.field("coef").from_global(np.arange(16, dtype=float))
+    return lib
+
+
+class TestReadOnlySemantics:
+    def test_invalid_access_value(self, machine):
+        lib = TidaAcc(machine)
+        with pytest.raises(TidaError):
+            lib.add_array("x", (8,), n_regions=2, access="wo")
+
+    def test_compute_with_ro_coefficient(self, lib):
+        for u_t, c_t in lib.iterator("u", "coef").reset(gpu=True):
+            lib.compute((u_t, c_t), axpy_kernel(), gpu=True, params={"a": 2.0})
+        np.testing.assert_allclose(lib.gather("u"), 2.0 * np.arange(16.0))
+
+    def test_host_read_of_ro_field_free(self, lib):
+        mgr = lib.manager("coef")
+        for rid in range(4):
+            mgr.request_device(rid)
+        d2h_before = mgr.d2h_count
+        for rid in range(4):
+            mgr.request_host(rid)
+        assert mgr.d2h_count == d2h_before
+
+    def test_ro_host_read_keeps_device_copy_valid(self, lib):
+        mgr = lib.manager("coef")
+        mgr.request_device(0)
+        mgr.request_host(0)
+        h2d_before = mgr.h2d_count
+        mgr.request_device(0)       # still a cache hit
+        assert mgr.h2d_count == h2d_before
+
+    def test_eviction_of_ro_field_is_free(self, machine):
+        lib = TidaAcc(machine)
+        lib.add_array("coef", (16,), n_regions=4, n_slots=2, access="ro")
+        lib.field("coef").from_global(np.arange(16.0))
+        mgr = lib.manager("coef")
+        for rid in range(4):
+            mgr.request_device(rid)     # wraps around the 2 slots
+        assert mgr.d2h_count == 0       # rw field would have written back
+        assert mgr.h2d_count == 4
+
+    def test_rw_field_still_writes_back(self, machine):
+        lib = TidaAcc(machine)
+        lib.add_array("u", (16,), n_regions=4, n_slots=2)
+        mgr = lib.manager("u")
+        for rid in range(4):
+            mgr.request_device(rid)
+        assert mgr.d2h_count == 2       # two evictions wrote back
+
+    def test_invalidate_device_forces_reupload(self, lib):
+        mgr = lib.manager("coef")
+        mgr.request_device(0)
+        lib.field("coef").from_global(np.ones(16))
+        mgr.invalidate_device()
+        buf, _ = mgr.request_device(0)
+        assert np.all(buf.array[:4] == 1.0)
+
+    def test_streaming_transfer_savings(self, machine):
+        """In a 2-slot streaming loop, the ro coefficient halves total D2H
+        traffic versus making it rw — the extension's point."""
+        def run(access):
+            lib = TidaAcc(machine, functional=False)
+            lib.add_array("u", (64, 64, 64), n_regions=8, n_slots=2)
+            lib.add_array("coef", (64, 64, 64), n_regions=8, n_slots=2, access=access)
+            k = KernelSpec(name="k", body=None, bytes_per_cell=24.0, flops_per_cell=2.0)
+            for _ in range(3):
+                for u_t, c_t in lib.iterator("u", "coef").reset(gpu=True):
+                    lib.compute((u_t, c_t), k, gpu=True)
+            return lib.manager("u").d2h_count + lib.manager("coef").d2h_count, lib.now
+
+        rw_transfers, rw_time = run("rw")
+        ro_transfers, ro_time = run("ro")
+        assert ro_transfers < rw_transfers
+        assert ro_time < rw_time
+
+    def test_release_device_memory_allowed_when_ro(self, lib):
+        mgr = lib.manager("coef")
+        mgr.request_device(0)
+        mgr.release_device_memory()     # no flush needed for ro fields
+        assert all(slot.buffer is None for slot in mgr.slots)

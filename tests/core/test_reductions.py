@@ -1,0 +1,118 @@
+"""Device and host reductions over tiled fields."""
+
+import numpy as np
+import pytest
+
+from repro.core.library import TidaAcc
+from repro.errors import TidaError
+from repro.kernels.reductions import (
+    dot_reduction,
+    max_reduction,
+    norm2_reduction,
+    sum_reduction,
+)
+
+
+@pytest.fixture
+def lib(machine):
+    lib = TidaAcc(machine)
+    lib.add_array("u", (16,), n_regions=4, ghost=1)
+    lib.field("u").from_global(np.arange(16, dtype=float))
+    return lib
+
+
+class TestFunctionalValues:
+    def test_sum_gpu(self, lib):
+        assert lib.reduce_field("u", sum_reduction()) == pytest.approx(120.0)
+
+    def test_sum_cpu(self, lib):
+        assert lib.reduce_field("u", sum_reduction(), gpu=False) == pytest.approx(120.0)
+
+    def test_max(self, lib):
+        assert lib.reduce_field("u", max_reduction()) == 15.0
+
+    def test_norm2(self, lib):
+        expected = float((np.arange(16.0) ** 2).sum())
+        assert lib.reduce_field("u", norm2_reduction()) == pytest.approx(expected)
+
+    def test_dot_two_fields(self, machine):
+        lib = TidaAcc(machine)
+        lib.add_array("a", (16,), n_regions=4)
+        lib.add_array("b", (16,), n_regions=4)
+        a = np.arange(16.0)
+        b = np.full(16, 2.0)
+        lib.scatter("a", a)
+        lib.scatter("b", b)
+        assert lib.reduce_field(["a", "b"], dot_reduction()) == pytest.approx(a @ b)
+
+    def test_ghosts_excluded(self, machine):
+        """Ghost cells must not contaminate the reduction."""
+        lib = TidaAcc(machine)
+        lib.add_array("u", (8,), n_regions=2, ghost=2, fill=0.0)
+        lib.scatter("u", np.ones(8))
+        # poison ghost cells
+        for region in lib.field("u").regions:
+            region.array[:2] = 1e9
+            region.array[-2:] = 1e9
+        assert lib.reduce_field("u", sum_reduction()) == pytest.approx(8.0)
+
+    def test_reduction_sees_device_state(self, lib):
+        """A GPU kernel's writes are visible to a following reduction
+        without any host round trip."""
+        from repro.cuda.kernel import KernelSpec
+
+        def body(arr, lo, hi):
+            arr[tuple(slice(l, h) for l, h in zip(lo, hi))] += 1.0
+
+        k = KernelSpec(name="inc", body=body, bytes_per_cell=16.0)
+        for (tile,) in lib.iterator("u").reset(gpu=True):
+            lib.compute(tile, k, gpu=True)
+        assert lib.reduce_field("u", sum_reduction()) == pytest.approx(120.0 + 16)
+
+    def test_gpu_cpu_agree(self, lib):
+        g = lib.reduce_field("u", norm2_reduction(), gpu=True)
+        c = lib.reduce_field("u", norm2_reduction(), gpu=False)
+        assert g == pytest.approx(c)
+
+    def test_incompatible_fields_rejected(self, machine):
+        lib = TidaAcc(machine)
+        lib.add_array("a", (16,), n_regions=4)
+        lib.add_array("b", (16,), n_regions=2)
+        with pytest.raises(TidaError):
+            lib.reduce_field(["a", "b"], dot_reduction())
+
+
+class TestSchedulingShape:
+    def test_one_kernel_per_region_one_partial_download(self, lib):
+        before_k = len(lib.trace.by_category("kernel"))
+        before_d = len(lib.trace.by_category("d2h"))
+        lib.reduce_field("u", sum_reduction())
+        kernels = [e for e in lib.trace.by_category("kernel")[before_k:]]
+        d2h = [e for e in lib.trace.by_category("d2h")[before_d:]]
+        assert len(kernels) == 4
+        assert len(d2h) == 1            # batched partial download
+        assert d2h[0].nbytes == 4 * 8
+
+    def test_partials_download_waits_for_all_kernels(self, lib):
+        lib.reduce_field("u", sum_reduction())
+        kernels = [e for e in lib.trace.by_category("kernel") if e.name.startswith("reduce:")]
+        download = [e for e in lib.trace.by_category("d2h") if "partials" in e.name][0]
+        assert download.start >= max(k.end for k in kernels)
+
+    def test_host_blocked_until_result(self, lib):
+        lib.reduce_field("u", sum_reduction())
+        download = [e for e in lib.trace.by_category("d2h") if "partials" in e.name][0]
+        assert lib.now >= download.end
+
+    def test_no_leak_of_partial_buffers(self, lib):
+        lib.reduce_field("u", sum_reduction())   # slot buffers now allocated
+        free0 = lib.runtime.mem_get_info()[0]
+        lib.reduce_field("u", sum_reduction())   # steady state: no net change
+        assert lib.runtime.mem_get_info()[0] == free0
+
+    def test_timing_only_mode(self, machine):
+        lib = TidaAcc(machine, functional=False)
+        lib.add_array("u", (128, 128, 128), n_regions=4)
+        out = lib.reduce_field("u", sum_reduction())
+        assert out == sum_reduction().identity  # no data: identity fold
+        assert lib.now > 0

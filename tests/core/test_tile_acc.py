@@ -1,0 +1,254 @@
+"""TileAcc: slot sizing, the cache protocol, eviction, transfers.
+
+Includes a hypothesis state-machine-style test: a random sequence of
+host/device accesses is checked against a naive model of the paper's
+cache list — and data integrity is verified at every step.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.slots import DEVICE, EMPTY, HOST
+from repro.core.tile_acc import TileAcc
+from repro.cuda.runtime import CudaRuntime
+from repro.errors import TileAccError
+from repro.openacc.runtime import AccRuntime
+from repro.tida.tile_array import TileArray
+
+
+def make_stack(machine, *, n_regions=4, shape=(16,), ghost=0, n_slots=None,
+               device_memory_limit=None, functional=True):
+    rt = CudaRuntime(machine, functional=functional, device_memory_limit=device_memory_limit)
+    acc = AccRuntime(rt)
+    ta = TileArray(shape, n_regions=n_regions, ghost=ghost, runtime=rt, label="f")
+    mgr = TileAcc(rt, acc, ta, n_slots=n_slots)
+    return rt, acc, ta, mgr
+
+
+class TestSlotSizing:
+    def test_all_regions_fit(self, machine):
+        _, _, _, mgr = make_stack(machine, n_regions=4)
+        assert mgr.n_slots == 4
+
+    def test_limited_memory_fewer_slots(self, machine):
+        region_bytes = (16 // 4) * 8
+        _, _, _, mgr = make_stack(
+            machine, n_regions=4, device_memory_limit=2 * region_bytes + 8
+        )
+        assert mgr.n_slots == 2
+
+    def test_explicit_n_slots(self, machine):
+        _, _, _, mgr = make_stack(machine, n_regions=4, n_slots=2)
+        assert mgr.n_slots == 2
+
+    def test_n_slots_capped_at_regions(self, machine):
+        _, _, _, mgr = make_stack(machine, n_regions=4, n_slots=99)
+        assert mgr.n_slots == 4
+
+    def test_n_slots_exceeding_memory_rejected(self, machine):
+        region_bytes = (16 // 4) * 8
+        with pytest.raises(TileAccError):
+            make_stack(machine, n_regions=4, n_slots=4,
+                       device_memory_limit=2 * region_bytes + 8)
+
+    def test_nothing_fits_rejected(self, machine):
+        with pytest.raises(TileAccError):
+            make_stack(machine, n_regions=4, device_memory_limit=8)
+
+    def test_invalid_n_slots(self, machine):
+        with pytest.raises(TileAccError):
+            make_stack(machine, n_slots=0)
+
+    def test_each_slot_has_its_own_stream(self, machine):
+        _, _, _, mgr = make_stack(machine, n_regions=4)
+        streams = {slot.stream.stream_id for slot in mgr.slots}
+        assert len(streams) == 4
+
+    def test_mismatched_runtimes_rejected(self, machine):
+        rt_a = CudaRuntime(machine)
+        rt_b = CudaRuntime(machine)
+        acc_b = AccRuntime(rt_b)
+        ta = TileArray((16,), n_regions=4, runtime=rt_a)
+        with pytest.raises(TileAccError):
+            TileAcc(rt_a, acc_b, ta)
+
+
+class TestCacheProtocol:
+    def test_first_request_uploads(self, machine):
+        _, _, ta, mgr = make_stack(machine)
+        ta.region(0).interior[...] = 5.0
+        buf, _ = mgr.request_device(0)
+        assert np.all(buf.array == 5.0)
+        assert mgr.is_on_device(0)
+        assert mgr.h2d_count == 1
+
+    def test_repeated_request_is_cache_hit(self, machine):
+        _, _, _, mgr = make_stack(machine)
+        mgr.request_device(0)
+        mgr.request_device(0)
+        assert mgr.h2d_count == 1
+
+    def test_request_host_downloads_and_syncs(self, machine):
+        rt, _, ta, mgr = make_stack(machine)
+        mgr.request_device(0)
+        slot = mgr.slot_for(0)
+        slot.buffer.array[...] = 9.0  # device-side update
+        region = mgr.request_host(0)
+        assert np.all(region.interior == 9.0)
+        assert mgr.location(0) == HOST
+        assert rt.now >= slot.stream.tail  # host waited (§IV-B.3)
+
+    def test_request_host_when_on_host_is_free(self, machine):
+        _, _, _, mgr = make_stack(machine)
+        mgr.request_host(0)
+        assert mgr.d2h_count == 0
+
+    def test_host_then_device_retransfers(self, machine):
+        """Last-location caching: host access invalidates the device copy."""
+        _, _, ta, mgr = make_stack(machine)
+        mgr.request_device(0)
+        mgr.request_host(0)
+        ta.region(0).interior[...] = 3.0
+        buf, _ = mgr.request_device(0)
+        assert mgr.h2d_count == 2
+        assert np.all(buf.array == 3.0)
+
+    def test_eviction_on_slot_collision(self, machine):
+        """Regions 0 and 2 share slot 0 with 2 slots: requesting 2 evicts 0."""
+        _, _, ta, mgr = make_stack(machine, n_slots=2)
+        buf0, _ = mgr.request_device(0)
+        buf0.array[...] = 7.0
+        mgr.request_device(2)
+        assert mgr.location(0) == HOST
+        assert mgr.slot_for(0).bound == 2
+        assert np.all(ta.region(0).interior == 7.0)  # written back
+
+    def test_eviction_preserves_all_data_through_cycles(self, machine):
+        _, _, ta, mgr = make_stack(machine, n_regions=4, n_slots=1)
+        for rid in range(4):
+            ta.region(rid).interior[...] = float(rid)
+        for step in range(3):
+            for rid in range(4):
+                buf, _ = mgr.request_device(rid)
+                buf.array[...] += 1.0
+        mgr.flush_to_host()
+        for rid in range(4):
+            assert np.all(ta.region(rid).interior == rid + 3.0)
+
+    def test_no_eviction_writeback_for_clean_region(self, machine):
+        """A region already downloaded (location HOST) is not re-downloaded
+        when its slot is taken over."""
+        _, _, _, mgr = make_stack(machine, n_slots=2)
+        mgr.request_device(0)
+        mgr.request_host(0)       # d2h 1
+        mgr.request_device(2)     # takeover: no second d2h
+        assert mgr.d2h_count == 1
+
+    def test_flush_to_host(self, machine):
+        _, _, _, mgr = make_stack(machine)
+        for rid in range(4):
+            mgr.request_device(rid)
+        mgr.flush_to_host()
+        assert all(mgr.location(rid) == HOST for rid in range(4))
+
+    def test_release_device_memory_requires_flush(self, machine):
+        rt, _, _, mgr = make_stack(machine)
+        mgr.request_device(0)
+        with pytest.raises(TileAccError):
+            mgr.release_device_memory()
+        mgr.flush_to_host()
+        free0 = rt.mem_get_info()[0]
+        mgr.release_device_memory()
+        assert rt.mem_get_info()[0] > free0
+
+    def test_uneven_region_shapes_realloc(self, machine):
+        """10 cells in 3 regions -> shapes 4,4,2: slot buffers realloc."""
+        rt, acc, ta, mgr = make_stack(machine, n_regions=3, shape=(10,), n_slots=1)
+        for rid in range(3):
+            ta.region(rid).interior[...] = float(rid)
+        for rid in range(3):
+            mgr.request_device(rid)
+        mgr.flush_to_host()
+        for rid in range(3):
+            assert np.all(ta.region(rid).interior == float(rid))
+
+    def test_note_device_op_monotone(self, machine):
+        _, _, _, mgr = make_stack(machine)
+        mgr.request_device(0)
+        r0 = mgr.device_ready(0)
+        mgr.note_device_op(0, r0 + 1.0)
+        assert mgr.device_ready(0) == r0 + 1.0
+        mgr.note_device_op(0, r0)  # older times don't regress
+        assert mgr.device_ready(0) == r0 + 1.0
+
+    def test_out_of_range_region(self, machine):
+        from repro.errors import TidaError
+        _, _, _, mgr = make_stack(machine)
+        with pytest.raises(TidaError):
+            mgr.request_device(99)
+
+
+class TestCachePropertyBased:
+    @given(
+        accesses=st.lists(
+            st.tuples(st.sampled_from(["gpu", "cpu"]), st.integers(0, 3)),
+            min_size=1, max_size=40,
+        ),
+        n_slots=st.integers(1, 4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_access_sequences(self, accesses, n_slots):
+        """Against a naive model of §IV-B.4's cache list:
+
+        - a slot holds at most one region; bound region ids match;
+        - data written on either side is never lost;
+        - no transfer happens on a same-side repeat access.
+        """
+        from repro.config import k40m_pcie3
+        rt, acc, ta, mgr = make_stack(k40m_pcie3(), n_regions=4, shape=(16,),
+                                      n_slots=n_slots)
+        # model state
+        model_loc = {rid: HOST for rid in range(4)}
+        model_slot = {s: EMPTY for s in range(n_slots)}
+        counters = [0.0, 0.0, 0.0, 0.0]  # expected region values
+
+        for side, rid in accesses:
+            h2d_before, d2h_before = mgr.h2d_count, mgr.d2h_count
+            if side == "gpu":
+                buf, _ = mgr.request_device(rid)
+                buf.array[...] += 1.0
+                counters[rid] += 1.0
+                # model transition
+                slot_id = rid % n_slots
+                expect_transfer = not (
+                    model_slot[slot_id] == rid and model_loc[rid] == DEVICE
+                )
+                if expect_transfer:
+                    assert mgr.h2d_count == h2d_before + 1
+                else:
+                    assert mgr.h2d_count == h2d_before
+                model_slot[slot_id] = rid
+                model_loc[rid] = DEVICE
+                for other in range(4):
+                    if other != rid and other % n_slots == slot_id and model_loc[other] == DEVICE:
+                        model_loc[other] = HOST
+            else:
+                region = mgr.request_host(rid)
+                region.interior[...] = region.interior + 1.0
+                counters[rid] += 1.0
+                if model_loc[rid] == DEVICE:
+                    assert mgr.d2h_count == d2h_before + 1
+                else:
+                    assert mgr.d2h_count == d2h_before
+                model_loc[rid] = HOST
+            # invariant: library agrees with model
+            for s, slot in enumerate(mgr.slots):
+                if model_slot[s] != EMPTY and model_loc[model_slot[s]] == DEVICE:
+                    assert slot.bound == model_slot[s]
+
+        mgr.flush_to_host()
+        for rid in range(4):
+            assert np.all(ta.region(rid).interior == counters[rid]), (
+                f"region {rid} lost updates"
+            )

@@ -1,0 +1,153 @@
+"""Memory transfer semantics: directions, pinned vs pageable, engines, deps."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CudaInvalidValueError
+
+
+class TestFunctionalCopies:
+    def test_h2d_d2h_roundtrip(self, runtime):
+        host = runtime.malloc_host((8,), fill=3.0)
+        dev = runtime.malloc((8,))
+        runtime.memcpy(dev, host)
+        assert np.all(dev.array == 3.0)
+        host2 = runtime.malloc_host((8,))
+        runtime.memcpy(host2, dev)
+        assert np.all(host2.array == 3.0)
+
+    def test_reshaping_copy_same_bytes(self, runtime):
+        host = runtime.malloc_host((2, 4), fill=1.0)
+        dev = runtime.malloc((8,))
+        runtime.memcpy(dev, host)
+        assert np.all(dev.array == 1.0)
+
+    def test_size_mismatch_rejected(self, runtime):
+        host = runtime.malloc_host((8,))
+        dev = runtime.malloc((9,))
+        with pytest.raises(CudaInvalidValueError):
+            runtime.memcpy(dev, host)
+
+    def test_host_host_copy_rejected(self, runtime):
+        a = runtime.malloc_host((8,))
+        b = runtime.malloc_host((8,))
+        with pytest.raises(CudaInvalidValueError):
+            runtime.memcpy(a, b)
+
+    def test_device_device_copy_rejected(self, runtime):
+        a = runtime.malloc((8,))
+        b = runtime.malloc((8,))
+        with pytest.raises(CudaInvalidValueError):
+            runtime.memcpy(a, b)
+
+    def test_freed_buffer_copy_rejected(self, runtime):
+        host = runtime.malloc_host((8,))
+        dev = runtime.malloc((8,))
+        runtime.free(dev)
+        with pytest.raises(CudaInvalidValueError):
+            runtime.memcpy(dev, host)
+
+
+class TestTimingSemantics:
+    def test_sync_memcpy_blocks_host(self, tiny_runtime):
+        rt = tiny_runtime
+        host = rt.malloc_host((100_000,))   # 800 KB
+        dev = rt.malloc((100_000,))
+        t0 = rt.now
+        rt.memcpy(dev, host)
+        assert rt.now - t0 >= 800e-6 * 0.99  # 1 GB/s link
+
+    def test_async_pinned_does_not_block_host(self, tiny_runtime):
+        rt = tiny_runtime
+        s = rt.create_stream()
+        host = rt.malloc_host((100_000,))
+        dev = rt.malloc((100_000,))
+        t0 = rt.now
+        end = rt.memcpy_async(dev, host, s)
+        assert rt.now - t0 < 100e-6
+        assert end >= t0 + 800e-6 * 0.99
+
+    def test_async_pageable_blocks_host(self, tiny_runtime):
+        """cudaMemcpyAsync on pageable memory is synchronous (paper §II-B)."""
+        rt = tiny_runtime
+        s = rt.create_stream()
+        host = rt.host_malloc((100_000,))
+        dev = rt.malloc((100_000,))
+        t0 = rt.now
+        end = rt.memcpy_async(dev, host, s)
+        assert rt.now >= end
+        assert rt.now - t0 >= 800e-6 / 0.5 * 0.99  # half bandwidth too
+
+    def test_pageable_slower_than_pinned(self, tiny_runtime):
+        rt = tiny_runtime
+        pinned = rt.malloc_host((100_000,))
+        pageable = rt.host_malloc((100_000,))
+        dev = rt.malloc((100_000,))
+        t0 = rt.now
+        rt.memcpy(dev, pinned)
+        t_pinned = rt.now - t0
+        t0 = rt.now
+        rt.memcpy(dev, pageable)
+        t_pageable = rt.now - t0
+        assert t_pageable > t_pinned * 1.5
+
+    def test_h2d_and_d2h_use_separate_engines(self, tiny_runtime):
+        """Dual copy engines: opposite-direction copies overlap."""
+        rt = tiny_runtime
+        s1, s2 = rt.create_stream(), rt.create_stream()
+        h1 = rt.malloc_host((1_000_000,))
+        h2 = rt.malloc_host((1_000_000,))
+        d1 = rt.malloc((1_000_000,))
+        d2 = rt.malloc((1_000_000,))
+        end_up = rt.memcpy_async(d1, h1, s1)
+        end_down = rt.memcpy_async(h2, d2, s2)
+        # both ~8 ms; if serialized the second would end at ~16 ms
+        assert abs(end_up - end_down) < 4e-3
+
+    def test_same_direction_copies_serialize(self, tiny_runtime):
+        rt = tiny_runtime
+        s1, s2 = rt.create_stream(), rt.create_stream()
+        h1 = rt.malloc_host((1_000_000,))
+        h2 = rt.malloc_host((1_000_000,))
+        d1 = rt.malloc((1_000_000,))
+        d2 = rt.malloc((1_000_000,))
+        end1 = rt.memcpy_async(d1, h1, s1)
+        end2 = rt.memcpy_async(d2, h2, s2)
+        assert end2 >= end1 + 8e-3 * 0.99
+
+    def test_in_stream_fifo(self, tiny_runtime):
+        rt = tiny_runtime
+        s = rt.create_stream()
+        host = rt.malloc_host((1_000_000,))
+        d1 = rt.malloc((1_000_000,))
+        d2 = rt.malloc((1_000_000,))
+        end1 = rt.memcpy_async(d1, host, s)
+        end2 = rt.memcpy_async(d2, host, s)
+        assert end2 >= end1
+
+    def test_after_dependency_delays_start(self, tiny_runtime):
+        rt = tiny_runtime
+        s = rt.create_stream()
+        host = rt.malloc_host((1000,))
+        dev = rt.malloc((1000,))
+        end = rt.memcpy_async(dev, host, s, after=1.0)
+        assert end >= 1.0
+
+    def test_trace_records_direction_and_bytes(self, tiny_runtime):
+        rt = tiny_runtime
+        host = rt.malloc_host((100,), label="x")
+        dev = rt.malloc((100,))
+        rt.memcpy(dev, host)
+        events = rt.trace.by_category("h2d")
+        assert len(events) == 1
+        assert events[0].nbytes == 800
+
+    def test_latency_charged_per_transfer(self, machine):
+        """Paper machine has 10 us PCIe latency: tiny copies are latency-bound."""
+        from repro.cuda.runtime import CudaRuntime
+        rt = CudaRuntime(machine)
+        host = rt.malloc_host((1,))
+        dev = rt.malloc((1,))
+        t0 = rt.now
+        rt.memcpy(dev, host)
+        assert rt.now - t0 >= 10e-6

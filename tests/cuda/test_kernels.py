@@ -1,0 +1,181 @@
+"""Kernel launch semantics, geometry validation, and the cost model."""
+
+import numpy as np
+import pytest
+
+from repro.config import CUDA_FASTMATH, CUDA_LIBM, PGI_MATH
+from repro.cuda.kernel import KernelSpec, LaunchConfig
+from repro.cuda.runtime import CudaRuntime
+from repro.errors import CudaInvalidValueError
+
+
+def add_one_kernel():
+    def body(arr, inc=1.0):
+        arr += inc
+    return KernelSpec(name="add-one", body=body, bytes_per_cell=16.0, flops_per_cell=1.0)
+
+
+class TestLaunchConfig:
+    def test_valid(self):
+        cfg = LaunchConfig(grid=(10,), block=(256,))
+        assert cfg.threads_per_block == 256
+        assert cfg.total_threads == 2560
+
+    def test_block_too_big(self):
+        with pytest.raises(CudaInvalidValueError):
+            LaunchConfig(grid=(1,), block=(2048,))
+
+    def test_block_3d_product_checked(self):
+        with pytest.raises(CudaInvalidValueError):
+            LaunchConfig(grid=(1,), block=(32, 32, 2))  # 2048 threads
+
+    def test_max_3_dims(self):
+        with pytest.raises(CudaInvalidValueError):
+            LaunchConfig(grid=(1, 1, 1, 1), block=(1,))
+
+    def test_zero_extent_rejected(self):
+        with pytest.raises(CudaInvalidValueError):
+            LaunchConfig(grid=(0,), block=(1,))
+
+    def test_for_cells_covers(self):
+        cfg = LaunchConfig.for_cells(1000, block=(256,))
+        assert cfg.total_threads >= 1000
+        assert cfg.grid == (4,)
+
+    def test_for_cells_rejects_nonpositive(self):
+        with pytest.raises(CudaInvalidValueError):
+            LaunchConfig.for_cells(0)
+
+
+class TestKernelCostModel:
+    def test_memory_bound_duration(self, machine):
+        k = KernelSpec(name="memset", body=None, bytes_per_cell=16.0)
+        n = 1_000_000
+        expected = 16.0 * n / machine.gpu.mem_bandwidth
+        assert k.duration_on_gpu(machine, n) == pytest.approx(expected)
+
+    def test_compute_bound_duration(self, machine):
+        k = KernelSpec(name="flops", body=None, bytes_per_cell=1.0, flops_per_cell=10_000.0)
+        n = 1_000_000
+        expected = 10_000.0 * n / machine.gpu.dp_flops
+        assert k.duration_on_gpu(machine, n) == pytest.approx(expected)
+
+    def test_untuned_geometry_penalty(self, machine):
+        k = KernelSpec(name="x", body=None, bytes_per_cell=16.0)
+        tuned = k.duration_on_gpu(machine, 1000, tuned_geometry=True)
+        untuned = k.duration_on_gpu(machine, 1000, tuned_geometry=False)
+        assert untuned == pytest.approx(tuned / machine.gpu.untuned_geometry_efficiency)
+
+    def test_math_model_changes_cost(self, machine):
+        k = KernelSpec(name="trig", body=None, bytes_per_cell=1.0, sin_per_cell=10, cos_per_cell=10)
+        libm = k.duration_on_gpu(machine, 10**6, math=CUDA_LIBM)
+        pgi = k.duration_on_gpu(machine, 10**6, math=PGI_MATH)
+        fast = k.duration_on_gpu(machine, 10**6, math=CUDA_FASTMATH)
+        assert libm > pgi >= fast
+
+    def test_flop_equivalents(self):
+        k = KernelSpec(name="trig", body=None, bytes_per_cell=0.0,
+                       flops_per_cell=2.0, sin_per_cell=1.0, sqrt_per_cell=1.0)
+        total = k.flop_equivalents(CUDA_LIBM, 10)
+        assert total == pytest.approx(10 * (2.0 + 34.0 + 16.0))
+
+    def test_cpu_duration_uses_cpu_roofline(self, machine):
+        k = KernelSpec(name="x", body=None, bytes_per_cell=16.0)
+        assert k.duration_on_cpu(machine, 1000) == pytest.approx(
+            16.0 * 1000 / machine.cpu.mem_bandwidth
+        )
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(CudaInvalidValueError):
+            KernelSpec(name="bad", body=None, bytes_per_cell=-1.0)
+
+    def test_negative_cells_rejected(self, machine):
+        k = KernelSpec(name="x", body=None, bytes_per_cell=1.0)
+        with pytest.raises(CudaInvalidValueError):
+            k.duration_on_gpu(machine, -5)
+
+
+class TestLaunch:
+    def test_functional_body_executes(self, runtime):
+        dev = runtime.malloc((8,))
+        runtime.launch(add_one_kernel(), buffers=[dev], params={"inc": 2.0})
+        assert np.all(dev.array == 2.0)
+
+    def test_launch_returns_completion_time(self, tiny_runtime):
+        dev = tiny_runtime.malloc((1000,))
+        end = tiny_runtime.launch(add_one_kernel(), buffers=[dev])
+        assert end > 0
+        assert tiny_runtime.compute_engine.tail == end
+
+    def test_n_cells_inferred_from_first_buffer(self, tiny_runtime):
+        dev = tiny_runtime.malloc((50, 2))
+        tiny_runtime.launch(add_one_kernel(), buffers=[dev])
+        assert tiny_runtime.trace.by_category("kernel")[0].meta["n_cells"] == 100
+
+    def test_no_buffers_no_cells_rejected(self, runtime):
+        with pytest.raises(CudaInvalidValueError):
+            runtime.launch(add_one_kernel())
+
+    def test_launch_async_wrt_host(self, tiny_runtime):
+        rt = tiny_runtime
+        dev = rt.malloc((100_000,))  # 1.6 ms of kernel at 1 GB/s
+        t0 = rt.now
+        end = rt.launch(add_one_kernel(), buffers=[dev])
+        assert rt.now - t0 < 1e-4
+        assert end - t0 >= 1.6e-3 * 0.9
+
+    def test_launch_overhead_serializes_on_engine(self, tiny_runtime):
+        rt = tiny_runtime
+        dev = rt.malloc((1,))
+        e1 = rt.launch(add_one_kernel(), buffers=[dev], n_cells=1)
+        e2 = rt.launch(add_one_kernel(), buffers=[dev], n_cells=1)
+        assert e2 - e1 >= rt.machine.gpu.kernel_launch_overhead
+
+    def test_freed_buffer_rejected(self, runtime):
+        dev = runtime.malloc((8,))
+        runtime.free(dev)
+        with pytest.raises(CudaInvalidValueError):
+            runtime.launch(add_one_kernel(), buffers=[dev], n_cells=8)
+
+    def test_foreign_device_buffer_rejected(self, machine):
+        rt_a = CudaRuntime(machine)
+        rt_b = CudaRuntime(machine)
+        dev = rt_a.malloc((8,))
+        with pytest.raises(CudaInvalidValueError):
+            rt_b.launch(add_one_kernel(), buffers=[dev], n_cells=8)
+
+    def test_kernel_waits_for_stream_transfer(self, tiny_runtime):
+        """In-stream FIFO: a kernel issued after an upload sees the data."""
+        rt = tiny_runtime
+        s = rt.create_stream()
+        host = rt.malloc_host((100_000,), fill=1.0)
+        dev = rt.malloc((100_000,))
+        copy_end = rt.memcpy_async(dev, host, s)
+        kernel_end = rt.launch(add_one_kernel(), buffers=[dev], stream=s)
+        assert kernel_end > copy_end
+        assert np.all(dev.array == 2.0)
+
+    def test_kernels_on_different_streams_serialize_on_compute_engine(self, tiny_runtime):
+        rt = tiny_runtime
+        s1, s2 = rt.create_stream(), rt.create_stream()
+        d1, d2 = rt.malloc((100_000,)), rt.malloc((100_000,))
+        e1 = rt.launch(add_one_kernel(), buffers=[d1], stream=s1)
+        e2 = rt.launch(add_one_kernel(), buffers=[d2], stream=s2)
+        assert e2 >= e1 + 1.6e-3 * 0.9  # one kernel body apart
+
+    def test_after_dependency(self, tiny_runtime):
+        rt = tiny_runtime
+        dev = rt.malloc((1,))
+        end = rt.launch(add_one_kernel(), buffers=[dev], n_cells=1, after=0.5)
+        assert end >= 0.5
+
+    def test_timing_only_skips_body(self, machine):
+        rt = CudaRuntime(machine, functional=False)
+        dev = rt.malloc((512, 512, 512))
+
+        def exploding(arr):  # pragma: no cover - must not run
+            raise AssertionError("body executed in timing-only mode")
+
+        k = KernelSpec(name="boom", body=exploding, bytes_per_cell=1.0)
+        end = rt.launch(k, buffers=[dev])
+        assert end > 0

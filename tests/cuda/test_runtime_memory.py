@@ -1,0 +1,111 @@
+"""CUDA runtime memory-management tests (malloc/mallocHost/managed/MemGetInfo)."""
+
+import numpy as np
+import pytest
+
+from repro.config import GiB, k40m_pcie3
+from repro.cuda.runtime import CudaRuntime
+from repro.errors import CudaInvalidValueError, CudaMemoryAllocationError
+
+
+class TestDeviceAlloc:
+    def test_malloc_free_accounting(self, runtime):
+        free0, total = runtime.mem_get_info()
+        buf = runtime.malloc((1024,))
+        free1, _ = runtime.mem_get_info()
+        assert free0 - free1 == 8192
+        runtime.free(buf)
+        assert runtime.mem_get_info()[0] == free0
+
+    def test_total_matches_allocatable(self, machine):
+        rt = CudaRuntime(machine)
+        _, total = rt.mem_get_info()
+        assert total == machine.gpu.allocatable_bytes
+
+    def test_device_memory_limit(self, machine):
+        rt = CudaRuntime(machine, device_memory_limit=1000)
+        with pytest.raises(CudaMemoryAllocationError):
+            rt.malloc((1000,))  # 8000 bytes > limit
+        rt.malloc((100,))      # 800 bytes fits
+
+    def test_invalid_limit(self, machine):
+        with pytest.raises(CudaInvalidValueError):
+            CudaRuntime(machine, device_memory_limit=0)
+
+    def test_oom_at_hardware_size(self, machine):
+        rt = CudaRuntime(machine, functional=False)
+        rt.malloc((10 * GiB // 8,))  # 10 GiB of the ~11.5 allocatable
+        with pytest.raises(CudaMemoryAllocationError):
+            rt.malloc((2 * GiB // 8,))
+
+    def test_api_calls_cost_host_time(self, runtime):
+        t0 = runtime.now
+        runtime.malloc((8,))
+        assert runtime.now > t0
+
+
+class TestHostAlloc:
+    def test_malloc_host_is_pinned(self, runtime):
+        assert runtime.malloc_host((8,)).pinned
+
+    def test_host_malloc_is_pageable(self, runtime):
+        assert not runtime.host_malloc((8,)).pinned
+
+    def test_fill(self, runtime):
+        buf = runtime.malloc_host((4,), fill=2.5)
+        assert np.all(buf.array == 2.5)
+
+    def test_free_host(self, runtime):
+        buf = runtime.malloc_host((8,))
+        runtime.free_host(buf)
+        assert buf.freed
+
+    def test_host_memory_not_counted_against_device(self, runtime):
+        free0, _ = runtime.mem_get_info()
+        runtime.malloc_host((1024,))
+        assert runtime.mem_get_info()[0] == free0
+
+
+class TestManagedAlloc:
+    def test_managed_reserves_device_memory(self, runtime):
+        free0, _ = runtime.mem_get_info()
+        buf = runtime.malloc_managed((1024,))
+        assert runtime.mem_get_info()[0] == free0 - 8192
+        runtime.free_managed(buf)
+        assert runtime.mem_get_info()[0] == free0
+
+    def test_managed_oom(self, machine):
+        rt = CudaRuntime(machine, device_memory_limit=1000, functional=False)
+        with pytest.raises(CudaMemoryAllocationError):
+            rt.malloc_managed((1000,))
+
+    def test_managed_double_free(self, runtime):
+        buf = runtime.malloc_managed((8,))
+        runtime.free_managed(buf)
+        with pytest.raises(CudaInvalidValueError):
+            runtime.free_managed(buf)
+
+    def test_foreign_managed_free(self, machine):
+        rt_a = CudaRuntime(machine)
+        rt_b = CudaRuntime(machine)
+        buf = rt_a.malloc_managed((8,))
+        with pytest.raises(CudaInvalidValueError):
+            rt_b.free_managed(buf)
+
+    def test_managed_starts_on_host(self, runtime):
+        assert runtime.malloc_managed((8,)).location == "host"
+
+
+class TestFunctionalFlag:
+    def test_timing_only_paper_sizes_fit(self, machine):
+        """512^3 doubles x2 allocate instantly without real memory."""
+        rt = CudaRuntime(machine, functional=False)
+        a = rt.malloc((512, 512, 512))
+        b = rt.malloc((512, 512, 512))
+        assert a.nbytes == b.nbytes == 512**3 * 8
+        with pytest.raises(CudaInvalidValueError):
+            _ = a.array
+
+    def test_functional_buffers_are_arrays(self, runtime):
+        buf = runtime.malloc((4, 4))
+        assert buf.array.shape == (4, 4)

@@ -1,0 +1,113 @@
+"""Property-based scheduling invariants on the full CUDA runtime.
+
+Hypothesis drives random programs (streams, copies, kernels, syncs)
+against one runtime and checks the invariants every CUDA implementation
+guarantees:
+
+* engine exclusivity — compute/H2D/D2H engines never run two operations
+  at once;
+* in-stream FIFO — operations on one stream never overlap and complete
+  in issue order;
+* host monotonicity — the virtual clock never goes backwards;
+* post-sync visibility — after a stream synchronize, the host clock is
+  at/after everything issued to that stream.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.config import k40m_pcie3
+from repro.cuda.kernel import KernelSpec
+from repro.cuda.runtime import CudaRuntime
+
+_noop = KernelSpec(name="noop", body=None, bytes_per_cell=8.0, flops_per_cell=1.0)
+
+op_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["h2d", "d2h", "kernel", "sync", "device_sync"]),
+        st.integers(0, 3),              # stream index
+        st.integers(1, 200_000),        # payload cells
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+class TestSchedulingProperties:
+    @given(ops=op_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_random_programs_preserve_invariants(self, ops):
+        rt = CudaRuntime(k40m_pcie3(), functional=False)
+        streams = [rt.create_stream() for _ in range(4)]
+        host = rt.malloc_host((200_000,))
+        devs = [rt.malloc((200_000,)) for _ in range(4)]
+
+        clock_history = [rt.now]
+        for kind, s_idx, cells in ops:
+            stream = streams[s_idx]
+            if kind == "h2d":
+                rt.memcpy_async(devs[s_idx], host, stream)
+            elif kind == "d2h":
+                rt.memcpy_async(host, devs[s_idx], stream)
+            elif kind == "kernel":
+                rt.launch(_noop, buffers=[devs[s_idx]], n_cells=cells, stream=stream)
+            elif kind == "sync":
+                rt.stream_synchronize(stream)
+                assert rt.now >= stream.tail
+            else:
+                rt.device_synchronize()
+            clock_history.append(rt.now)
+
+        # host clock monotone
+        assert all(a <= b for a, b in zip(clock_history, clock_history[1:]))
+
+        # engine exclusivity
+        for lane in ("compute", "h2d", "d2h"):
+            events = sorted(rt.trace.by_lane(lane), key=lambda e: e.start)
+            for a, b in zip(events, events[1:]):
+                assert a.end <= b.start + 1e-12, f"{lane} double-booked"
+
+        # in-stream FIFO (sync events live on the host lane and are excluded)
+        for stream in streams:
+            events = [
+                e for e in rt.trace
+                if e.stream == stream.stream_id and e.category != "sync"
+            ]
+            for a, b in zip(events, events[1:]):
+                assert a.end <= b.start + 1e-12 or a.start <= b.start, (
+                    "stream order violated"
+                )
+                assert a.end <= b.end + 1e-12
+
+        rt.device_synchronize()
+        tails = [s.tail for s in streams]
+        assert rt.now >= max(tails, default=0.0)
+
+    @given(
+        sizes=st.lists(st.integers(1, 500_000), min_size=2, max_size=10),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_pipelined_never_slower_than_serial(self, sizes):
+        """Work spread over streams finishes no later than the same work
+        issued synchronously (overlap can only help)."""
+        machine = k40m_pcie3()
+
+        rt_async = CudaRuntime(machine, functional=False)
+        streams = [rt_async.create_stream() for _ in sizes]
+        host = rt_async.malloc_host((500_000,))
+        for s, n in zip(streams, sizes):
+            dev = rt_async.malloc((500_000,))
+            rt_async.memcpy_async(dev, host, s)
+            rt_async.launch(_noop, buffers=[dev], n_cells=n, stream=s)
+        t_async = rt_async.device_synchronize()
+
+        rt_sync = CudaRuntime(machine, functional=False)
+        host_s = rt_sync.malloc_host((500_000,))
+        for n in sizes:
+            dev = rt_sync.malloc((500_000,))
+            rt_sync.memcpy(dev, host_s)
+            rt_sync.launch(_noop, buffers=[dev], n_cells=n)
+            rt_sync.device_synchronize()
+        t_sync = rt_sync.now
+
+        assert t_async <= t_sync + 1e-12

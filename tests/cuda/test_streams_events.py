@@ -1,0 +1,154 @@
+"""Stream and event lifecycle/semantics tests."""
+
+import pytest
+
+from repro.cuda.runtime import CudaRuntime
+from repro.errors import (
+    CudaInvalidResourceHandleError,
+    CudaInvalidValueError,
+)
+
+
+class TestStreams:
+    def test_create_returns_distinct_ids(self, runtime):
+        s1 = runtime.create_stream()
+        s2 = runtime.create_stream()
+        assert s1.stream_id != s2.stream_id
+        assert not s1.is_default and not s2.is_default
+
+    def test_default_stream_exists(self, runtime):
+        assert runtime.default_stream.is_default
+        assert runtime.default_stream in runtime.streams
+
+    def test_destroy_removes(self, runtime):
+        s = runtime.create_stream()
+        runtime.destroy_stream(s)
+        assert s not in runtime.streams
+
+    def test_destroy_default_rejected(self, runtime):
+        with pytest.raises(CudaInvalidValueError):
+            runtime.destroy_stream(runtime.default_stream)
+
+    def test_use_after_destroy(self, runtime):
+        s = runtime.create_stream()
+        runtime.destroy_stream(s)
+        with pytest.raises(CudaInvalidResourceHandleError):
+            runtime.stream_synchronize(s)
+
+    def test_foreign_stream_rejected(self, machine):
+        rt_a = CudaRuntime(machine)
+        rt_b = CudaRuntime(machine)
+        s = rt_a.create_stream()
+        with pytest.raises(CudaInvalidResourceHandleError):
+            rt_b.stream_synchronize(s)
+
+    def test_not_a_stream(self, runtime):
+        with pytest.raises(CudaInvalidResourceHandleError):
+            runtime.stream_synchronize("not-a-stream")
+
+    def test_destroy_drains_stream(self, tiny_runtime):
+        """cudaStreamDestroy blocks until queued work completes."""
+        rt = tiny_runtime
+        s = rt.create_stream()
+        dev = rt.malloc((1000,))
+        host = rt.malloc_host((1000,))
+        end = rt.memcpy_async(dev, host, s)
+        rt.destroy_stream(s)
+        assert rt.now >= end
+
+    def test_sync_advances_host_to_stream_tail(self, tiny_runtime):
+        rt = tiny_runtime
+        s = rt.create_stream()
+        dev = rt.malloc((10000,))
+        host = rt.malloc_host((10000,))
+        end = rt.memcpy_async(dev, host, s)
+        assert rt.now < end  # async: host ran ahead
+        rt.stream_synchronize(s)
+        assert rt.now >= end
+
+    def test_sync_records_trace_event(self, tiny_runtime):
+        rt = tiny_runtime
+        s = rt.create_stream()
+        dev = rt.malloc((10000,))
+        host = rt.malloc_host((10000,))
+        rt.memcpy_async(dev, host, s)
+        rt.stream_synchronize(s)
+        assert any(e.category == "sync" for e in rt.trace)
+
+    def test_device_synchronize_drains_everything(self, tiny_runtime):
+        rt = tiny_runtime
+        s1, s2 = rt.create_stream(), rt.create_stream()
+        dev1, dev2 = rt.malloc((5000,)), rt.malloc((5000,))
+        host = rt.malloc_host((5000,))
+        e1 = rt.memcpy_async(dev1, host, s1)
+        e2 = rt.memcpy_async(dev2, host, s2)
+        rt.device_synchronize()
+        assert rt.now >= max(e1, e2)
+
+
+class TestEvents:
+    def test_unrecorded_event_query_fails(self, runtime):
+        ev = runtime.create_event()
+        with pytest.raises(CudaInvalidValueError):
+            _ = ev.time
+
+    def test_record_captures_stream_tail(self, tiny_runtime):
+        rt = tiny_runtime
+        s = rt.create_stream()
+        dev = rt.malloc((10000,))
+        host = rt.malloc_host((10000,))
+        end = rt.memcpy_async(dev, host, s)
+        ev = rt.create_event()
+        rt.event_record(ev, s)
+        assert ev.time == pytest.approx(end)
+
+    def test_record_on_idle_stream_is_now(self, runtime):
+        ev = runtime.create_event()
+        runtime.event_record(ev)
+        assert ev.time == pytest.approx(runtime.now, abs=1e-5)
+
+    def test_elapsed_time_ms(self, tiny_runtime):
+        rt = tiny_runtime
+        s = rt.create_stream()
+        dev = rt.malloc((100_000,))
+        host = rt.malloc_host((100_000,))
+        e_start = rt.create_event()
+        rt.event_record(e_start, s)
+        rt.memcpy_async(dev, host, s)  # 800 KB at 1 GB/s = 0.8 ms
+        e_stop = rt.create_event()
+        rt.event_record(e_stop, s)
+        assert e_start.elapsed_time_ms(e_stop) == pytest.approx(0.8, rel=0.05)
+
+    def test_event_synchronize_blocks_host(self, tiny_runtime):
+        rt = tiny_runtime
+        s = rt.create_stream()
+        dev = rt.malloc((10000,))
+        host = rt.malloc_host((10000,))
+        rt.memcpy_async(dev, host, s)
+        ev = rt.create_event()
+        rt.event_record(ev, s)
+        rt.event_synchronize(ev)
+        assert rt.now >= ev.time
+
+    def test_stream_wait_event_orders_cross_stream(self, tiny_runtime):
+        """Work queued after a wait-event cannot start before the event."""
+        rt = tiny_runtime
+        s1, s2 = rt.create_stream(), rt.create_stream()
+        dev = rt.malloc((100_000,))
+        host = rt.malloc_host((100_000,))
+        end1 = rt.memcpy_async(dev, host, s1)
+        ev = rt.create_event()
+        rt.event_record(ev, s1)
+        rt.stream_wait_event(s2, ev)
+        dev2 = rt.malloc((8,))
+        host2 = rt.malloc_host((8,))
+        end2 = rt.memcpy_async(host2, dev2, s2)
+        # the s2 copy's completion must come after the s1 copy's
+        assert end2 > end1
+
+    def test_foreign_event_rejected(self, machine):
+        rt_a = CudaRuntime(machine)
+        rt_b = CudaRuntime(machine)
+        ev = rt_a.create_event()
+        with pytest.raises(CudaInvalidResourceHandleError):
+            rt_b.event_record(ev)

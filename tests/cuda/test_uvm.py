@@ -1,0 +1,116 @@
+"""Managed (unified) memory semantics: Kepler-era migration model."""
+
+import numpy as np
+import pytest
+
+from repro.cuda.kernel import KernelSpec
+from repro.cuda.runtime import CudaRuntime
+from repro.cuda.uvm import DEVICE, HOST
+from repro.errors import CudaInvalidValueError
+
+
+def inc_kernel():
+    def body(arr):
+        arr += 1.0
+    return KernelSpec(name="inc", body=body, bytes_per_cell=16.0)
+
+
+class TestMigration:
+    def test_launch_migrates_to_device(self, runtime):
+        buf = runtime.malloc_managed((8,))
+        runtime.launch(inc_kernel(), buffers=[buf])
+        assert buf.location == DEVICE
+
+    def test_migration_appears_in_trace(self, runtime):
+        buf = runtime.malloc_managed((8,), label="m")
+        runtime.launch(inc_kernel(), buffers=[buf])
+        migrations = [e for e in runtime.trace if e.meta.get("managed")]
+        assert len(migrations) == 1
+        assert migrations[0].category == "h2d"
+
+    def test_second_launch_does_not_remigrate(self, runtime):
+        buf = runtime.malloc_managed((8,))
+        runtime.launch(inc_kernel(), buffers=[buf])
+        runtime.launch(inc_kernel(), buffers=[buf])
+        migrations = [e for e in runtime.trace if e.meta.get("managed")]
+        assert len(migrations) == 1
+
+    def test_host_access_migrates_back_and_blocks(self, tiny_runtime):
+        rt = tiny_runtime
+        buf = rt.malloc_managed((10_000,))
+        rt.launch(inc_kernel(), buffers=[buf])
+        t_before = rt.now
+        arr = rt.managed_host_access(buf)
+        assert buf.location == HOST
+        assert rt.now > t_before
+        assert np.all(arr == 1.0)
+
+    def test_host_access_when_on_host_is_free_of_migration(self, runtime):
+        buf = runtime.malloc_managed((8,))
+        runtime.managed_host_access(buf)
+        assert not any(e.meta.get("managed") for e in runtime.trace)
+
+    def test_functional_single_pointer_semantics(self, runtime):
+        """One array serves both sides — the UVM illusion."""
+        buf = runtime.malloc_managed((4,), fill=1.0)
+        runtime.launch(inc_kernel(), buffers=[buf])
+        runtime.launch(inc_kernel(), buffers=[buf])
+        assert np.all(runtime.managed_host_access(buf) == 3.0)
+
+    def test_managed_slower_than_pinned_roundtrip(self, tiny_runtime):
+        """Migration runs at a fraction of pinned bandwidth + launch tax."""
+        rt = tiny_runtime
+        n = 100_000
+        k = inc_kernel()
+
+        pinned_host = rt.malloc_host((n,))
+        dev = rt.malloc((n,))
+        t0 = rt.now
+        rt.memcpy(dev, pinned_host)
+        rt.launch(k, buffers=[dev])
+        rt.memcpy(pinned_host, dev)
+        t_pinned = rt.now - t0
+
+        managed = rt.malloc_managed((n,))
+        t0 = rt.now
+        rt.launch(k, buffers=[managed])
+        rt.managed_host_access(managed)
+        t_managed = rt.now - t0
+        assert t_managed > t_pinned
+
+    def test_per_launch_managed_overhead(self, machine):
+        rt = CudaRuntime(machine, functional=False)
+        buf = rt.malloc_managed((8,))
+        rt.launch(inc_kernel(), buffers=[buf])
+        t0 = rt.now
+        rt.launch(inc_kernel(), buffers=[buf])  # no migration, still taxed
+        assert rt.now - t0 >= machine.gpu.managed_launch_overhead
+
+
+class TestManagedErrors:
+    def test_access_foreign_managed(self, machine):
+        rt_a = CudaRuntime(machine)
+        rt_b = CudaRuntime(machine)
+        buf = rt_a.malloc_managed((8,))
+        with pytest.raises(CudaInvalidValueError):
+            rt_b.managed_host_access(buf)
+
+    def test_access_after_free(self, runtime):
+        buf = runtime.malloc_managed((8,))
+        runtime.free_managed(buf)
+        with pytest.raises(CudaInvalidValueError):
+            runtime.managed_host_access(buf)
+
+    def test_launch_with_foreign_managed(self, machine):
+        rt_a = CudaRuntime(machine)
+        rt_b = CudaRuntime(machine)
+        buf = rt_a.malloc_managed((8,))
+        with pytest.raises(CudaInvalidValueError):
+            rt_b.launch(inc_kernel(), buffers=[buf], n_cells=8)
+
+    def test_timing_only_managed(self, machine):
+        rt = CudaRuntime(machine, functional=False)
+        buf = rt.malloc_managed((512, 512, 512))
+        rt.launch(inc_kernel().__class__(name="inc", body=None, bytes_per_cell=16.0),
+                  buffers=[buf])
+        assert rt.managed_host_access(buf) is None

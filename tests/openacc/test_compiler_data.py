@@ -1,0 +1,199 @@
+"""OpenACC compiler flags, collapse validation, present table, data regions."""
+
+import numpy as np
+import pytest
+
+from repro.cuda.runtime import CudaRuntime
+from repro.errors import AccCompileError, AccError, AccPresentError
+from repro.openacc.compiler import AccFlags, validate_collapse
+from repro.openacc.data import PresentTable
+from repro.openacc.runtime import AccRuntime
+
+
+class TestAccFlags:
+    def test_defaults(self):
+        flags = AccFlags()
+        assert flags.describe == "-ta=tesla"
+
+    def test_pinned(self):
+        assert AccFlags(pinned=True).describe == "-ta=tesla:pinned"
+
+    def test_managed(self):
+        assert AccFlags(managed=True).describe == "-ta=tesla:managed"
+
+    def test_exclusive(self):
+        with pytest.raises(AccCompileError):
+            AccFlags(pinned=True, managed=True)
+
+    def test_unknown_target(self):
+        with pytest.raises(AccCompileError):
+            AccFlags(target="radeon")
+
+    def test_alloc_data_kinds(self, machine):
+        rt = CudaRuntime(machine)
+        assert not AccRuntime(rt).alloc_data(8).pinned
+        assert AccRuntime(rt, AccFlags(pinned=True)).alloc_data(8).pinned
+        managed = AccRuntime(rt, AccFlags(managed=True)).alloc_data(8)
+        assert managed.location == "host"
+
+
+class TestCollapse:
+    def test_none_ok(self):
+        assert validate_collapse(None, 3) == 1
+
+    def test_valid(self):
+        assert validate_collapse(3, 3) == 3
+
+    def test_too_deep(self):
+        with pytest.raises(AccCompileError):
+            validate_collapse(4, 3)
+
+    def test_non_int(self):
+        with pytest.raises(AccCompileError):
+            validate_collapse("3", 3)
+
+    def test_nonpositive(self):
+        with pytest.raises(AccCompileError):
+            validate_collapse(0, 3)
+
+    def test_bad_loop_dims(self):
+        with pytest.raises(AccCompileError):
+            validate_collapse(1, 0)
+
+
+@pytest.fixture
+def acc(machine):
+    return AccRuntime(CudaRuntime(machine))
+
+
+class TestPresentTable:
+    def test_insert_lookup(self, acc):
+        host = acc.cuda.malloc_host((4,))
+        dev = acc.cuda.malloc((4,))
+        table = PresentTable()
+        table.insert(host, dev, copyout_on_delete=False)
+        assert table.is_present(host)
+        assert table.device_of(host) is dev
+
+    def test_absent_raises(self):
+        table = PresentTable()
+        from repro.sim.hostmem import HostBuffer
+        with pytest.raises(AccPresentError):
+            table.device_of(HostBuffer(4))
+
+    def test_double_insert(self, acc):
+        host = acc.cuda.malloc_host((4,))
+        dev = acc.cuda.malloc((4,))
+        table = PresentTable()
+        table.insert(host, dev, copyout_on_delete=False)
+        with pytest.raises(AccPresentError):
+            table.insert(host, dev, copyout_on_delete=False)
+
+    def test_refcount(self, acc):
+        host = acc.cuda.malloc_host((4,))
+        dev = acc.cuda.malloc((4,))
+        table = PresentTable()
+        table.insert(host, dev, copyout_on_delete=False)
+        table.retain(host)
+        assert table.release(host) is None        # 2 -> 1
+        assert table.release(host) is not None    # 1 -> 0
+
+
+class TestDataRegions:
+    def test_copyin_copies_and_frees(self, acc):
+        host = acc.cuda.malloc_host((8,), fill=3.0)
+        free0 = acc.cuda.mem_get_info()[0]
+        with acc.data(copyin=[host]):
+            assert acc.present.is_present(host)
+            dev = acc.present.device_of(host)
+            assert np.all(dev.array == 3.0)
+        assert not acc.present.is_present(host)
+        assert acc.cuda.mem_get_info()[0] == free0
+
+    def test_copy_copies_back(self, acc):
+        host = acc.cuda.malloc_host((8,), fill=1.0)
+        with acc.data(copy=[host]):
+            acc.present.device_of(host).array[...] = 9.0
+        assert np.all(host.array == 9.0)
+
+    def test_copyin_does_not_copy_back(self, acc):
+        host = acc.cuda.malloc_host((8,), fill=1.0)
+        with acc.data(copyin=[host]):
+            acc.present.device_of(host).array[...] = 9.0
+        assert np.all(host.array == 1.0)
+
+    def test_copyout_allocates_uninitialized_then_copies_back(self, acc):
+        host = acc.cuda.malloc_host((8,), fill=5.0)
+        with acc.data(copyout=[host]):
+            dev = acc.present.device_of(host)
+            assert np.all(dev.array == 0.0)  # create: no copyin
+            dev.array[...] = 2.0
+        assert np.all(host.array == 2.0)
+
+    def test_create_no_copies(self, acc):
+        host = acc.cuda.malloc_host((8,), fill=5.0)
+        with acc.data(create=[host]):
+            acc.present.device_of(host).array[...] = 2.0
+        assert np.all(host.array == 5.0)
+        assert len(acc.cuda.trace.by_category("h2d", "d2h")) == 0
+
+    def test_nested_regions_no_recopy(self, acc):
+        host = acc.cuda.malloc_host((8,), fill=1.0)
+        with acc.data(copyin=[host]):
+            n_transfers = len(acc.cuda.trace.by_category("h2d"))
+            with acc.data(copyin=[host]):
+                assert len(acc.cuda.trace.by_category("h2d")) == n_transfers
+            assert acc.present.is_present(host)  # still held by outer region
+        assert not acc.present.is_present(host)
+
+    def test_present_clause_checks(self, acc):
+        host = acc.cuda.malloc_host((8,))
+        with pytest.raises(AccPresentError):
+            with acc.data(present=[host]):
+                pass  # pragma: no cover
+        with acc.data(copyin=[host]):
+            with acc.data(present=[host]):
+                pass
+
+    def test_enter_exit_data(self, acc):
+        host = acc.cuda.malloc_host((8,), fill=4.0)
+        acc.enter_data(copyin=[host])
+        assert acc.present.is_present(host)
+        acc.present.device_of(host).array[...] = 7.0
+        acc.exit_data(copyout=[host])
+        assert np.all(host.array == 7.0)
+        assert not acc.present.is_present(host)
+
+    def test_exit_data_delete_discards(self, acc):
+        host = acc.cuda.malloc_host((8,), fill=4.0)
+        acc.enter_data(copyin=[host])
+        acc.present.device_of(host).array[...] = 7.0
+        acc.exit_data(delete=[host])
+        assert np.all(host.array == 4.0)
+
+    def test_update_host_device(self, acc):
+        host = acc.cuda.malloc_host((8,), fill=1.0)
+        acc.enter_data(copyin=[host])
+        host.array[...] = 5.0
+        acc.update_device(host)
+        assert np.all(acc.present.device_of(host).array == 5.0)
+        acc.present.device_of(host).array[...] = 6.0
+        acc.update_host(host)
+        assert np.all(host.array == 6.0)
+        acc.exit_data(delete=[host])
+
+    def test_update_nonpresent_raises(self, acc):
+        host = acc.cuda.malloc_host((8,))
+        with pytest.raises(AccError):
+            acc.update_host(host)
+
+    def test_managed_arrays_ignored_by_data_clauses(self, acc):
+        managed = acc.cuda.malloc_managed((8,))
+        with acc.data(copy=[managed]):
+            assert len(acc.present) == 0
+
+    def test_device_buffer_in_data_clause_rejected(self, acc):
+        dev = acc.cuda.malloc((8,))
+        with pytest.raises(AccError):
+            with acc.data(copyin=[dev]):
+                pass  # pragma: no cover

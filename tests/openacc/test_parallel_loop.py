@@ -1,0 +1,160 @@
+"""parallel_loop / kernels constructs: queues, data paths, geometry, costs."""
+
+import numpy as np
+import pytest
+
+from repro.cuda.kernel import KernelSpec
+from repro.cuda.runtime import CudaRuntime
+from repro.errors import AccError
+from repro.openacc.runtime import AccRuntime
+
+
+def inc_kernel():
+    def body(arr, inc=1.0):
+        arr += inc
+    return KernelSpec(name="inc", body=body, bytes_per_cell=16.0)
+
+
+@pytest.fixture
+def acc(machine):
+    return AccRuntime(CudaRuntime(machine))
+
+
+@pytest.fixture
+def tiny_acc(tiny_runtime):
+    return AccRuntime(tiny_runtime)
+
+
+class TestQueues:
+    def test_none_is_default_stream(self, acc):
+        assert acc.queue(None) is acc.cuda.default_stream
+
+    def test_queue_created_on_first_use(self, acc):
+        s = acc.queue(3)
+        assert s is acc.queue(3)
+        assert not s.is_default
+
+    def test_distinct_async_values_distinct_streams(self, acc):
+        assert acc.queue(1) is not acc.queue(2)
+
+    def test_negative_async_rejected(self, acc):
+        with pytest.raises(AccError):
+            acc.queue(-1)
+
+    def test_non_int_async_rejected(self, acc):
+        with pytest.raises(AccError):
+            acc.queue(1.5)
+
+    def test_new_auto_queue_unique_and_high(self, acc):
+        q1 = acc.new_auto_queue()
+        q2 = acc.new_auto_queue()
+        assert q1 != q2
+        assert q1 >= 10_000
+
+    def test_wait_drains_all_queues(self, tiny_acc):
+        acc = tiny_acc
+        rt = acc.cuda
+        dev = rt.malloc((100_000,))
+        host = rt.malloc_host((100_000,))
+        end = rt.memcpy_async(dev, host, acc.queue(1))
+        acc.wait()
+        assert rt.now >= end
+
+    def test_wait_single_queue(self, tiny_acc):
+        acc = tiny_acc
+        rt = acc.cuda
+        dev = rt.malloc((100_000,))
+        host = rt.malloc_host((100_000,))
+        end = rt.memcpy_async(dev, host, acc.queue(1))
+        acc.wait(1)
+        assert rt.now >= end
+
+
+class TestParallelLoopDataPaths:
+    def test_implicit_copy_when_not_present(self, acc):
+        """No data region: the compiler wraps the kernel in copyin+copyout."""
+        host = acc.cuda.malloc_host((8,), fill=1.0)
+        acc.parallel_loop(inc_kernel(), arrays=[host], n_cells=8)
+        assert np.all(host.array == 2.0)   # copied back
+        assert len(acc.cuda.trace.by_category("h2d")) == 1
+        assert len(acc.cuda.trace.by_category("d2h")) == 1
+        assert not acc.present.is_present(host)
+
+    def test_present_path_no_copies(self, acc):
+        host = acc.cuda.malloc_host((8,), fill=1.0)
+        with acc.data(copy=[host]):
+            n_h2d = len(acc.cuda.trace.by_category("h2d"))
+            acc.parallel_loop(inc_kernel(), arrays=[host], n_cells=8)
+            acc.parallel_loop(inc_kernel(), arrays=[host], n_cells=8)
+            assert len(acc.cuda.trace.by_category("h2d")) == n_h2d
+        assert np.all(host.array == 3.0)
+
+    def test_deviceptr_path(self, acc):
+        dev = acc.cuda.malloc((8,))
+        acc.parallel_loop(inc_kernel(), deviceptr=[dev], n_cells=8)
+        assert np.all(dev.array == 1.0)
+        assert len(acc.cuda.trace.by_category("h2d", "d2h")) == 0
+
+    def test_deviceptr_clause_requires_device_buffer(self, acc):
+        host = acc.cuda.malloc_host((8,))
+        with pytest.raises(AccError):
+            acc.parallel_loop(inc_kernel(), deviceptr=[host], n_cells=8)
+
+    def test_raw_device_buffer_in_arrays_rejected(self, acc):
+        dev = acc.cuda.malloc((8,))
+        with pytest.raises(AccError):
+            acc.parallel_loop(inc_kernel(), arrays=[dev], n_cells=8)
+
+    def test_managed_array_path(self, acc):
+        managed = acc.cuda.malloc_managed((8,), fill=1.0)
+        acc.parallel_loop(inc_kernel(), arrays=[managed], n_cells=8)
+        assert np.all(acc.cuda.managed_host_access(managed) == 2.0)
+
+    def test_params_forwarded(self, acc):
+        dev = acc.cuda.malloc((8,))
+        acc.parallel_loop(inc_kernel(), deviceptr=[dev], n_cells=8, params={"inc": 5.0})
+        assert np.all(dev.array == 5.0)
+
+
+class TestGeometryAndCost:
+    def test_compiler_geometry_slower_than_clauses(self, tiny_acc):
+        acc = tiny_acc
+        dev = acc.cuda.malloc((1_000_000,))
+        t0 = acc.cuda.compute_engine.tail
+        acc.parallel_loop(inc_kernel(), deviceptr=[dev])
+        t_untuned = acc.cuda.compute_engine.tail - t0
+        t0 = acc.cuda.compute_engine.tail
+        acc.parallel_loop(inc_kernel(), deviceptr=[dev], vector_length=128)
+        t_tuned = acc.cuda.compute_engine.tail - t0
+        assert t_untuned > t_tuned
+
+    def test_geometry_clause_validation(self, acc):
+        dev = acc.cuda.malloc((8,))
+        with pytest.raises(AccError):
+            acc.parallel_loop(inc_kernel(), deviceptr=[dev], n_cells=8, num_gangs=0)
+        with pytest.raises(AccError):
+            acc.parallel_loop(inc_kernel(), deviceptr=[dev], n_cells=8, vector_length=-1)
+
+    def test_collapse_validated(self, acc):
+        from repro.errors import AccCompileError
+        dev = acc.cuda.malloc((8,))
+        with pytest.raises(AccCompileError):
+            acc.parallel_loop(inc_kernel(), deviceptr=[dev], n_cells=8,
+                              collapse=3, loop_dims=2)
+
+    def test_async_routes_to_queue_stream(self, acc):
+        dev = acc.cuda.malloc((8,))
+        acc.parallel_loop(inc_kernel(), deviceptr=[dev], n_cells=8, async_=7)
+        kernel_ev = acc.cuda.trace.by_category("kernel")[0]
+        assert kernel_ev.stream == acc.queue(7).stream_id
+
+    def test_after_dependency(self, tiny_acc):
+        acc = tiny_acc
+        dev = acc.cuda.malloc((8,))
+        end = acc.parallel_loop(inc_kernel(), deviceptr=[dev], n_cells=8, after=0.25)
+        assert end >= 0.25
+
+    def test_kernels_construct_equivalent(self, acc):
+        dev = acc.cuda.malloc((8,))
+        acc.kernels_construct(inc_kernel(), deviceptr=[dev], n_cells=8)
+        assert np.all(dev.array == 1.0)

@@ -1,0 +1,68 @@
+"""Chrome/Perfetto trace export."""
+
+import json
+
+from repro.sim.trace import Trace, TraceEvent
+
+
+def make_trace():
+    t = Trace()
+    t.record("k1", "kernel", "compute", 0.0, 1e-3, stream=1, n_cells=100)
+    t.record("up", "h2d", "h2d", 0.0, 5e-4, stream=2, nbytes=4096)
+    return t
+
+
+class TestChromeTrace:
+    def test_events_have_required_fields(self):
+        events = make_trace().to_chrome_trace()
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == 2
+        for e in complete:
+            assert set(e) >= {"name", "cat", "ph", "ts", "dur", "pid", "tid"}
+
+    def test_microsecond_conversion(self):
+        events = make_trace().to_chrome_trace()
+        k1 = next(e for e in events if e["name"] == "k1")
+        assert k1["dur"] == 1000.0  # 1 ms -> 1000 us
+
+    def test_lane_metadata_events(self):
+        events = make_trace().to_chrome_trace()
+        meta = [e for e in events if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in meta}
+        assert names == {"compute", "h2d"}
+
+    def test_args_carry_stream_and_bytes(self):
+        events = make_trace().to_chrome_trace()
+        up = next(e for e in events if e["name"] == "up")
+        assert up["args"]["stream"] == 2
+        assert up["args"]["nbytes"] == 4096
+
+    def test_save_is_valid_json(self, tmp_path):
+        path = make_trace().save_chrome_trace(str(tmp_path / "t.json"))
+        data = json.loads(open(path).read())
+        assert "traceEvents" in data
+        assert len(data["traceEvents"]) == 4
+
+    def test_empty_trace(self, tmp_path):
+        path = Trace().save_chrome_trace(str(tmp_path / "e.json"))
+        assert json.loads(open(path).read()) == {"traceEvents": []}
+
+
+class TestCli:
+    def test_machine_subcommand(self, capsys):
+        from repro.__main__ import main
+        assert main(["machine"]) == 0
+        out = capsys.readouterr().out
+        assert "tesla-k40m" in out and "pcie" in out
+
+    def test_kernels_subcommand(self, capsys):
+        from repro.__main__ import main
+        assert main(["kernels"]) == 0
+        assert "heat" in capsys.readouterr().out
+
+    def test_trace_subcommand(self, tmp_path, capsys):
+        from repro.__main__ import main
+        out_file = tmp_path / "trace.json"
+        assert main(["trace", "--steps", "1", "--out", str(out_file)]) == 0
+        data = json.loads(out_file.read_text())
+        assert len(data["traceEvents"]) > 0

@@ -1,0 +1,138 @@
+"""Unit tests for host buffers and the device memory pool."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CudaInvalidValueError, CudaMemoryAllocationError
+from repro.sim.device import DeviceMemoryPool
+from repro.sim.hostmem import HostBuffer
+
+
+class TestHostBuffer:
+    def test_scalar_shape_normalized(self):
+        buf = HostBuffer(8)
+        assert buf.shape == (8,)
+
+    def test_nbytes_and_size(self):
+        buf = HostBuffer((4, 4), dtype=np.float64)
+        assert buf.size == 16
+        assert buf.nbytes == 128
+
+    def test_default_zero_filled(self):
+        assert float(HostBuffer((3, 3)).array.sum()) == 0.0
+
+    def test_fill(self):
+        buf = HostBuffer((2, 2), fill=7.0)
+        assert np.all(buf.array == 7.0)
+
+    def test_pinned_flag(self):
+        assert HostBuffer(4, pinned=True).pinned
+        assert not HostBuffer(4).pinned
+
+    def test_negative_shape_rejected(self):
+        with pytest.raises(CudaInvalidValueError):
+            HostBuffer((-1, 4))
+
+    def test_zero_extent_allowed(self):
+        assert HostBuffer((0, 4)).nbytes == 0
+
+    def test_timing_only_has_no_array(self):
+        buf = HostBuffer((1024, 1024, 1024), functional=False)  # 8 GiB logical
+        assert buf.nbytes == 8 * 1024**3
+        with pytest.raises(CudaInvalidValueError):
+            _ = buf.array
+
+    def test_free_then_use_raises(self):
+        buf = HostBuffer(4)
+        buf.free()
+        with pytest.raises(CudaInvalidValueError):
+            _ = buf.array
+
+    def test_double_free_raises(self):
+        buf = HostBuffer(4)
+        buf.free()
+        with pytest.raises(CudaInvalidValueError):
+            buf.free()
+
+    def test_dtype_respected(self):
+        buf = HostBuffer(4, dtype=np.float32)
+        assert buf.array.dtype == np.float32
+        assert buf.nbytes == 16
+
+
+class TestDeviceMemoryPool:
+    def test_accounting(self):
+        pool = DeviceMemoryPool(1000)
+        buf = pool.allocate(10, dtype=np.float64)  # 80 bytes
+        assert pool.used_bytes == 80
+        assert pool.free_bytes == 920
+        pool.free(buf)
+        assert pool.used_bytes == 0
+
+    def test_oom(self):
+        pool = DeviceMemoryPool(100)
+        with pytest.raises(CudaMemoryAllocationError):
+            pool.allocate(100, dtype=np.float64)
+
+    def test_exact_fit(self):
+        pool = DeviceMemoryPool(80)
+        buf = pool.allocate(10, dtype=np.float64)
+        assert pool.free_bytes == 0
+        pool.free(buf)
+
+    def test_fragmentation_free_model(self):
+        """The pool models capacity, not placement: free bytes are reusable."""
+        pool = DeviceMemoryPool(160)
+        a = pool.allocate(10)
+        b = pool.allocate(10)
+        pool.free(a)
+        c = pool.allocate(10)
+        assert pool.used_bytes == 160
+        pool.free(b)
+        pool.free(c)
+
+    def test_double_free(self):
+        pool = DeviceMemoryPool(1000)
+        buf = pool.allocate(4)
+        pool.free(buf)
+        with pytest.raises(CudaInvalidValueError):
+            pool.free(buf)
+
+    def test_foreign_buffer_free(self):
+        pool_a = DeviceMemoryPool(1000)
+        pool_b = DeviceMemoryPool(1000)
+        buf = pool_a.allocate(4)
+        with pytest.raises(CudaInvalidValueError):
+            pool_b.free(buf)
+
+    def test_use_after_free(self):
+        pool = DeviceMemoryPool(1000)
+        buf = pool.allocate(4)
+        pool.free(buf)
+        with pytest.raises(CudaInvalidValueError):
+            _ = buf.array
+
+    def test_mem_get_info(self):
+        pool = DeviceMemoryPool(1000)
+        pool.allocate(10)
+        assert pool.mem_get_info() == (920, 1000)
+
+    def test_live_allocations(self):
+        pool = DeviceMemoryPool(1000)
+        a = pool.allocate(1)
+        b = pool.allocate(1)
+        assert pool.live_allocations == 2
+        pool.free(a)
+        assert pool.live_allocations == 1
+        pool.free(b)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(CudaInvalidValueError):
+            DeviceMemoryPool(0)
+
+    def test_timing_only_allocation(self):
+        pool = DeviceMemoryPool(10**12)
+        buf = pool.allocate((1024, 1024, 64), functional=False)
+        assert pool.used_bytes == buf.nbytes
+        with pytest.raises(CudaInvalidValueError):
+            _ = buf.array

@@ -1,0 +1,180 @@
+"""Unit and property tests for the trace recorder and overlap metrics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.trace import Trace, TraceEvent
+
+
+def ev(lane, start, end, category="kernel", name="op", stream=None):
+    return TraceEvent(name=name, category=category, lane=lane, start=start, end=end, stream=stream)
+
+
+class TestTraceEvent:
+    def test_duration(self):
+        assert ev("a", 1.0, 3.5).duration == 2.5
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(SimulationError):
+            ev("a", 2.0, 1.0)
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(SimulationError):
+            TraceEvent(name="x", category="bogus", lane="a", start=0, end=1)
+
+    def test_all_known_categories_accepted(self):
+        for cat in ("h2d", "d2h", "kernel", "host", "sync"):
+            ev("a", 0, 1, category=cat)
+
+
+class TestTraceBasics:
+    def test_empty_trace(self):
+        t = Trace()
+        assert len(t) == 0
+        assert t.span() == 0.0
+        assert t.gantt() == "(empty trace)"
+
+    def test_record_and_iterate(self):
+        t = Trace()
+        t.record("a", "kernel", "compute", 0.0, 1.0)
+        t.record("b", "h2d", "h2d", 1.0, 2.0)
+        assert len(t) == 2
+        assert [e.name for e in t] == ["a", "b"]
+
+    def test_span(self):
+        t = Trace()
+        t.add(ev("a", 1.0, 2.0))
+        t.add(ev("b", 5.0, 9.0))
+        assert t.span() == 8.0
+
+    def test_busy_time_per_lane(self):
+        t = Trace()
+        t.add(ev("compute", 0, 2))
+        t.add(ev("compute", 3, 4))
+        t.add(ev("h2d", 0, 10, category="h2d"))
+        assert t.busy_time("compute") == 3.0
+        assert t.busy_time("h2d") == 10.0
+        assert t.busy_time("nothing") == 0.0
+
+    def test_filters(self):
+        t = Trace()
+        t.add(ev("compute", 0, 1, category="kernel"))
+        t.add(ev("h2d", 0, 1, category="h2d"))
+        assert len(t.by_category("kernel")) == 1
+        assert len(t.by_lane("h2d")) == 1
+        assert len(t.filter(lambda e: e.end > 0.5)) == 2
+
+    def test_lanes_preserve_first_seen_order(self):
+        t = Trace()
+        t.add(ev("b", 0, 1))
+        t.add(ev("a", 0, 1))
+        t.add(ev("b", 1, 2))
+        assert t.lanes() == ["b", "a"]
+
+    def test_to_rows(self):
+        t = Trace()
+        t.record("a", "h2d", "h2d", 0.0, 1.0, stream=3, nbytes=64)
+        rows = t.to_rows()
+        assert rows[0]["name"] == "a"
+        assert rows[0]["stream"] == 3
+        assert rows[0]["nbytes"] == 64
+
+
+class TestOverlap:
+    def test_disjoint_lanes_no_overlap(self):
+        t = Trace()
+        t.add(ev("a", 0, 1))
+        t.add(ev("b", 1, 2))
+        assert t.overlap_time(["a"], ["b"]) == 0.0
+
+    def test_full_overlap(self):
+        t = Trace()
+        t.add(ev("a", 0, 2))
+        t.add(ev("b", 0, 2))
+        assert t.overlap_time(["a"], ["b"]) == 2.0
+
+    def test_partial_overlap(self):
+        t = Trace()
+        t.add(ev("a", 0, 3))
+        t.add(ev("b", 2, 5))
+        assert t.overlap_time(["a"], ["b"]) == 1.0
+
+    def test_multiple_intervals_merge(self):
+        t = Trace()
+        t.add(ev("a", 0, 1))
+        t.add(ev("a", 1, 2))     # touching intervals merge
+        t.add(ev("b", 0.5, 1.5))
+        assert t.overlap_time(["a"], ["b"]) == pytest.approx(1.0)
+
+    def test_lane_groups(self):
+        t = Trace()
+        t.add(ev("h2d", 0, 2, category="h2d"))
+        t.add(ev("d2h", 3, 5, category="d2h"))
+        t.add(ev("compute", 1, 4))
+        assert t.overlap_time(["h2d", "d2h"], ["compute"]) == pytest.approx(2.0)
+
+    def test_overlap_fraction_no_transfers(self):
+        t = Trace()
+        t.add(ev("compute", 0, 1))
+        assert t.overlap_fraction(["h2d"], ["compute"]) == 0.0
+
+    def test_overlap_fraction_full(self):
+        t = Trace()
+        t.add(ev("h2d", 0, 1, category="h2d"))
+        t.add(ev("compute", 0, 2))
+        assert t.overlap_fraction(["h2d"], ["compute"]) == pytest.approx(1.0)
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 100), st.floats(0, 10)),
+            min_size=0, max_size=20,
+        ),
+        st.lists(
+            st.tuples(st.floats(0, 100), st.floats(0, 10)),
+            min_size=0, max_size=20,
+        ),
+    )
+    def test_property_overlap_bounded_and_symmetric(self, ivs_a, ivs_b):
+        t = Trace()
+        for s, d in ivs_a:
+            t.add(ev("a", s, s + d))
+        for s, d in ivs_b:
+            t.add(ev("b", s, s + d))
+        ab = t.overlap_time(["a"], ["b"])
+        ba = t.overlap_time(["b"], ["a"])
+        assert ab == pytest.approx(ba)
+        assert ab <= min(t.busy_time("a"), t.busy_time("b")) + 1e-9
+        assert ab >= 0.0
+
+    def test_self_overlap_equals_merged_busy(self):
+        t = Trace()
+        t.add(ev("a", 0, 2))
+        t.add(ev("a", 1, 3))  # overlapping events on one (non-engine) lane
+        assert t.overlap_time(["a"], ["a"]) == pytest.approx(3.0)
+
+
+class TestGantt:
+    def test_contains_lanes_and_legend(self):
+        t = Trace()
+        t.add(ev("compute", 0, 1))
+        t.add(ev("h2d", 0, 0.5, category="h2d"))
+        out = t.gantt(width=40)
+        assert "compute" in out
+        assert "h2d" in out
+        assert "legend" in out
+        assert "#" in out and "<" in out
+
+    def test_width_validation(self):
+        t = Trace()
+        t.add(ev("a", 0, 1))
+        with pytest.raises(SimulationError):
+            t.gantt(width=5)
+
+    def test_lane_subset(self):
+        t = Trace()
+        t.add(ev("a", 0, 1))
+        t.add(ev("b", 0, 1))
+        out = t.gantt(width=40, lanes=["a"])
+        assert "a" in out
+        assert "\nb" not in out

@@ -1,0 +1,130 @@
+"""Hardware-spec validation and preset sanity."""
+
+import pytest
+
+from repro.config import (
+    CUDA_FASTMATH,
+    CUDA_LIBM,
+    PGI_MATH,
+    CpuSpec,
+    GpuSpec,
+    LinkSpec,
+    MathModel,
+    NVLINK_1,
+    PCIE_GEN3_X16,
+    TESLA_K40M,
+    TESLA_P100,
+    k40m_pcie3,
+    p100_nvlink,
+)
+from repro.errors import ConfigError
+
+
+class TestLinkSpec:
+    def test_transfer_time_pinned(self):
+        link = LinkSpec(name="l", h2d_bandwidth=1e9, d2h_bandwidth=2e9, latency=1e-6)
+        assert link.transfer_time(1e9, direction="h2d", pinned=True) == pytest.approx(1.0 + 1e-6)
+        assert link.transfer_time(1e9, direction="d2h", pinned=True) == pytest.approx(0.5 + 1e-6)
+
+    def test_pageable_factor(self):
+        link = LinkSpec(name="l", h2d_bandwidth=1e9, d2h_bandwidth=1e9, latency=0.0,
+                        pageable_bandwidth_factor=0.5)
+        assert link.transfer_time(1e9, direction="h2d", pinned=False) == pytest.approx(2.0)
+
+    def test_zero_bytes_pays_latency(self):
+        assert PCIE_GEN3_X16.transfer_time(0, direction="h2d", pinned=True) == PCIE_GEN3_X16.latency
+
+    def test_bad_direction(self):
+        with pytest.raises(ConfigError):
+            PCIE_GEN3_X16.transfer_time(1, direction="sideways", pinned=True)
+
+    def test_negative_bytes(self):
+        with pytest.raises(ConfigError):
+            PCIE_GEN3_X16.transfer_time(-1, direction="h2d", pinned=True)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            LinkSpec(name="l", h2d_bandwidth=0, d2h_bandwidth=1, latency=0)
+        with pytest.raises(ConfigError):
+            LinkSpec(name="l", h2d_bandwidth=1, d2h_bandwidth=1, latency=-1)
+        with pytest.raises(ConfigError):
+            LinkSpec(name="l", h2d_bandwidth=1, d2h_bandwidth=1, latency=0,
+                     pageable_bandwidth_factor=1.5)
+
+    def test_nvlink_at_least_5x_pcie(self):
+        """The paper intro's claim, encoded in the presets."""
+        assert NVLINK_1.h2d_bandwidth >= 5 * PCIE_GEN3_X16.h2d_bandwidth
+
+
+class TestGpuSpec:
+    def test_kernel_time_roofline(self):
+        gpu = TESLA_K40M
+        mem_bound = gpu.kernel_time(bytes_moved=1e9, flops=1.0)
+        assert mem_bound == pytest.approx(1e9 / gpu.mem_bandwidth)
+        flop_bound = gpu.kernel_time(bytes_moved=1.0, flops=1e12)
+        assert flop_bound == pytest.approx(1e12 / gpu.dp_flops)
+
+    def test_untuned_penalty(self):
+        gpu = TESLA_K40M
+        tuned = gpu.kernel_time(bytes_moved=1e9, flops=0)
+        untuned = gpu.kernel_time(bytes_moved=1e9, flops=0, tuned_geometry=False)
+        assert untuned > tuned
+
+    def test_allocatable(self):
+        assert TESLA_K40M.allocatable_bytes == TESLA_K40M.memory_bytes - TESLA_K40M.reserved_bytes
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            GpuSpec(name="g", memory_bytes=0, reserved_bytes=0, dp_flops=1,
+                    mem_bandwidth=1, kernel_launch_overhead=1)
+        with pytest.raises(ConfigError):
+            GpuSpec(name="g", memory_bytes=10, reserved_bytes=10, dp_flops=1,
+                    mem_bandwidth=1, kernel_launch_overhead=1)
+        with pytest.raises(ConfigError):
+            GpuSpec(name="g", memory_bytes=10, reserved_bytes=0, dp_flops=1,
+                    mem_bandwidth=1, kernel_launch_overhead=1, copy_engines=3)
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(ConfigError):
+            TESLA_K40M.kernel_time(bytes_moved=-1, flops=0)
+
+    def test_p100_faster_than_k40(self):
+        assert TESLA_P100.dp_flops > TESLA_K40M.dp_flops
+        assert TESLA_P100.mem_bandwidth > TESLA_K40M.mem_bandwidth
+
+
+class TestMathModels:
+    def test_ordering(self):
+        """libm > pgi >= fastmath per special function (the Fig. 6 premise)."""
+        for attr in ("sin_cost", "cos_cost", "sqrt_cost"):
+            assert getattr(CUDA_LIBM, attr) > getattr(PGI_MATH, attr)
+            assert getattr(PGI_MATH, attr) >= getattr(CUDA_FASTMATH, attr)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            MathModel(name="m", sin_cost=0, cos_cost=1, sqrt_cost=1)
+
+
+class TestMachineSpec:
+    def test_with_gpu_memory(self):
+        m = k40m_pcie3()
+        limited = m.with_gpu_memory(1_000_000, reserved_bytes=0)
+        assert limited.gpu.allocatable_bytes == 1_000_000
+        assert m.gpu.allocatable_bytes != 1_000_000  # original untouched
+
+    def test_with_math(self):
+        m = k40m_pcie3().with_math(CUDA_LIBM)
+        assert m.math is CUDA_LIBM
+
+    def test_with_link(self):
+        m = k40m_pcie3().with_link(NVLINK_1)
+        assert m.link is NVLINK_1
+        assert m.gpu is TESLA_K40M
+
+    def test_presets_build(self):
+        assert k40m_pcie3().gpu.name == "tesla-k40m"
+        assert p100_nvlink().link.name == "nvlink-1.0"
+
+    def test_cpu_kernel_time(self):
+        cpu = k40m_pcie3().cpu
+        assert cpu.kernel_time(bytes_moved=cpu.mem_bandwidth, flops=0) == pytest.approx(1.0)

@@ -1,0 +1,32 @@
+"""Every example script must run end-to-end (small arguments)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", []),
+    ("heat_3d.py", ["--size", "64", "--regions", "4", "--steps", "1", "5"]),
+    ("out_of_core.py", ["--size", "128", "--regions", "8", "--steps", "4"]),
+    ("image_blur.py", ["--size", "32", "--grid", "2", "--passes", "2"]),
+    ("wave_2d.py", ["--size", "32", "--regions", "2", "--steps", "5"]),
+    ("autotune_regions.py", ["--size", "128", "--steps", "1"]),
+    ("conjugate_gradient.py", ["--size", "10", "--regions", "2"]),
+    ("multi_gpu_heat.py", ["--size", "64", "--steps", "2"]),
+]
+
+
+@pytest.mark.parametrize("script,args", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, args):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, f"{script} failed:\n{result.stderr[-2000:]}"
+    assert result.stdout.strip(), f"{script} produced no output"

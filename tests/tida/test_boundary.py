@@ -1,0 +1,87 @@
+"""Boundary-condition objects and domain-face computation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TidaError
+from repro.sim.hostmem import HostBuffer
+from repro.tida.boundary import Dirichlet, Neumann, Periodic, domain_faces
+from repro.tida.box import Box
+from repro.tida.region import Region
+
+
+def region_at(lo, hi, ghost=1):
+    box = Box(lo, hi)
+    return Region(0, box, ghost, data=HostBuffer(box.grow(ghost).shape))
+
+
+class TestBcObjects:
+    def test_dirichlet_fill(self):
+        ghost = np.zeros((2, 3))
+        Dirichlet(5.0).fill_face(ghost, np.zeros((1, 3)))
+        assert np.all(ghost == 5.0)
+
+    def test_neumann_copies_plane(self):
+        ghost = np.zeros((2, 3))
+        plane = np.arange(3.0).reshape(1, 3)
+        Neumann().fill_face(ghost, plane)
+        assert np.all(ghost == plane)
+
+    def test_periodic_flag(self):
+        assert Periodic().is_periodic
+        assert not Neumann().is_periodic
+        assert not Dirichlet().is_periodic
+
+    def test_periodic_fill_face_rejected(self):
+        with pytest.raises(TidaError):
+            Periodic().fill_face(np.zeros(2), np.zeros(1))
+
+
+class TestDomainFaces:
+    def test_interior_region_has_no_faces(self):
+        domain = Box((0,), (12,))
+        r = Region(1, Box((4,), (8,)), 1, data=HostBuffer((6,)))
+        assert domain_faces(r, domain) == []
+
+    def test_edge_region_low_face(self):
+        domain = Box((0,), (12,))
+        r = region_at((0,), (4,))
+        faces = domain_faces(r, domain)
+        assert len(faces) == 1
+        axis, side, ghost_box, src_box = faces[0]
+        assert (axis, side) == (0, -1)
+        assert ghost_box == Box((-1,), (0,))
+        assert src_box == Box((0,), (1,))
+
+    def test_corner_region_has_two_faces_per_axis_touching(self):
+        domain = Box((0, 0), (4, 4))
+        r = region_at((0, 0), (2, 2))
+        faces = domain_faces(r, domain)
+        assert {(a, s) for a, s, _, _ in faces} == {(0, -1), (1, -1)}
+
+    def test_full_domain_region_has_all_faces(self):
+        domain = Box((0, 0), (4, 4))
+        r = region_at((0, 0), (4, 4))
+        faces = domain_faces(r, domain)
+        assert len(faces) == 4
+
+    def test_zero_ghost_axis_skipped(self):
+        domain = Box((0, 0), (4, 4))
+        box = Box((0, 0), (4, 4))
+        r = Region(0, box, (0, 1), data=HostBuffer(box.grow((0, 1)).shape))
+        faces = domain_faces(r, domain)
+        assert {a for a, _, _, _ in faces} == {1}
+
+    def test_ghost_width_two_slab_thickness(self):
+        domain = Box((0,), (8,))
+        r = region_at((0,), (8,), ghost=2)
+        faces = domain_faces(r, domain)
+        low = next(f for f in faces if f[1] == -1)
+        assert low[2] == Box((-2,), (0,))       # two ghost layers
+        assert low[3] == Box((0,), (1,))        # one source plane
+
+    def test_faces_ordered_by_axis(self):
+        domain = Box((0, 0, 0), (4, 4, 4))
+        r = region_at((0, 0, 0), (4, 4, 4))
+        axes = [a for a, _, _, _ in domain_faces(r, domain)]
+        assert axes == sorted(axes)

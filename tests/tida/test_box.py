@@ -1,0 +1,179 @@
+"""Box algebra: unit tests plus hypothesis properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TidaError
+from repro.tida.box import Box
+
+# strategy: boxes of rank 1-3 with bounded coordinates
+def boxes(ndim=None):
+    def build(nd):
+        los = st.tuples(*(st.integers(-50, 50) for _ in range(nd)))
+        extents = st.tuples(*(st.integers(0, 30) for _ in range(nd)))
+        return st.builds(
+            lambda lo, ext: Box(lo, tuple(l + e for l, e in zip(lo, ext))), los, extents
+        )
+    if ndim is not None:
+        return build(ndim)
+    return st.integers(1, 3).flatmap(build)
+
+
+class TestConstruction:
+    def test_from_shape(self):
+        b = Box.from_shape((4, 5))
+        assert b.lo == (0, 0) and b.hi == (4, 5)
+        assert b.shape == (4, 5)
+        assert b.size == 20
+
+    def test_from_shape_with_origin(self):
+        b = Box.from_shape((2, 2), origin=(3, 4))
+        assert b.lo == (3, 4) and b.hi == (5, 6)
+
+    def test_rank_mismatch(self):
+        with pytest.raises(TidaError):
+            Box((0, 0), (1,))
+
+    def test_zero_rank_rejected(self):
+        with pytest.raises(TidaError):
+            Box((), ())
+
+    def test_negative_extent_rejected(self):
+        with pytest.raises(TidaError):
+            Box((3,), (1,))
+
+    def test_empty_box(self):
+        assert Box((2, 2), (2, 5)).is_empty
+        assert Box((2, 2), (2, 5)).size == 0
+
+
+class TestQueries:
+    def test_contains_point(self):
+        b = Box((0, 0), (4, 4))
+        assert b.contains_point((0, 0))
+        assert b.contains_point((3, 3))
+        assert not b.contains_point((4, 0))
+
+    def test_contains_box(self):
+        outer = Box((0,), (10,))
+        assert outer.contains(Box((2,), (5,)))
+        assert outer.contains(outer)
+        assert not outer.contains(Box((5,), (12,)))
+
+    def test_contains_empty_always(self):
+        assert Box((0,), (1,)).contains(Box((50,), (50,)))
+
+    def test_point_rank_mismatch(self):
+        with pytest.raises(TidaError):
+            Box((0,), (4,)).contains_point((1, 2))
+
+
+class TestAlgebra:
+    def test_intersect_basic(self):
+        a = Box((0, 0), (4, 4))
+        b = Box((2, 2), (6, 6))
+        assert a.intersect(b) == Box((2, 2), (4, 4))
+
+    def test_intersect_disjoint_is_empty(self):
+        a = Box((0,), (2,))
+        b = Box((5,), (7,))
+        assert a.intersect(b).is_empty
+        assert not a.intersects(b)
+
+    def test_grow_shrink(self):
+        b = Box((2, 2), (4, 4))
+        assert b.grow(1) == Box((1, 1), (5, 5))
+        assert b.grow(1).shrink(1) == b
+
+    def test_grow_per_axis(self):
+        b = Box((2, 2), (4, 4))
+        assert b.grow((1, 0)) == Box((1, 2), (5, 4))
+
+    def test_shift(self):
+        assert Box((0,), (2,)).shift((5,)) == Box((5,), (7,))
+
+    def test_shift_rank_mismatch(self):
+        with pytest.raises(TidaError):
+            Box((0,), (2,)).shift((1, 2))
+
+    @given(boxes(), boxes())
+    def test_property_intersect_commutative(self, a, b):
+        if a.ndim != b.ndim:
+            return
+        assert a.intersect(b) == b.intersect(a)
+
+    @given(boxes())
+    def test_property_intersect_self_identity(self, b):
+        assert b.intersect(b) == b
+
+    @given(boxes(), boxes())
+    def test_property_intersection_contained(self, a, b):
+        if a.ndim != b.ndim:
+            return
+        i = a.intersect(b)
+        assert a.contains(i) and b.contains(i)
+
+    @given(boxes(), st.integers(0, 5))
+    def test_property_grow_shrink_roundtrip(self, b, g):
+        assert b.grow(g).shrink(g) == b
+
+    @given(boxes(), st.integers(0, 5))
+    def test_property_grow_size_monotone(self, b, g):
+        assert b.grow(g).size >= b.size
+
+    @given(boxes(ndim=2))
+    def test_property_shift_preserves_shape(self, b):
+        assert b.shift((7, -3)).shape == b.shape
+
+
+class TestSlices:
+    def test_slices_default_origin(self):
+        b = Box((1, 2), (3, 5))
+        assert b.slices() == (slice(1, 3), slice(2, 5))
+
+    def test_slices_with_origin(self):
+        b = Box((5,), (8,))
+        assert b.slices(origin=(4,)) == (slice(1, 4),)
+
+    def test_slices_below_origin_rejected(self):
+        with pytest.raises(TidaError):
+            Box((0,), (2,)).slices(origin=(1,))
+
+
+class TestSplitChunks:
+    def test_split(self):
+        a, b = Box((0,), (10,)).split(0, 4)
+        assert a == Box((0,), (4,))
+        assert b == Box((4,), (10,))
+
+    def test_split_at_edge(self):
+        a, b = Box((0,), (10,)).split(0, 0)
+        assert a.is_empty and b == Box((0,), (10,))
+
+    def test_split_outside_rejected(self):
+        with pytest.raises(TidaError):
+            Box((0,), (10,)).split(0, 11)
+
+    def test_split_bad_axis(self):
+        with pytest.raises(TidaError):
+            Box((0,), (10,)).split(1, 5)
+
+    def test_chunks_partition(self):
+        parts = list(Box((0, 0), (10, 3)).chunks(0, 4))
+        assert [p.shape for p in parts] == [(4, 3), (4, 3), (2, 3)]
+        assert sum(p.size for p in parts) == 30
+
+    def test_chunks_bad_extent(self):
+        with pytest.raises(TidaError):
+            list(Box((0,), (10,)).chunks(0, 0))
+
+    @given(boxes(ndim=1).filter(lambda b: not b.is_empty), st.integers(1, 10))
+    def test_property_chunks_exactly_partition(self, b, chunk):
+        parts = list(b.chunks(0, chunk))
+        assert sum(p.size for p in parts) == b.size
+        # contiguous, non-overlapping, ordered
+        cursor = b.lo[0]
+        for p in parts:
+            assert p.lo[0] == cursor
+            cursor = p.hi[0]
+        assert cursor == b.hi[0]

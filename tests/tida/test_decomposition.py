@@ -1,0 +1,126 @@
+"""Domain decomposition: exact partitioning, grid queries, neighbours."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DecompositionError
+from repro.tida.box import Box
+from repro.tida.decomposition import Decomposition
+
+
+class TestGridDecomposition:
+    def test_even_split(self):
+        deco = Decomposition(domain=Box.from_shape((8, 8)), region_shape=(4, 4))
+        assert deco.n_regions == 4
+        assert deco.grid_shape == (2, 2)
+        deco.validate_partition()
+
+    def test_uneven_edges(self):
+        deco = Decomposition(domain=Box.from_shape((10,)), region_shape=(4,))
+        assert [b.shape[0] for b in deco.boxes] == [4, 4, 2]
+        deco.validate_partition()
+
+    def test_region_larger_than_domain(self):
+        deco = Decomposition(domain=Box.from_shape((3, 3)), region_shape=(10, 10))
+        assert deco.n_regions == 1
+        assert deco.boxes[0].shape == (3, 3)
+
+    def test_offset_domain(self):
+        deco = Decomposition(domain=Box((5, 5), (9, 9)), region_shape=(2, 2))
+        assert deco.boxes[0].lo == (5, 5)
+        deco.validate_partition()
+
+    def test_rank_mismatch(self):
+        with pytest.raises(DecompositionError):
+            Decomposition(domain=Box.from_shape((4, 4)), region_shape=(2,))
+
+    def test_nonpositive_region_shape(self):
+        with pytest.raises(DecompositionError):
+            Decomposition(domain=Box.from_shape((4,)), region_shape=(0,))
+
+    def test_empty_domain(self):
+        with pytest.raises(DecompositionError):
+            Decomposition(domain=Box((0,), (0,)), region_shape=(2,))
+
+    @given(
+        st.tuples(st.integers(1, 20), st.integers(1, 20)),
+        st.tuples(st.integers(1, 8), st.integers(1, 8)),
+    )
+    def test_property_exact_partition(self, domain_shape, region_shape):
+        deco = Decomposition(domain=Box.from_shape(domain_shape), region_shape=region_shape)
+        deco.validate_partition()  # raises on overlap/gap/escape
+
+    @given(
+        st.tuples(st.integers(1, 30), st.integers(1, 10)),
+        st.tuples(st.integers(1, 6), st.integers(1, 6)),
+    )
+    def test_property_index_coords_roundtrip(self, domain_shape, region_shape):
+        deco = Decomposition(domain=Box.from_shape(domain_shape), region_shape=region_shape)
+        for rid in range(deco.n_regions):
+            assert deco.index(deco.coords(rid)) == rid
+
+
+class TestByCount:
+    def test_paper_configuration(self):
+        """512^3 into 16 slabs along axis 0 — the Fig. 5 setup."""
+        deco = Decomposition.by_count(Box.from_shape((512, 512, 512)), 16)
+        assert deco.n_regions == 16
+        assert all(b.shape == (32, 512, 512) for b in deco.boxes)
+        deco.validate_partition()
+
+    def test_uneven_count(self):
+        deco = Decomposition.by_count(Box.from_shape((12,)), 5)
+        assert deco.n_regions == 5
+        assert sorted(b.shape[0] for b in deco.boxes) == [2, 2, 2, 3, 3]
+        deco.validate_partition()
+
+    def test_axis_selection(self):
+        deco = Decomposition.by_count(Box.from_shape((4, 8)), 4, axis=1)
+        assert all(b.shape == (4, 2) for b in deco.boxes)
+
+    def test_too_many_regions(self):
+        with pytest.raises(DecompositionError):
+            Decomposition.by_count(Box.from_shape((4,)), 5)
+
+    def test_nonpositive_count(self):
+        with pytest.raises(DecompositionError):
+            Decomposition.by_count(Box.from_shape((4,)), 0)
+
+    def test_bad_axis(self):
+        with pytest.raises(DecompositionError):
+            Decomposition.by_count(Box.from_shape((4,)), 2, axis=1)
+
+    @given(st.integers(1, 64), st.integers(1, 16))
+    def test_property_by_count_exact(self, extent, n):
+        if n > extent:
+            return
+        deco = Decomposition.by_count(Box.from_shape((extent,)), n)
+        assert deco.n_regions == n
+        deco.validate_partition()
+
+
+class TestNeighbors:
+    def test_1d_chain(self):
+        deco = Decomposition.by_count(Box.from_shape((16,)), 4)
+        assert deco.neighbors(0) == [1]
+        assert sorted(deco.neighbors(1)) == [0, 2]
+        assert deco.neighbors(3) == [2]
+
+    def test_2d_grid_includes_diagonals(self):
+        deco = Decomposition(domain=Box.from_shape((6, 6)), region_shape=(2, 2))
+        center = deco.index((1, 1))
+        assert len(deco.neighbors(center)) == 8
+        corner = deco.index((0, 0))
+        assert len(deco.neighbors(corner)) == 3
+
+    def test_covering(self):
+        deco = Decomposition.by_count(Box.from_shape((16,)), 4)
+        probe = Box((3,), (9,))  # spans regions 0,1,2
+        assert deco.covering(probe) == [0, 1, 2]
+
+    def test_coords_out_of_range(self):
+        deco = Decomposition.by_count(Box.from_shape((16,)), 4)
+        with pytest.raises(DecompositionError):
+            deco.coords(4)
+        with pytest.raises(DecompositionError):
+            deco.index((9,))

@@ -1,0 +1,107 @@
+"""Region and Tile coordinate mapping."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TidaError
+from repro.sim.hostmem import HostBuffer
+from repro.tida.box import Box
+from repro.tida.region import Region
+from repro.tida.tile import Tile
+
+
+def make_region(lo=(4,), hi=(8,), ghost=1):
+    box = Box(lo, hi)
+    shape = box.grow(ghost).shape
+    return Region(0, box, ghost, data=HostBuffer(shape, label="r0"))
+
+
+class TestRegion:
+    def test_local_shape_includes_ghosts(self):
+        r = make_region((4, 4), (8, 10), ghost=2)
+        assert r.local_shape == (8, 10)
+
+    def test_shape_mismatch_rejected(self):
+        box = Box((0,), (4,))
+        with pytest.raises(TidaError):
+            Region(0, box, 1, data=HostBuffer((4,)))  # needs 6
+
+    def test_empty_interior_rejected(self):
+        with pytest.raises(TidaError):
+            Region(0, Box((0,), (0,)), 0)
+
+    def test_negative_ghost_rejected(self):
+        with pytest.raises(TidaError):
+            Region(0, Box((0,), (4,)), -1)
+
+    def test_local_slices_interior(self):
+        r = make_region((4,), (8,), ghost=1)
+        assert r.interior_slices == (slice(1, 5),)
+
+    def test_local_slices_ghost_area(self):
+        r = make_region((4,), (8,), ghost=1)
+        assert r.local_slices(Box((3,), (4,))) == (slice(0, 1),)
+
+    def test_local_slices_outside_rejected(self):
+        r = make_region((4,), (8,), ghost=1)
+        with pytest.raises(TidaError):
+            r.local_slices(Box((0,), (2,)))
+
+    def test_local_bounds(self):
+        r = make_region((4,), (8,), ghost=1)
+        lo, hi = r.local_bounds(r.box)
+        assert (lo, hi) == ((1,), (5,))
+
+    def test_views_share_memory(self):
+        r = make_region()
+        r.interior[...] = 7.0
+        assert r.array[1:-1].sum() == 4 * 7.0
+
+    def test_view_without_allocation(self):
+        r = Region(0, Box((0,), (4,)), 0)
+        with pytest.raises(TidaError):
+            _ = r.interior
+        with pytest.raises(TidaError):
+            _ = r.nbytes
+
+
+class TestTile:
+    def test_whole_region_tile(self):
+        r = make_region((4,), (8,), ghost=1)
+        t = Tile(r, r.box)
+        assert t.n_cells == 4
+        assert t.local_bounds == ((1,), (5,))
+
+    def test_sub_tile(self):
+        r = make_region((4,), (8,), ghost=1)
+        t = Tile(r, Box((5,), (7,)))
+        assert t.local_bounds == ((2,), (4,))
+
+    def test_tile_escaping_region_rejected(self):
+        r = make_region((4,), (8,), ghost=1)
+        with pytest.raises(TidaError):
+            Tile(r, Box((3,), (7,)))  # 3 is ghost, not interior
+
+    def test_empty_tile_rejected(self):
+        r = make_region((4,), (8,), ghost=1)
+        with pytest.raises(TidaError):
+            Tile(r, Box((5,), (5,)))
+
+    def test_subrange(self):
+        r = make_region((4,), (8,), ghost=1)
+        t = Tile(r, r.box)
+        sub = t.subrange((5,), (7,))
+        assert sub.box == Box((5,), (7,))
+        assert sub.region is r
+
+    def test_subrange_clamps_to_tile(self):
+        r = make_region((4,), (8,), ghost=1)
+        t = Tile(r, r.box)
+        sub = t.subrange((0,), (100,))
+        assert sub.box == t.box
+
+    def test_subrange_disjoint_rejected(self):
+        r = make_region((4,), (8,), ghost=1)
+        t = Tile(r, r.box)
+        with pytest.raises(TidaError):
+            t.subrange((20,), (30,))

@@ -1,0 +1,206 @@
+"""TileArray: allocation, gather/scatter, tiles, ghost exchange vs reference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.common import apply_bc_global
+from repro.cuda.runtime import CudaRuntime
+from repro.errors import TidaError
+from repro.tida.boundary import Dirichlet, Neumann, Periodic
+from repro.tida.box import Box
+from repro.tida.tile_array import TileArray
+
+
+def reference_ghosted(ta: TileArray, global_arr: np.ndarray, bc) -> np.ndarray:
+    """Global ghosted array with BC + wrap applied, to compare region views."""
+    g = ta.ghost[0]
+    full = np.zeros(tuple(s + 2 * g for s in global_arr.shape), dtype=global_arr.dtype)
+    full[tuple(slice(g, s + g) for s in global_arr.shape)] = global_arr
+    apply_bc_global(full, g, bc)
+    return full
+
+
+class TestConstruction:
+    def test_by_region_shape(self):
+        ta = TileArray((8, 8), region_shape=(4, 4), ghost=1)
+        assert ta.n_regions == 4
+        assert ta.regions[0].local_shape == (6, 6)
+
+    def test_by_count(self):
+        ta = TileArray((16,), n_regions=4, ghost=0)
+        assert ta.n_regions == 4
+
+    def test_both_specs_rejected(self):
+        with pytest.raises(TidaError):
+            TileArray((8,), region_shape=(4,), n_regions=2)
+
+    def test_neither_spec_rejected(self):
+        with pytest.raises(TidaError):
+            TileArray((8,))
+
+    def test_fill(self):
+        ta = TileArray((8,), n_regions=2, fill=3.0)
+        assert np.all(ta.to_global() == 3.0)
+
+    def test_pinned_through_runtime(self, machine):
+        rt = CudaRuntime(machine)
+        ta = TileArray((8,), n_regions=2, runtime=rt, pinned=True)
+        assert all(r.data.pinned for r in ta.regions)
+
+    def test_pageable_through_runtime(self, machine):
+        rt = CudaRuntime(machine)
+        ta = TileArray((8,), n_regions=2, runtime=rt, pinned=False)
+        assert not ta.regions[0].data.pinned
+
+    def test_region_lookup_bounds(self):
+        ta = TileArray((8,), n_regions=2)
+        with pytest.raises(TidaError):
+            ta.region(2)
+
+    def test_timing_only_through_runtime(self, machine):
+        rt = CudaRuntime(machine, functional=False)
+        ta = TileArray((512, 512), n_regions=4, runtime=rt)
+        assert not ta.functional
+
+
+class TestGatherScatter:
+    @given(
+        st.tuples(st.integers(2, 12), st.integers(2, 12)),
+        st.integers(1, 4),
+        st.integers(0, 2),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_roundtrip(self, shape, n_regions, ghost):
+        if n_regions > shape[0]:
+            return
+        ta = TileArray(shape, n_regions=n_regions, ghost=ghost)
+        rng = np.random.default_rng(0)
+        data = rng.random(shape)
+        ta.from_global(data)
+        assert np.array_equal(ta.to_global(), data)
+
+    def test_shape_mismatch(self):
+        ta = TileArray((8,), n_regions=2)
+        with pytest.raises(TidaError):
+            ta.from_global(np.zeros(9))
+
+    def test_set_all(self):
+        ta = TileArray((8,), n_regions=2, ghost=1)
+        ta.set_all(2.0)
+        assert np.all(ta.to_global() == 2.0)
+
+    def test_apply(self):
+        ta = TileArray((8,), n_regions=2, fill=1.0)
+        ta.apply(lambda view, region: view.__imul__(region.rid + 1))
+        out = ta.to_global()
+        assert np.all(out[:4] == 1.0) and np.all(out[4:] == 2.0)
+
+
+class TestTiles:
+    def test_one_tile_per_region_default(self):
+        ta = TileArray((8, 8), region_shape=(4, 4))
+        tiles = ta.tiles()
+        assert len(tiles) == 4
+        assert all(t.box == t.region.box for t in tiles)
+
+    def test_explicit_tile_shape_partitions(self):
+        ta = TileArray((8,), n_regions=2)
+        tiles = ta.tiles(tile_shape=(2,))
+        assert len(tiles) == 4
+        assert sum(t.n_cells for t in tiles) == 8
+
+    def test_tiles_carry_array_ref(self):
+        ta = TileArray((8,), n_regions=2)
+        assert all(t.array is ta for t in ta.tiles())
+
+
+class TestSwap:
+    def test_swap_data(self):
+        a = TileArray((8,), n_regions=2, fill=1.0)
+        b = TileArray((8,), n_regions=2, fill=2.0)
+        a.swap_data(b)
+        assert np.all(a.to_global() == 2.0)
+        assert np.all(b.to_global() == 1.0)
+
+    def test_swap_incompatible(self):
+        a = TileArray((8,), n_regions=2)
+        b = TileArray((8,), n_regions=4)
+        with pytest.raises(TidaError):
+            a.swap_data(b)
+
+
+class TestGhostExchange:
+    @pytest.mark.parametrize("bc", [Neumann(), Dirichlet(0.25), Periodic()])
+    @pytest.mark.parametrize("shape,spec", [
+        ((12,), {"n_regions": 3}),
+        ((8, 8), {"region_shape": (4, 4)}),
+        ((6, 6, 6), {"region_shape": (3, 3, 6)}),
+    ])
+    def test_matches_global_reference(self, bc, shape, spec):
+        """Every region's full local array (ghosts included) must equal the
+        corresponding window of the globally-ghosted reference array."""
+        ta = TileArray(shape, ghost=1, **spec)
+        rng = np.random.default_rng(42)
+        data = rng.random(shape)
+        ta.from_global(data)
+        ta.fill_boundary(bc)
+        full = reference_ghosted(ta, data, bc)
+        for region in ta.regions:
+            window = full[tuple(
+                slice(l + 1, h + 1) for l, h in zip(region.grown.lo, region.grown.hi)
+            )]
+            np.testing.assert_array_equal(region.array, window)
+
+    def test_zero_ghost_noop(self):
+        ta = TileArray((8,), n_regions=2, ghost=0)
+        ta.fill_boundary(Neumann())  # must not raise
+
+    def test_exchange_only_no_bc(self):
+        """bc=None: internal faces exchanged, domain ghosts untouched."""
+        ta = TileArray((8,), n_regions=2, ghost=1, fill=0.0)
+        ta.from_global(np.arange(8, dtype=float))
+        ta.fill_boundary(None)
+        r0, r1 = ta.regions
+        assert r0.array[-1] == 4.0   # neighbour's first interior cell
+        assert r1.array[0] == 3.0
+        assert r0.array[0] == 0.0    # domain ghost untouched
+
+    def test_single_region_periodic_self_wrap(self):
+        ta = TileArray((6,), n_regions=1, ghost=1)
+        ta.from_global(np.arange(6, dtype=float))
+        ta.fill_boundary(Periodic())
+        r = ta.regions[0]
+        assert r.array[0] == 5.0
+        assert r.array[-1] == 0.0
+
+    def test_2d_periodic_corner_wrap(self):
+        """Corners must wrap diagonally (blur-style stencils need them)."""
+        shape = (4, 4)
+        ta = TileArray(shape, region_shape=(2, 2), ghost=1)
+        data = np.arange(16, dtype=float).reshape(shape)
+        ta.from_global(data)
+        ta.fill_boundary(Periodic())
+        r00 = ta.regions[0]  # region at (0,0)
+        assert r00.array[0, 0] == data[-1, -1]
+
+    def test_ghost_width_two(self):
+        shape = (12,)
+        ta = TileArray(shape, n_regions=3, ghost=2)
+        data = np.arange(12, dtype=float)
+        ta.from_global(data)
+        ta.fill_boundary(Periodic())
+        full = reference_ghosted(ta, data, Periodic())
+        for region in ta.regions:
+            window = full[tuple(
+                slice(l + 2, h + 2) for l, h in zip(region.grown.lo, region.grown.hi)
+            )]
+            np.testing.assert_array_equal(region.array, window)
+
+    def test_fill_boundary_charges_host_time(self, machine):
+        rt = CudaRuntime(machine)
+        ta = TileArray((16,), n_regions=4, ghost=1, runtime=rt)
+        t0 = rt.now
+        ta.fill_boundary(Neumann())
+        assert rt.now > t0
+        assert any(e.category == "host" for e in rt.trace)

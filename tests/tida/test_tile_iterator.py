@@ -1,0 +1,102 @@
+"""TileIterator: paper-style and Pythonic traversal, GPU flag, multi-array."""
+
+import pytest
+
+from repro.errors import TidaError
+from repro.tida.tile_array import TileArray
+from repro.tida.tile_iterator import TileIterator
+
+
+@pytest.fixture
+def pair():
+    a = TileArray((8,), n_regions=4, ghost=1, label="a")
+    b = TileArray((8,), n_regions=4, ghost=1, label="b")
+    return a, b
+
+
+class TestPaperStyle:
+    def test_loop(self, pair):
+        a, _ = pair
+        it = TileIterator(a)
+        seen = []
+        it.reset(gpu=True)
+        while it.is_valid():
+            seen.append(it.tile().rid)
+            it.next()
+        assert seen == [0, 1, 2, 3]
+        assert it.gpu
+
+    def test_reset_restarts_and_sets_gpu(self, pair):
+        a, _ = pair
+        it = TileIterator(a)
+        it.reset(gpu=True)
+        it.next()
+        it.reset()
+        assert not it.gpu
+        assert it.tile().rid == 0
+
+    def test_exhaustion_errors(self, pair):
+        a, _ = pair
+        it = TileIterator(a)
+        for _ in range(4):
+            it.next()
+        assert not it.is_valid()
+        with pytest.raises(TidaError):
+            it.next()
+        with pytest.raises(TidaError):
+            it.tiles()
+
+    def test_tile_on_multi_array_rejected(self, pair):
+        it = TileIterator(*pair)
+        with pytest.raises(TidaError):
+            it.tile()
+
+
+class TestMultiArray:
+    def test_zipped_tiles_same_box(self, pair):
+        it = TileIterator(*pair)
+        for ta, tb in it:
+            assert ta.box == tb.box
+            assert ta.array is pair[0]
+            assert tb.array is pair[1]
+
+    def test_incompatible_arrays_rejected(self):
+        a = TileArray((8,), n_regions=2)
+        b = TileArray((8,), n_regions=4)
+        with pytest.raises(TidaError):
+            TileIterator(a, b)
+
+    def test_ghost_mismatch_rejected(self):
+        a = TileArray((8,), n_regions=2, ghost=1)
+        b = TileArray((8,), n_regions=2, ghost=0)
+        with pytest.raises(TidaError):
+            TileIterator(a, b)
+
+    def test_no_arrays_rejected(self):
+        with pytest.raises(TidaError):
+            TileIterator()
+
+
+class TestOrdering:
+    def test_tile_shape_expands_count(self, pair):
+        a, _ = pair
+        it = TileIterator(a, tile_shape=(1,))
+        assert it.n_tiles == 8
+
+    def test_shuffled_deterministic_by_seed(self, pair):
+        a, _ = pair
+        order1 = [t[0].rid for t in TileIterator(a, order="shuffled", seed=7)]
+        order2 = [t[0].rid for t in TileIterator(a, order="shuffled", seed=7)]
+        assert order1 == order2
+
+    def test_shuffled_differs_from_sequential_eventually(self, pair):
+        a, _ = pair
+        it = TileIterator(a, tile_shape=(1,), order="shuffled", seed=1)
+        assert [t[0].box.lo[0] for t in it] != list(range(8))
+
+    def test_bad_order_rejected(self, pair):
+        with pytest.raises(TidaError):
+            TileIterator(pair[0], order="random")
+
+    def test_len(self, pair):
+        assert len(TileIterator(pair[0])) == 4
