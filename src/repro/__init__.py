@@ -34,7 +34,10 @@ The layers underneath (each usable on its own):
 * :mod:`repro.baselines` — the CUDA/OpenACC/hybrid programs the paper
   compares against;
 * :mod:`repro.model` — analytic pipeline-time model and autotuner;
-* :mod:`repro.bench` — the per-figure experiment harness.
+* :mod:`repro.bench` — the per-figure experiment harness;
+* :mod:`repro.obs` — runtime observability: the metrics registry
+  (``runtime.metrics``), snapshot diffing, and the profiler CLI
+  (``python -m repro.obs.report``).
 """
 
 from .config import (
@@ -59,6 +62,7 @@ from .kernels import (
     heat_kernel,
     wave_kernel,
 )
+from .obs import MetricsRegistry
 from .openacc import AccFlags, AccRuntime
 from .tida import (
     Box,
@@ -106,5 +110,6 @@ __all__ = [
     "DEFAULT_MACHINE",
     "k40m_pcie3",
     "p100_nvlink",
+    "MetricsRegistry",
     "ReproError",
 ]

@@ -6,8 +6,11 @@ Subcommands:
   (delegates to :mod:`repro.bench.harness`);
 * ``kernels`` — list the registered workload kernels;
 * ``machine`` — print the default simulated testbed's calibration;
-* ``trace [--steps N] [--out FILE]`` — run a small TiDA-acc heat solve
-  and dump its operation trace in Chrome trace format.
+* ``trace [--steps N] [--shape X Y Z] [--memory-limit B] [--out FILE]``
+  — run a small TiDA-acc heat solve and dump a run manifest: its
+  operation trace in Chrome/Perfetto format (with counter tracks and
+  decision marks) plus the runtime metrics snapshot.  Inspect with
+  ``python -m repro.obs.report FILE``.
 """
 
 from __future__ import annotations
@@ -56,12 +59,46 @@ def _cmd_machine(_args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
     from .baselines.tida_runners import run_tida_heat
 
-    r = run_tida_heat(shape=(128, 128, 128), steps=args.steps, n_regions=8)
-    path = r.trace.save_chrome_trace(args.out)
-    print(f"{len(r.trace)} events from a {args.steps}-step heat solve -> {path}")
-    print("open chrome://tracing (or https://ui.perfetto.dev) and load the file")
+    n_slots = None
+    if args.memory_limit is not None:
+        # the heat solve holds two ghosted fields whose slot buffers share
+        # the capped device pool; TileAcc sizes each field's slots from
+        # *free* memory alone, so split the budget here or the second
+        # field's lazy allocations blow past the cap
+        import math
+
+        shape = tuple(args.shape)
+        slab = math.ceil(shape[0] / args.regions)
+        region_bytes = 8 * (slab + 2) * (shape[1] + 2) * (shape[2] + 2)
+        n_slots = args.memory_limit // region_bytes // 2
+        if n_slots < 1:
+            print(f"error: --memory-limit {args.memory_limit} cannot hold one "
+                  f"{region_bytes}-byte region slot per field (needs >= "
+                  f"{2 * region_bytes})", file=sys.stderr)
+            return 2
+    r = run_tida_heat(
+        shape=tuple(args.shape), steps=args.steps, n_regions=args.regions,
+        device_memory_limit=args.memory_limit, n_slots=n_slots,
+    )
+    # a run manifest: Chrome/Perfetto traceEvents (with counter tracks and
+    # decision marks) plus the runtime metrics snapshot
+    path = Path(args.out)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps({
+        "schema": "repro-run-manifest/1",
+        "traceEvents": r.trace.to_chrome_trace(),
+        "metrics": r.metrics,
+    }))
+    n_tracks = len(r.trace.counter_tracks)
+    print(f"{len(r.trace)} events + {n_tracks} counter tracks from a "
+          f"{args.steps}-step heat solve -> {path}")
+    print("open https://ui.perfetto.dev (or chrome://tracing) and load the file,")
+    print(f"or: python -m repro.obs.report {path}")
     return 0
 
 
@@ -80,8 +117,14 @@ def main(argv: list[str] | None = None) -> int:
     p_machine = sub.add_parser("machine", help="print the simulated testbed")
     p_machine.set_defaults(fn=_cmd_machine)
 
-    p_trace = sub.add_parser("trace", help="dump a Chrome trace of a heat solve")
+    p_trace = sub.add_parser(
+        "trace", help="dump a run manifest (Chrome trace + metrics) of a heat solve"
+    )
     p_trace.add_argument("--steps", type=int, default=3)
+    p_trace.add_argument("--shape", type=int, nargs=3, default=[128, 128, 128])
+    p_trace.add_argument("--regions", type=int, default=8)
+    p_trace.add_argument("--memory-limit", type=int, default=None,
+                         help="device memory cap in bytes (Figs. 7/8 mode)")
     p_trace.add_argument("--out", default="results/heat_trace.json")
     p_trace.set_defaults(fn=_cmd_trace)
 

@@ -25,6 +25,7 @@ class BaselineResult:
     trace: Trace
     result: np.ndarray | None = None    # final interior array (functional mode)
     meta: dict[str, Any] = field(default_factory=dict)
+    metrics: dict[str, Any] | None = None  # runtime.metrics snapshot, if taken
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"BaselineResult({self.name}, elapsed={self.elapsed:.6f}s)"

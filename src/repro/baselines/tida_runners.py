@@ -73,6 +73,7 @@ def run_tida_heat(
             "tile_shape": tile_shape,
             "gpu": gpu,
         },
+        metrics=lib.metrics.snapshot(),
     )
 
 
@@ -124,4 +125,5 @@ def run_tida_compute(
             "kernel_iteration": kernel_iteration,
             "gpu": gpu,
         },
+        metrics=lib.metrics.snapshot(),
     )

@@ -13,16 +13,31 @@ Produces, under ``results/`` (or ``--out DIR``):
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
 
+from ..obs import metrics as obs_metrics
 from . import figures
 from .report import Table
 
 
-def run_all(out_dir: Path, *, quick: bool = False, echo: bool = True) -> list[Table]:
-    """Execute every experiment; returns the tables in paper order."""
+def run_all(
+    out_dir: Path,
+    *,
+    quick: bool = False,
+    echo: bool = True,
+    metrics_out: Path | None = None,
+) -> list[Table]:
+    """Execute every experiment; returns the tables in paper order.
+
+    ``metrics_out`` writes a run manifest (``{"metrics": ...}``) merging
+    the counters of every runtime the experiments created — the input
+    format of ``python -m repro.obs.report`` and its ``--compare`` gate.
+    """
+    if metrics_out is not None:
+        obs_metrics.start_collection()
     shape3 = (128, 128, 128) if quick else (512, 512, 512)
     shape_f1 = (96, 96, 96) if quick else (384, 384, 384)
     steps_f1 = 10 if quick else 100
@@ -78,6 +93,15 @@ def run_all(out_dir: Path, *, quick: bool = False, echo: bool = True) -> list[Ta
 
     md = "\n\n".join(t.to_markdown() for t in tables)
     (out_dir / "all_results.md").write_text(md + "\n")
+    if metrics_out is not None:
+        snapshot = obs_metrics.collect()
+        metrics_out.parent.mkdir(parents=True, exist_ok=True)
+        metrics_out.write_text(json.dumps(
+            {"schema": "repro-run-manifest/1", "metrics": snapshot}, indent=2
+        ))
+        if echo:
+            n = len(snapshot["counters"])
+            print(f"wrote {n} merged counters to {metrics_out}")
     if echo:
         print(f"\nwrote {len(tables)} tables to {out_dir} in {time.time() - t0:.1f}s")
     return tables
@@ -87,10 +111,19 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", default="results", help="output directory")
     parser.add_argument("--quick", action="store_true", help="small sizes, fast run")
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="also dump a run manifest of merged runtime metrics "
+             "(readable by python -m repro.obs.report)",
+    )
     args = parser.parse_args(argv)
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
-    run_all(out_dir, quick=args.quick)
+    run_all(
+        out_dir,
+        quick=args.quick,
+        metrics_out=Path(args.metrics_out) if args.metrics_out else None,
+    )
     return 0
 
 

@@ -48,6 +48,18 @@ class Table:
     def _fmt(value: Any) -> str:
         if isinstance(value, float):
             return f"{value:.4g}"
+        if isinstance(value, dict) and "counts" in value and "buckets" in value:
+            # histogram snapshot: render compactly (non-empty buckets only)
+            # so CLI output and JSON dumps stay short and diff-friendly
+            parts = [
+                f"<={ub:g}:{n}"
+                for ub, n in zip(value["buckets"], value["counts"])
+                if n
+            ]
+            if value["counts"][-1]:
+                parts.append(f">last:{value['counts'][-1]}")
+            body = " ".join(parts) or "-"
+            return f"n={value['count']} sum={value['sum']:.4g} [{body}]"
         return str(value)
 
     def format(self) -> str:

@@ -437,6 +437,11 @@ class TidaAcc:
     def trace(self):
         return self.runtime.trace
 
+    @property
+    def metrics(self):
+        """The runtime's :class:`~repro.obs.metrics.MetricsRegistry`."""
+        return self.runtime.metrics
+
     # -- lifetime -------------------------------------------------------------------
 
     def close(self) -> None:

@@ -85,6 +85,39 @@ class TileAcc:
         self._ready: list[float] = [0.0] * n_regions
         self.h2d_count = 0
         self.d2h_count = 0
+        # -- observability: per-field cache accounting ---------------------
+        self._obs_field = tile_array.label or f"field@{id(tile_array):x}"
+        m = runtime.metrics
+        self._m_hits = m.counter(f"cache.hits.{self._obs_field}")
+        self._m_misses = m.counter(f"cache.misses.{self._obs_field}")
+        self._m_evictions = m.counter(f"cache.evictions.{self._obs_field}")
+        self._m_writebacks = m.counter(f"cache.writebacks.{self._obs_field}")
+        self._m_writeback_bytes = m.counter(f"cache.writeback_bytes.{self._obs_field}")
+        self._m_wb_skipped = m.counter(f"cache.writebacks_skipped.{self._obs_field}")
+        self._m_upload_avoided = m.counter(
+            f"cache.upload_bytes_avoided.{self._obs_field}"
+        )
+        self._occupancy_track = f"cache_occupancy:{self._obs_field}"
+        self._occupied = 0
+
+    # -- observability helpers ------------------------------------------------
+
+    def _set_bound(self, slot: DeviceSlot, rid: int) -> None:
+        """Update a slot's cache-list entry and sample the occupancy track."""
+        if (slot.bound == EMPTY) and rid != EMPTY:
+            self._occupied += 1
+        elif (slot.bound != EMPTY) and rid == EMPTY:
+            self._occupied -= 1
+        slot.bound = rid
+        self.runtime.trace.record_counter(
+            self._occupancy_track, self.runtime.now, self._occupied
+        )
+
+    def _mark(self, decision: str, rid: int, slot: DeviceSlot, **extra) -> None:
+        self.runtime.trace.mark(
+            decision, self.runtime.now,
+            field=self._obs_field, region=rid, slot=slot.index, **extra,
+        )
 
     # -- queries ------------------------------------------------------------
 
@@ -124,9 +157,12 @@ class TileAcc:
         old = slot.bound
         if old == EMPTY:
             return
+        self._m_evictions.inc()
         if self._location[old] == DEVICE:
             if self.read_only:
                 # the host copy is authoritative by contract: drop for free
+                self._m_wb_skipped.inc()
+                self._mark("cache-evict", old, slot, writeback=False)
                 self._location[old] = HOST
             else:
                 region = self.tile_array.region(old)
@@ -134,9 +170,14 @@ class TileAcc:
                     region.data, slot.buffer, slot.stream, label=f"evict:{region.label}"
                 )
                 self.d2h_count += 1
+                self._m_writebacks.inc()
+                self._m_writeback_bytes.inc(region.nbytes)
+                self._mark("cache-evict", old, slot, writeback=True)
                 self._location[old] = HOST
                 self.note_device_op(old, end)
-        slot.bound = EMPTY
+        else:
+            self._mark("cache-evict", old, slot, writeback=False)
+        self._set_bound(slot, EMPTY)
 
     def _ensure_buffer(self, slot: DeviceSlot, region: Region) -> None:
         shape = region.local_shape
@@ -164,7 +205,14 @@ class TileAcc:
         region = self.tile_array.region(rid)
         slot = self.slot_for(rid)
         if slot.bound == rid and self._location[rid] == DEVICE:
+            # §III cache hit: the upload the naive runtime would issue is
+            # avoided entirely
+            self._m_hits.inc()
+            self._m_upload_avoided.inc(region.nbytes)
+            self._mark("cache-hit", rid, slot)
             return slot.buffer, self._ready[rid]
+        self._m_misses.inc()
+        self._mark("cache-miss", rid, slot, occupant=slot.bound)
         if slot.bound not in (EMPTY, rid):
             self._evict(slot)
         self._ensure_buffer(slot, region)
@@ -172,7 +220,7 @@ class TileAcc:
             slot.buffer, region.data, slot.stream, label=f"h2d:{region.label}"
         )
         self.h2d_count += 1
-        slot.bound = rid
+        self._set_bound(slot, rid)
         self._location[rid] = DEVICE
         self._ready[rid] = end
         return slot.buffer, end
@@ -194,6 +242,8 @@ class TileAcc:
                 )
             if self.read_only:
                 # host copy never went stale; the device copy stays valid too
+                self._m_wb_skipped.inc()
+                self._mark("writeback-skip", rid, slot)
                 return region
             end = self.runtime.memcpy_async(
                 region.data, slot.buffer, slot.stream, label=f"d2h:{region.label}"
@@ -214,7 +264,8 @@ class TileAcc:
         for rid in range(self.tile_array.n_regions):
             self._location[rid] = HOST
         for slot in self.slots:
-            slot.bound = EMPTY
+            if slot.bound != EMPTY:
+                self._set_bound(slot, EMPTY)
 
     def release_device_memory(self) -> None:
         """Free all slot buffers (keeps host data; used on teardown)."""
@@ -230,7 +281,8 @@ class TileAcc:
             if slot.buffer is not None:
                 self.runtime.free(slot.buffer)
                 slot.buffer = None
-            slot.bound = EMPTY
+            if slot.bound != EMPTY:
+                self._set_bound(slot, EMPTY)
         # no device copies remain anywhere
         for rid in range(self.tile_array.n_regions):
             self._location[rid] = HOST

@@ -25,6 +25,7 @@ host clock (`now`) is the virtual wall-clock the benches measure with.
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from typing import Any, Sequence
 
 import numpy as np
@@ -34,6 +35,7 @@ from ..errors import (
     CudaInvalidResourceHandleError,
     CudaInvalidValueError,
 )
+from ..obs.metrics import MetricsRegistry
 from ..sim.device import DeviceBuffer, DeviceMemoryPool
 from ..sim.engine import FifoEngine, HostClock
 from ..sim.hostmem import HostBuffer
@@ -61,6 +63,9 @@ class CudaRuntime:
         Optional cap (bytes) on allocatable device memory, below the
         hardware size — how the paper emulates the limited-memory case
         of Figs. 7/8.
+    metrics:
+        Optional shared :class:`~repro.obs.metrics.MetricsRegistry`;
+        by default each runtime owns one, exposed as ``runtime.metrics``.
     """
 
     def __init__(
@@ -71,6 +76,7 @@ class CudaRuntime:
         device_memory_limit: int | None = None,
         clock: HostClock | None = None,
         trace: Trace | None = None,
+        metrics: MetricsRegistry | None = None,
         lane_prefix: str = "",
     ) -> None:
         self.machine = machine if machine is not None else DEFAULT_MACHINE
@@ -85,7 +91,24 @@ class CudaRuntime:
         # multi-GPU setup has one host thread driving N devices
         self.clock = clock if clock is not None else HostClock()
         self.trace = trace if trace is not None else Trace()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.lane_prefix = lane_prefix
+        # hot-path instruments, resolved once (no dict lookup per call)
+        m = self.metrics
+        self._m_api_calls = m.counter("cuda.api_calls")
+        self._m_h2d_bytes = m.counter("cuda.h2d_bytes")
+        self._m_d2h_bytes = m.counter("cuda.d2h_bytes")
+        self._m_h2d_copies = m.counter("cuda.h2d_copies")
+        self._m_d2h_copies = m.counter("cuda.d2h_copies")
+        self._m_pageable_sync = m.counter("cuda.pageable_sync_copies")
+        self._m_stall_s = m.counter("cuda.stall_seconds")
+        self._m_launches = m.counter("cuda.kernel_launches")
+        self._m_copy_nbytes = m.histogram("cuda.copy_nbytes")
+        self._m_kernel_cells = m.histogram("cuda.kernel_cells")
+        # outstanding-work backlogs: per engine (drives the Perfetto
+        # queue-depth counter tracks) and per stream (drives gauges)
+        self._engine_pending: dict[str, deque[float]] = {}
+        self._stream_pending: dict[int, deque[float]] = {}
         self.compute_engine = FifoEngine(f"{lane_prefix}compute")
         self.h2d_engine = FifoEngine(f"{lane_prefix}h2d")
         if self.machine.gpu.copy_engines == 2:
@@ -107,7 +130,47 @@ class CudaRuntime:
 
     def _api(self) -> None:
         """Charge one runtime API call on the host."""
+        self._m_api_calls.inc()
         self.clock.advance(self.machine.cpu.api_call_overhead)
+
+    def _host_stall(self, target: float, *, stream: Stream | None = None) -> float:
+        """Block the host until ``target``, accounting the stall time
+        (total and, when known, per stream)."""
+        stall = target - self.clock.now
+        if stall > 0:
+            self._m_stall_s.inc(stall)
+            if stream is not None:
+                self.metrics.inc(
+                    f"cuda.{self.lane_prefix}stream.{stream.stream_id}.stall_seconds",
+                    stall,
+                )
+        return self.clock.advance_to(target)
+
+    def _note_queue_op(self, stream: Stream, engine: FifoEngine, end: float) -> None:
+        """Track issued-but-incomplete work per engine and per stream.
+
+        The engine backlog is sampled into a Perfetto counter track; the
+        per-stream depth feeds a gauge with a high-water mark.  Both
+        deques hold completion times, monotone within one engine/stream
+        (FIFO), so pruning from the left is exact.
+        """
+        now = self.clock.now
+        dq = self._engine_pending.get(engine.name)
+        if dq is None:
+            dq = self._engine_pending[engine.name] = deque()
+        while dq and dq[0] <= now:
+            dq.popleft()
+        dq.append(end)
+        self.trace.record_counter(f"queue_depth:{engine.name}", now, len(dq))
+        sdq = self._stream_pending.get(stream.stream_id)
+        if sdq is None:
+            sdq = self._stream_pending[stream.stream_id] = deque()
+        while sdq and sdq[0] <= now:
+            sdq.popleft()
+        sdq.append(end)
+        self.metrics.gauge(
+            f"cuda.{self.lane_prefix}stream.{stream.stream_id}.queue_depth"
+        ).set(len(sdq))
 
     def host_compute(self, name: str, duration: float, **meta: Any) -> float:
         """Account for host-side work (e.g. ghost-index computation, §IV-B.6)."""
@@ -218,7 +281,7 @@ class CudaRuntime:
         if stream.is_default:
             raise CudaInvalidValueError("the default stream cannot be destroyed")
         self._api()
-        self.clock.advance_to(stream.tail)
+        self._host_stall(stream.tail, stream=stream)
         stream._destroy()
         del self._streams[stream.stream_id]
 
@@ -298,6 +361,14 @@ class CudaRuntime:
         ready = max(self.now, stream.tail, after)
         start, end = engine.submit(ready, duration)
         stream._push(end)
+        self._note_queue_op(stream, engine, end)
+        if direction == "h2d":
+            self._m_h2d_bytes.inc(src.nbytes)
+            self._m_h2d_copies.inc()
+        else:
+            self._m_d2h_bytes.inc(src.nbytes)
+            self._m_d2h_copies.inc()
+        self._m_copy_nbytes.observe(src.nbytes)
         self.trace.record(
             label or f"{direction}:{getattr(src, 'label', '') or getattr(dst, 'label', '')}",
             direction,
@@ -308,11 +379,14 @@ class CudaRuntime:
             nbytes=src.nbytes,
         )
         self._do_functional_copy(dst, src)
+        if not host_buf.pinned and link.pageable_async_is_sync and not _force_sync:
+            # async call degraded to synchronous by pageable memory (§II-B)
+            self._m_pageable_sync.inc()
         synchronous = _force_sync or (
             not host_buf.pinned and link.pageable_async_is_sync
         )
         if synchronous:
-            self.clock.advance_to(end)
+            self._host_stall(end, stream=stream)
         return end
 
     # -- managed-memory migration ---------------------------------------------
@@ -331,6 +405,9 @@ class CudaRuntime:
         ready = max(self.now, stream.tail)
         start, end = self.h2d_engine.submit(ready, duration)
         stream._push(end)
+        self._note_queue_op(stream, self.h2d_engine, end)
+        self._m_h2d_bytes.inc(buf.nbytes)
+        self.metrics.inc("cuda.managed_migrations")
         buf.location = DEVICE
         self.trace.record(
             f"uvm-migrate-h2d:{buf.label}",
@@ -359,6 +436,8 @@ class CudaRuntime:
             self.device_synchronize()
             duration = self._managed_transfer_time(buf.nbytes, "d2h")
             start, end = self.d2h_engine.submit(self.now, duration)
+            self._m_d2h_bytes.inc(buf.nbytes)
+            self.metrics.inc("cuda.managed_migrations")
             self.trace.record(
                 f"uvm-migrate-d2h:{buf.label}",
                 "d2h",
@@ -368,7 +447,7 @@ class CudaRuntime:
                 nbytes=buf.nbytes,
                 managed=True,
             )
-            self.clock.advance_to(end)
+            self._host_stall(end)
             buf.location = HOST
         return buf.array if self.functional else None
 
@@ -442,6 +521,9 @@ class CudaRuntime:
         duration = self.machine.gpu.kernel_launch_overhead + body
         start, end = self.compute_engine.submit(ready, duration)
         stream._push(end)
+        self._note_queue_op(stream, self.compute_engine, end)
+        self._m_launches.inc()
+        self._m_kernel_cells.observe(n_cells)
         self.trace.record(
             label or f"kernel:{kernel.name}",
             "kernel",
@@ -463,7 +545,7 @@ class CudaRuntime:
         self._check_stream(stream)
         self._api()
         start = self.now
-        end = self.clock.advance_to(stream.tail)
+        end = self._host_stall(stream.tail, stream=stream)
         if end > start:
             self.trace.record(
                 f"sync:stream{stream.stream_id}", "sync", "host", start, end,
@@ -479,7 +561,7 @@ class CudaRuntime:
             [self.compute_engine.tail, self.h2d_engine.tail, self.d2h_engine.tail]
             + [s.tail for s in self._streams.values()]
         )
-        end = self.clock.advance_to(target)
+        end = self._host_stall(target)
         if end > start:
             self.trace.record("sync:device", "sync", "host", start, end)
         return end
@@ -501,7 +583,7 @@ class CudaRuntime:
     def event_synchronize(self, event: Event) -> float:
         event._check_usable(self._runtime_id)
         self._api()
-        return self.clock.advance_to(event.time)
+        return self._host_stall(event.time)
 
     def stream_wait_event(self, stream: Stream, event: Event) -> None:
         """``cudaStreamWaitEvent``: later work on ``stream`` waits for ``event``."""

@@ -17,6 +17,7 @@ from ..config import DEFAULT_MACHINE, MachineSpec
 from ..cuda.runtime import CudaRuntime
 from ..cuda.stream import Stream
 from ..errors import CudaInvalidValueError
+from ..obs.metrics import MetricsRegistry
 from ..sim.device import DeviceBuffer
 from ..sim.engine import HostClock
 from ..sim.trace import Trace
@@ -38,6 +39,9 @@ class MultiGpuRuntime:
         self.machine = machine if machine is not None else DEFAULT_MACHINE
         self.clock = HostClock()
         self.trace = Trace()
+        # one metric space across devices (per-engine names stay distinct
+        # through the lane prefixes)
+        self.metrics = MetricsRegistry()
         self.devices: list[CudaRuntime] = [
             CudaRuntime(
                 self.machine,
@@ -45,6 +49,7 @@ class MultiGpuRuntime:
                 device_memory_limit=device_memory_limit,
                 clock=self.clock,
                 trace=self.trace,
+                metrics=self.metrics,
                 lane_prefix=f"gpu{i}:",
             )
             for i in range(n_devices)
@@ -118,6 +123,10 @@ class MultiGpuRuntime:
         end = max(end_a, end_b)
         src_stream._push(end)
         dst_stream._push(end)
+        src_rt._note_queue_op(src_stream, src_rt.d2h_engine, end_a)
+        dst_rt._note_queue_op(dst_stream, dst_rt.h2d_engine, end_b)
+        self.metrics.inc("cuda.p2p_copies")
+        self.metrics.inc("cuda.p2p_bytes", src.nbytes)
         self.trace.record(
             label or f"p2p:gpu{src_device}->gpu{dst_device}",
             "d2h",

@@ -1,0 +1,37 @@
+"""repro.obs — the runtime observability layer.
+
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` (counters, gauges,
+  fixed-bucket histograms), exposed as ``runtime.metrics`` on every
+  :class:`~repro.cuda.runtime.CudaRuntime`;
+* :mod:`repro.obs.compare` — metric-snapshot diffing and regression
+  flagging;
+* :mod:`repro.obs.report` — the profiler CLI
+  (``python -m repro.obs.report <trace-or-run.json> [--compare base]``).
+"""
+
+from .compare import compare_snapshots, flatten_snapshot
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ObsError,
+    collect,
+    merge_snapshots,
+    start_collection,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "ObsError",
+    "DEFAULT_BUCKETS",
+    "merge_snapshots",
+    "start_collection",
+    "collect",
+    "compare_snapshots",
+    "flatten_snapshot",
+]

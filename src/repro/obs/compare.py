@@ -1,0 +1,88 @@
+"""Diffing two metric snapshots: the seed of bench-trajectory gating.
+
+A snapshot (see :meth:`MetricsRegistry.snapshot`) is flattened to scalar
+series and compared metric-by-metric against a baseline.  A metric
+*regresses* when it moves past ``threshold`` (relative) in its bad
+direction — most runtime counters (bytes moved, stall seconds, cache
+misses, evictions) are **lower-is-better**, while hit/overlap/avoided
+counters are **higher-is-better**.  The profiler CLI's ``--compare``
+mode exits non-zero when any regression is found, so a CI job can gate
+on a stored baseline manifest.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+#: Metric-name fragments whose growth is an improvement, not a regression.
+GOOD_WHEN_HIGH = (
+    "hits",
+    "hit_rate",
+    "avoided",
+    "skipped",
+    "overlap",
+    "bandwidth",
+    "utilization",
+)
+
+
+def flatten_snapshot(snapshot: dict[str, Any]) -> dict[str, float]:
+    """Scalar series from a snapshot: counters, gauge high-water marks,
+    histogram counts and sums."""
+    flat: dict[str, float] = {}
+    for name, value in snapshot.get("counters", {}).items():
+        flat[name] = float(value)
+    for name, g in snapshot.get("gauges", {}).items():
+        flat[f"{name}.max"] = float(g["max"])
+    for name, h in snapshot.get("histograms", {}).items():
+        flat[f"{name}.count"] = float(h["count"])
+        flat[f"{name}.sum"] = float(h["sum"])
+    return flat
+
+
+def higher_is_better(name: str) -> bool:
+    return any(frag in name for frag in GOOD_WHEN_HIGH)
+
+
+def compare_snapshots(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    *,
+    threshold: float = 0.10,
+) -> tuple[list[dict[str, Any]], list[dict[str, Any]]]:
+    """Compare two snapshots.
+
+    Returns ``(rows, regressions)``: one row per metric seen in either
+    snapshot (``metric``, ``baseline``, ``current``, ``delta``,
+    ``rel_change``, ``verdict``), and the subset whose verdict is
+    ``"REGRESSED"``.  Metrics absent from one side are reported with
+    verdict ``"new"``/``"gone"`` and never regress (there is nothing to
+    gate against).
+    """
+    cur = flatten_snapshot(current)
+    base = flatten_snapshot(baseline)
+    rows: list[dict[str, Any]] = []
+    regressions: list[dict[str, Any]] = []
+    for name in sorted(set(cur) | set(base)):
+        if name not in base:
+            rows.append({"metric": name, "baseline": None, "current": cur[name],
+                         "delta": None, "rel_change": None, "verdict": "new"})
+            continue
+        if name not in cur:
+            rows.append({"metric": name, "baseline": base[name], "current": None,
+                         "delta": None, "rel_change": None, "verdict": "gone"})
+            continue
+        b, c = base[name], cur[name]
+        delta = c - b
+        if b != 0.0:
+            rel = delta / abs(b)
+        else:
+            rel = 0.0 if c == 0.0 else float("inf")
+        bad = (-rel if higher_is_better(name) else rel) >= threshold
+        verdict = "REGRESSED" if bad else ("ok" if abs(rel) < threshold else "improved")
+        row = {"metric": name, "baseline": b, "current": c,
+               "delta": delta, "rel_change": rel, "verdict": verdict}
+        rows.append(row)
+        if bad:
+            regressions.append(row)
+    return rows, regressions

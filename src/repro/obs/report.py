@@ -1,0 +1,268 @@
+"""Profiler CLI: ``python -m repro.obs.report <trace-or-run.json>``.
+
+Input is either a Chrome/Perfetto trace file (as written by
+:meth:`Trace.save_chrome_trace`) or a *run manifest* — a JSON object
+carrying ``traceEvents`` and/or a ``metrics`` snapshot (as written by
+``python -m repro trace`` and ``python -m repro.bench.harness
+--metrics-out``).  It prints:
+
+* per-lane utilization and overlap fractions (the Fig. 3/7 health check);
+* slot-cache statistics per field (hits, misses, evictions, write-backs);
+* the top-N widest pipeline stalls — engine-lane idle gaps, labelled
+  with the operation that eventually filled them;
+* counter-track and runtime-metric summaries.
+
+``--compare baseline.json`` instead diffs the two manifests' metric
+snapshots and exits non-zero when any metric regressed by more than
+``--threshold`` (default 10%) — the seed of bench-trajectory gating.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any
+
+from ..bench.report import Table
+from ..sim.trace import Trace
+from .compare import compare_snapshots
+
+#: Trace categories executed by a hardware engine (stall analysis targets).
+_ENGINE_CATEGORIES = {"kernel", "h2d", "d2h"}
+
+
+def load_run(path: str | Path) -> tuple[Trace | None, dict[str, Any] | None]:
+    """Load a run manifest or raw Chrome trace; returns (trace, metrics)."""
+    data = json.loads(Path(path).read_text())
+    if isinstance(data, list):  # bare Chrome event array
+        return Trace.from_chrome_trace(data), None
+    trace = None
+    if "traceEvents" in data:
+        trace = Trace.from_chrome_trace(data["traceEvents"])
+    return trace, data.get("metrics")
+
+
+# -- trace-derived tables ---------------------------------------------------
+
+def utilization_table(trace: Trace) -> Table:
+    table = Table(
+        title="lane utilization",
+        columns=["lane", "busy_s", "utilization", "operations"],
+    )
+    span = trace.span()
+    for lane in trace.lanes():
+        busy = trace.busy_time(lane)
+        table.add_row(lane, busy, busy / span if span else 0.0, len(trace.by_lane(lane)))
+    transfer_lanes = [
+        lane for lane in trace.lanes()
+        if any(e.category in ("h2d", "d2h") for e in trace.by_lane(lane))
+    ]
+    compute_lanes = [
+        lane for lane in trace.lanes()
+        if any(e.category == "kernel" for e in trace.by_lane(lane))
+    ]
+    table.add_note(f"span = {span:.6g} s")
+    table.add_note(
+        "transfer hidden behind compute = "
+        f"{trace.overlap_fraction(transfer_lanes, compute_lanes):.4g}"
+    )
+    table.add_note(
+        "compute overlapped with transfer = "
+        f"{trace.overlap_fraction(compute_lanes, transfer_lanes):.4g}"
+    )
+    table.add_note(
+        "host/compute hybrid overlap = "
+        f"{trace.overlap_fraction(['host'], compute_lanes):.4g}"
+    )
+    return table
+
+
+def stall_table(trace: Trace, *, top: int = 10) -> Table:
+    """The ``top`` widest idle gaps on engine lanes.
+
+    A gap is a maximal interval inside the trace span during which an
+    engine lane ran nothing; each is labelled with the operation that
+    ended it (what the engine was waiting to start).
+    """
+    table = Table(
+        title=f"widest pipeline stalls (top {top})",
+        columns=["lane", "start_s", "width_s", "next_op"],
+    )
+    if len(trace) == 0:
+        return table
+    t0 = min(e.start for e in trace)
+    gaps: list[tuple[float, str, float, str]] = []
+    for lane in trace.lanes():
+        events = sorted(
+            (e for e in trace.by_lane(lane)
+             if e.category in _ENGINE_CATEGORIES and e.duration > 0),
+            key=lambda e: e.start,
+        )
+        if not events:
+            continue
+        cursor = t0
+        for e in events:
+            if e.start > cursor:
+                gaps.append((e.start - cursor, lane, cursor, e.name))
+            cursor = max(cursor, e.end)
+    gaps.sort(key=lambda g: -g[0])
+    for width, lane, start, next_op in gaps[:top]:
+        table.add_row(lane, start, width, next_op)
+    return table
+
+
+def counter_track_table(trace: Trace) -> Table:
+    table = Table(
+        title="counter tracks",
+        columns=["track", "samples", "last", "max"],
+    )
+    for track, samples in sorted(trace.counter_tracks.items()):
+        values = [v for _ts, v in samples]
+        table.add_row(track, len(samples), values[-1] if values else 0.0,
+                      max(values) if values else 0.0)
+    return table
+
+
+# -- metrics-derived tables -------------------------------------------------
+
+def cache_table(metrics: dict[str, Any]) -> Table:
+    """Per-field slot-cache statistics from ``cache.<stat>.<field>`` counters."""
+    table = Table(
+        title="slot-cache statistics",
+        columns=["field", "hits", "misses", "hit rate", "evictions",
+                 "writeback_bytes", "writebacks_skipped", "upload_bytes_avoided"],
+    )
+    counters = metrics.get("counters", {})
+    fields: dict[str, dict[str, float]] = {}
+    for name, value in counters.items():
+        parts = name.split(".", 2)
+        if len(parts) == 3 and parts[0] == "cache":
+            fields.setdefault(parts[2], {})[parts[1]] = value
+    for fname in sorted(fields):
+        stats = fields[fname]
+        hits = stats.get("hits", 0.0)
+        misses = stats.get("misses", 0.0)
+        accesses = hits + misses
+        table.add_row(
+            fname,
+            int(hits),
+            int(misses),
+            hits / accesses if accesses else 0.0,
+            int(stats.get("evictions", 0.0)),
+            int(stats.get("writeback_bytes", 0.0)),
+            int(stats.get("writebacks_skipped", 0.0)),
+            int(stats.get("upload_bytes_avoided", 0.0)),
+        )
+    return table
+
+
+def metrics_table(metrics: dict[str, Any]) -> Table:
+    table = Table(title="runtime metrics", columns=["metric", "value"])
+    for name, value in metrics.get("counters", {}).items():
+        if not name.startswith("cache."):  # cache counters have their own table
+            table.add_row(name, value)
+    for name, g in metrics.get("gauges", {}).items():
+        table.add_row(f"{name} (last/max)", f"{g['value']:g}/{g['max']:g}")
+    for name, h in metrics.get("histograms", {}).items():
+        table.add_row(name, h)
+    return table
+
+
+def build_report(
+    trace: Trace | None, metrics: dict[str, Any] | None, *, top: int = 10
+) -> list[Table]:
+    tables: list[Table] = []
+    if trace is not None:
+        tables.append(utilization_table(trace))
+        tables.append(stall_table(trace, top=top))
+        if trace.counter_tracks:
+            tables.append(counter_track_table(trace))
+    if metrics is not None:
+        cache = cache_table(metrics)
+        if cache.rows:
+            tables.append(cache)
+        tables.append(metrics_table(metrics))
+    return tables
+
+
+def compare_table(rows: list[dict[str, Any]], *, show_ok: bool = False) -> Table:
+    table = Table(
+        title="metric comparison vs baseline",
+        columns=["metric", "baseline", "current", "rel_change", "verdict"],
+    )
+    for row in rows:
+        if not show_ok and row["verdict"] == "ok":
+            continue
+        rel = row["rel_change"]
+        table.add_row(
+            row["metric"],
+            row["baseline"] if row["baseline"] is not None else "-",
+            row["current"] if row["current"] is not None else "-",
+            f"{rel:+.1%}" if rel is not None else "-",
+            row["verdict"],
+        )
+    return table
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("run", help="trace or run-manifest JSON file")
+    parser.add_argument("--top", type=int, default=10,
+                        help="number of widest stalls to show (default 10)")
+    parser.add_argument("--compare", metavar="BASELINE",
+                        help="diff metric snapshots against a baseline manifest; "
+                             "exit 1 when any metric regresses past --threshold")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative regression threshold for --compare (default 0.10)")
+    parser.add_argument("--show-ok", action="store_true",
+                        help="with --compare, list unchanged metrics too")
+    args = parser.parse_args(argv)
+
+    try:
+        trace, metrics = load_run(args.run)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot load {args.run}: {exc}", file=sys.stderr)
+        return 2
+
+    if args.compare is not None:
+        try:
+            _base_trace, base_metrics = load_run(args.compare)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot load baseline {args.compare}: {exc}", file=sys.stderr)
+            return 2
+        if metrics is None or base_metrics is None:
+            print("error: --compare needs a 'metrics' snapshot in both files",
+                  file=sys.stderr)
+            return 2
+        rows, regressions = compare_snapshots(
+            metrics, base_metrics, threshold=args.threshold
+        )
+        print(compare_table(rows, show_ok=args.show_ok).format())
+        print()
+        if regressions:
+            print(f"{len(regressions)} metric(s) regressed beyond "
+                  f"{args.threshold:.0%}:")
+            for row in regressions:
+                print(f"  {row['metric']}: {row['baseline']:g} -> "
+                      f"{row['current']:g} ({row['rel_change']:+.1%})")
+            return 1
+        print(f"no regressions beyond {args.threshold:.0%}")
+        return 0
+
+    if trace is None and metrics is None:
+        print(f"error: {args.run} carries neither traceEvents nor metrics",
+              file=sys.stderr)
+        return 2
+    for table in build_report(trace, metrics, top=args.top):
+        print(table.format())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

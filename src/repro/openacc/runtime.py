@@ -267,6 +267,11 @@ class AccRuntime:
                 raise AccError(f"{clause} takes a positive integer, got {value!r}")
         tuned = any(v is not None for v in (num_gangs, num_workers, vector_length))
         stream = self.queue(async_)
+        # per-vector-length launch accounting: which codegen geometries a
+        # run actually exercised (auto = compiler-chosen, §II-C)
+        self.cuda.metrics.inc(
+            f"acc.kernel_launches.vl_{vector_length if vector_length is not None else 'auto'}"
+        )
 
         launch_buffers: list[DeviceBuffer | ManagedBuffer] = []
         implicit: list[HostBuffer] = []
@@ -292,6 +297,8 @@ class AccRuntime:
                     self._copyin_one(arr, copyout=True)
                     implicit.append(arr)
                     launch_buffers.append(self.present.device_of(arr))
+        if implicit:
+            self.cuda.metrics.inc("acc.implicit_copies", len(implicit))
 
         end = self.cuda.launch(
             kernel,

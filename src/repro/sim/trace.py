@@ -54,10 +54,23 @@ class TraceEvent:
 
 
 class Trace:
-    """Append-only record of scheduled operations."""
+    """Append-only record of scheduled operations.
+
+    Besides the span events, a trace can carry two observability
+    side-channels that never affect the timing metrics:
+
+    * **counter samples** (:meth:`record_counter`) — time series such as
+      per-engine queue depth or slot-cache occupancy, exported to
+      Perfetto as counter tracks (``ph: "C"``);
+    * **decision marks** (:meth:`mark`) — instant events recording a
+      scheduling decision (cache hit, eviction, skipped write-back) with
+      structured args, exported as instant events (``ph: "i"``).
+    """
 
     def __init__(self) -> None:
         self._events: list[TraceEvent] = []
+        self._counters: dict[str, list[tuple[float, float]]] = {}
+        self._marks: list[dict[str, Any]] = []
 
     def add(self, event: TraceEvent) -> TraceEvent:
         self._events.append(event)
@@ -87,6 +100,31 @@ class Trace:
                 meta=meta,
             )
         )
+
+    def record_counter(self, track: str, ts: float, value: float) -> None:
+        """Append one sample to counter track ``track`` at time ``ts``."""
+        if ts < 0:
+            raise SimulationError(f"counter sample time must be >= 0, got {ts!r}")
+        self._counters.setdefault(track, []).append((ts, value))
+
+    def mark(self, name: str, ts: float, **args: Any) -> None:
+        """Record an instant decision event (evict/hit/skip) at ``ts``."""
+        if ts < 0:
+            raise SimulationError(f"mark time must be >= 0, got {ts!r}")
+        self._marks.append({"name": name, "ts": ts, "args": args})
+
+    @property
+    def counter_tracks(self) -> dict[str, list[tuple[float, float]]]:
+        return {track: list(samples) for track, samples in self._counters.items()}
+
+    @property
+    def marks(self) -> tuple[dict[str, Any], ...]:
+        return tuple(self._marks)
+
+    @property
+    def last_event(self) -> TraceEvent | None:
+        """The most recently recorded span event (None for an empty trace)."""
+        return self._events[-1] if self._events else None
 
     def __len__(self) -> int:
         return len(self._events)
@@ -125,8 +163,18 @@ class Trace:
         return end - start
 
     def busy_time(self, lane: str) -> float:
-        """Total busy time on ``lane`` (its events never overlap: FIFO engine)."""
-        return sum(e.duration for e in self._events if e.lane == lane)
+        """Total time ``lane`` had at least one event in flight.
+
+        Intervals are merged before summing: FIFO engine lanes never
+        overlap so this equals the plain sum there, but the ``"host"``
+        lane is not an engine — host work recorded from different layers
+        may overlap, and summing durations would double-count it (and
+        skew :meth:`overlap_fraction` denominators).
+        """
+        merged = self._merge_intervals(
+            [(e.start, e.end) for e in self._events if e.lane == lane]
+        )
+        return sum(hi - lo for lo, hi in merged)
 
     @staticmethod
     def _merge_intervals(intervals: list[tuple[float, float]]) -> list[tuple[float, float]]:
@@ -189,6 +237,7 @@ class Trace:
                 "stream": e.stream,
                 "start": e.start,
                 "end": e.end,
+                "duration": e.duration,
                 "nbytes": e.nbytes,
                 **({"meta": e.meta} if e.meta else {}),
             }
@@ -232,7 +281,91 @@ class Trace:
                     "args": {"name": lane},
                 }
             )
+        # counter tracks (queue depth, cache occupancy) render as
+        # Perfetto counters alongside the lanes
+        for track in sorted(self._counters):
+            for ts, value in self._counters[track]:
+                events.append(
+                    {
+                        "name": track,
+                        "ph": "C",
+                        "ts": ts * 1e6,
+                        "pid": 0,
+                        "args": {"value": value},
+                    }
+                )
+        # decision marks land on a dedicated pseudo-thread
+        if self._marks:
+            mark_tid = len(lane_tids)
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": mark_tid,
+                    "args": {"name": "decisions"},
+                }
+            )
+            for m in self._marks:
+                events.append(
+                    {
+                        "name": m["name"],
+                        "cat": "decision",
+                        "ph": "i",
+                        "s": "t",
+                        "ts": m["ts"] * 1e6,
+                        "pid": 0,
+                        "tid": mark_tid,
+                        "args": dict(m["args"]),
+                    }
+                )
         return events
+
+    @classmethod
+    def from_chrome_trace(cls, events: list[dict[str, Any]]) -> "Trace":
+        """Rebuild a trace from :meth:`to_chrome_trace` output.
+
+        Accepts any Chrome trace-event list: lanes come from the
+        ``thread_name`` metadata, span events from ``ph: "X"`` entries,
+        counter samples from ``ph: "C"``, and decision marks from
+        ``ph: "i"`` on the ``decisions`` pseudo-thread.  Events with a
+        category this runtime never emits are kept under ``"host"`` so
+        foreign traces still load.
+        """
+        trace = cls()
+        tid_lanes: dict[Any, str] = {}
+        for e in events:
+            if e.get("ph") == "M" and e.get("name") == "thread_name":
+                tid_lanes[e.get("tid")] = e.get("args", {}).get("name", f"tid{e.get('tid')}")
+        for e in events:
+            ph = e.get("ph")
+            if ph == "X":
+                args = dict(e.get("args", {}))
+                stream = args.pop("stream", None)
+                nbytes = args.pop("nbytes", 0)
+                category = e.get("cat", "host")
+                start = e.get("ts", 0.0) / 1e6
+                trace.record(
+                    e.get("name", "?"),
+                    category if category in CATEGORIES else "host",
+                    tid_lanes.get(e.get("tid"), f"tid{e.get('tid')}"),
+                    start,
+                    start + e.get("dur", 0.0) / 1e6,
+                    stream=stream,
+                    nbytes=nbytes,
+                    **args,
+                )
+            elif ph == "C":
+                trace.record_counter(
+                    e.get("name", "?"),
+                    e.get("ts", 0.0) / 1e6,
+                    e.get("args", {}).get("value", 0.0),
+                )
+            elif ph == "i":
+                trace.mark(
+                    e.get("name", "?"), e.get("ts", 0.0) / 1e6, **e.get("args", {})
+                )
+        return trace
 
     def save_chrome_trace(self, path: str) -> str:
         """Write :meth:`to_chrome_trace` JSON to ``path``; returns the path."""
@@ -261,8 +394,12 @@ class Trace:
         symbols = {"kernel": "#", "h2d": "<", "d2h": ">", "host": ":", "sync": "."}
         lane_names = lanes if lanes is not None else self.lanes()
         label_w = max((len(name) for name in lane_names), default=4) + 1
+        # pad the ruler from the rendered span label so long labels
+        # (e.g. "0.0001234s") keep the header box exactly `width` wide
+        span_label = f"{span:.4g}s"
+        pad = max(width - len("0.0s") - len(span_label), 1)
         lines = [
-            f"{'':<{label_w}}|0.0s{' ' * (width - 12)}{span:.4g}s|"
+            f"{'':<{label_w}}|0.0s{' ' * pad}{span_label}|"
         ]
         for lane in lane_names:
             row = [" "] * width

@@ -1,0 +1,165 @@
+"""Exact slot-cache accounting for scripted schedules.
+
+The Figs. 7/8 scenario: more regions than device memory can hold, so the
+slot cache evicts.  Every hit/miss/eviction/write-back the TileAcc
+performs must show up — with exact counts — in ``runtime.metrics``,
+including the ``access="ro"`` no-write-back path.
+"""
+
+import pytest
+
+from repro.core.slots import DEVICE
+from repro.core.tile_acc import TileAcc
+from repro.cuda.runtime import CudaRuntime
+from repro.openacc.runtime import AccRuntime
+from repro.tida.tile_array import TileArray
+
+REGION_BYTES = (16 // 4) * 8  # 4 cells of float64 per region
+
+
+def make_stack(machine, *, n_regions=4, device_memory_limit=None, read_only=False):
+    rt = CudaRuntime(machine, functional=True, device_memory_limit=device_memory_limit)
+    acc = AccRuntime(rt)
+    ta = TileArray((16,), n_regions=n_regions, ghost=0, runtime=rt, label="f")
+    mgr = TileAcc(rt, acc, ta, read_only=read_only)
+    return rt, mgr
+
+
+def cache_counters(rt):
+    counters = rt.metrics.snapshot()["counters"]
+    return {
+        name.split(".")[1]: value
+        for name, value in counters.items()
+        if name.startswith("cache.") and name.endswith(".f")
+    }
+
+
+class TestLimitedMemorySchedule:
+    """4 regions, device memory for 2 slots: the eviction pipeline."""
+
+    @pytest.fixture
+    def stack(self, machine):
+        rt, mgr = make_stack(machine, device_memory_limit=2 * REGION_BYTES + 8)
+        assert mgr.n_slots == 2
+        return rt, mgr
+
+    def test_exact_counts(self, stack):
+        rt, mgr = stack
+        mgr.request_device(0)            # miss (slot 0 empty)
+        mgr.request_device(1)            # miss (slot 1 empty)
+        mgr.request_device(0)            # hit
+        mgr.request_device(2)            # miss; evicts 0 with write-back
+        mgr.request_device(3)            # miss; evicts 1 with write-back
+        mgr.request_host(2)              # download; no cache decision
+        mgr.request_device(2)            # miss (host copy newer); slot kept
+        stats = cache_counters(rt)
+        assert stats["hits"] == 1
+        assert stats["misses"] == 5
+        assert stats["evictions"] == 2
+        assert stats["writebacks"] == 2
+        assert stats["writeback_bytes"] == 2 * REGION_BYTES
+        assert stats.get("writebacks_skipped", 0) == 0
+        assert stats["upload_bytes_avoided"] == REGION_BYTES
+
+    def test_decision_marks_carry_region_and_slot(self, stack):
+        rt, mgr = stack
+        mgr.request_device(0)
+        mgr.request_device(2)            # evicts region 0 from slot 0
+        names = [m["name"] for m in rt.trace.marks]
+        assert names == ["cache-miss", "cache-miss", "cache-evict"]
+        evict = rt.trace.marks[-1]
+        assert evict["args"]["field"] == "f"
+        assert evict["args"]["region"] == 0
+        assert evict["args"]["slot"] == 0
+        assert evict["args"]["writeback"] is True
+        miss = rt.trace.marks[1]
+        assert miss["args"]["occupant"] == 0
+
+    def test_occupancy_counter_track(self, stack):
+        rt, mgr = stack
+        mgr.request_device(0)
+        mgr.request_device(1)
+        mgr.request_device(2)            # evict + rebind: dips to 1, back to 2
+        samples = rt.trace.counter_tracks["cache_occupancy:f"]
+        assert [v for _ts, v in samples] == [1, 2, 1, 2]
+        assert all(ts >= 0 for ts, _v in samples)
+
+    def test_eviction_of_host_resident_region_writes_nothing_back(self, stack):
+        rt, mgr = stack
+        mgr.request_device(0)
+        mgr.request_host(0)              # downloaded; device copy now stale
+        mgr.request_device(2)            # evicts slot 0, but 0 lives on host
+        stats = cache_counters(rt)
+        assert stats["evictions"] == 1
+        assert stats.get("writebacks", 0) == 0
+        assert stats.get("writeback_bytes", 0) == 0
+
+
+class TestReadOnlySchedule:
+    """``access="ro"`` fields: evictions and host reads skip write-back."""
+
+    @pytest.fixture
+    def stack(self, machine):
+        rt, mgr = make_stack(
+            machine, device_memory_limit=2 * REGION_BYTES + 8, read_only=True
+        )
+        return rt, mgr
+
+    def test_eviction_skips_writeback(self, stack):
+        rt, mgr = stack
+        mgr.request_device(0)            # miss
+        mgr.request_device(2)            # miss; evicts 0 without write-back
+        stats = cache_counters(rt)
+        assert stats["misses"] == 2
+        assert stats["evictions"] == 1
+        assert stats.get("writebacks", 0) == 0
+        assert stats.get("writeback_bytes", 0) == 0
+        assert stats["writebacks_skipped"] == 1
+        evict = rt.trace.marks[-1]
+        assert evict["name"] == "cache-evict"
+        assert evict["args"]["writeback"] is False
+
+    def test_host_read_keeps_device_copy_and_counts_skip(self, stack):
+        rt, mgr = stack
+        mgr.request_device(0)
+        d2h_before = mgr.d2h_count
+        mgr.request_host(0)              # free: host copy never went stale
+        mgr.request_device(0)            # still resident -> hit
+        stats = cache_counters(rt)
+        assert mgr.d2h_count == d2h_before
+        assert stats["writebacks_skipped"] == 1
+        assert stats["hits"] == 1
+        assert mgr.location(0) == DEVICE
+        assert any(m["name"] == "writeback-skip" for m in rt.trace.marks)
+
+
+class TestFullyResidentSchedule:
+    """Everything fits: after the cold pass every access is a hit."""
+
+    def test_second_pass_all_hits(self, machine):
+        rt, mgr = make_stack(machine)
+        assert mgr.n_slots == 4
+        for rid in range(4):
+            mgr.request_device(rid)
+        for rid in range(4):
+            mgr.request_device(rid)
+        stats = cache_counters(rt)
+        assert stats["misses"] == 4
+        assert stats["hits"] == 4
+        assert stats["upload_bytes_avoided"] == 4 * REGION_BYTES
+        assert stats.get("evictions", 0) == 0
+
+
+class TestDisabledMetrics:
+    def test_runtime_with_disabled_registry_still_works(self, machine):
+        from repro.obs import MetricsRegistry
+
+        rt = CudaRuntime(machine, functional=True,
+                         metrics=MetricsRegistry(enabled=False))
+        acc = AccRuntime(rt)
+        ta = TileArray((16,), n_regions=4, ghost=0, runtime=rt, label="f")
+        mgr = TileAcc(rt, acc, ta)
+        mgr.request_device(0)
+        mgr.request_device(0)
+        assert rt.metrics.snapshot()["counters"] == {}
+        assert mgr.is_on_device(0)

@@ -1,0 +1,172 @@
+"""Unit tests for the metrics registry (counters, gauges, histograms)."""
+
+import json
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ObsError,
+    merge_snapshots,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ObsError):
+            Counter("x").inc(-1.0)
+
+
+class TestGauge:
+    def test_tracks_last_and_high_water(self):
+        g = Gauge("q")
+        g.set(3.0)
+        g.set(7.0)
+        g.set(2.0)
+        assert g.value == 2.0
+        assert g.max == 7.0
+
+
+class TestHistogram:
+    def test_bucket_assignment(self):
+        h = Histogram("h", buckets=(1.0, 4.0, 16.0))
+        for v in (0.5, 1.0, 3.0, 16.0, 100.0):
+            h.observe(v)
+        snap = h.snapshot()
+        # counts: <=1: {0.5, 1.0}, <=4: {3.0}, <=16: {16.0}, overflow: {100.0}
+        assert snap["counts"] == [2, 1, 1, 1]
+        assert snap["count"] == 5
+        assert snap["sum"] == pytest.approx(120.5)
+        assert snap["min"] == 0.5
+        assert snap["max"] == 100.0
+
+    def test_empty_histogram_has_null_extrema(self):
+        snap = Histogram("h").snapshot()
+        assert snap["count"] == 0
+        assert snap["min"] is None and snap["max"] is None
+
+    def test_default_buckets_strictly_increasing(self):
+        assert list(DEFAULT_BUCKETS) == sorted(set(DEFAULT_BUCKETS))
+
+    def test_bad_buckets_rejected(self):
+        with pytest.raises(ObsError):
+            Histogram("h", buckets=())
+        with pytest.raises(ObsError):
+            Histogram("h", buckets=(4.0, 1.0))
+        with pytest.raises(ObsError):
+            Histogram("h", buckets=(1.0, 1.0))
+
+
+class TestRegistry:
+    def test_instruments_cached_by_name(self):
+        m = MetricsRegistry()
+        assert m.counter("a") is m.counter("a")
+        assert m.gauge("g") is m.gauge("g")
+        assert m.histogram("h") is m.histogram("h")
+
+    def test_convenience_one_shots(self):
+        m = MetricsRegistry()
+        m.inc("c", 2.0)
+        m.set_gauge("g", 5.0)
+        m.observe("h", 3.0)
+        assert m.value("c") == 2.0
+        assert m.value("never") == 0.0
+        snap = m.snapshot()
+        assert snap["gauges"]["g"] == {"value": 5.0, "max": 5.0}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_snapshot_is_json_serializable_and_sorted(self):
+        m = MetricsRegistry()
+        m.inc("b")
+        m.inc("a")
+        snap = m.snapshot()
+        json.dumps(snap)  # must not raise
+        assert list(snap["counters"]) == ["a", "b"]
+
+    def test_save_json_round_trips(self, tmp_path):
+        m = MetricsRegistry()
+        m.inc("x", 4.0)
+        path = m.save_json(tmp_path / "metrics.json")
+        assert json.loads(path.read_text())["counters"]["x"] == 4.0
+
+    def test_reset_drops_instruments(self):
+        m = MetricsRegistry()
+        m.inc("x")
+        m.reset()
+        assert m.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_disabled_registry_is_a_no_op(self):
+        m = MetricsRegistry(enabled=False)
+        m.counter("c").inc(10.0)
+        m.gauge("g").set(5.0)
+        m.histogram("h").observe(1.0)
+        m.inc("c2")
+        assert m.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+        # disabled instruments share one null object
+        assert m.counter("a") is m.counter("b")
+
+
+class TestMerge:
+    def test_counters_sum_gauges_max_histograms_add(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("c", 1.0)
+        b.inc("c", 2.0)
+        b.inc("only_b", 5.0)
+        a.set_gauge("g", 3.0)
+        b.set_gauge("g", 7.0)
+        a.observe("h", 1.0)
+        b.observe("h", 100.0)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert merged["counters"]["c"] == 3.0
+        assert merged["counters"]["only_b"] == 5.0
+        assert merged["gauges"]["g"]["max"] == 7.0
+        h = merged["histograms"]["h"]
+        assert h["count"] == 2
+        assert h["sum"] == pytest.approx(101.0)
+        assert h["min"] == 1.0 and h["max"] == 100.0
+
+    def test_merge_does_not_mutate_inputs(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.observe("h", 1.0)
+        b.observe("h", 2.0)
+        snap_a = a.snapshot()
+        merge_snapshots([snap_a, b.snapshot()])
+        assert snap_a["histograms"]["h"]["count"] == 1
+
+    def test_incompatible_buckets_counted_not_raised(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", buckets=(1.0, 2.0)).observe(1.0)
+        b.histogram("h", buckets=(10.0, 20.0)).observe(1.0)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert merged["counters"]["obs.merge_bucket_mismatch"] == 1
+
+    def test_merge_of_nothing_is_empty(self):
+        assert merge_snapshots([]) == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestCollection:
+    def test_collect_merges_registries_created_after_start(self):
+        before = MetricsRegistry()
+        before.inc("x")
+        obs_metrics.start_collection()
+        try:
+            r1, r2 = MetricsRegistry(), MetricsRegistry()
+            r1.inc("x", 1.0)
+            r2.inc("x", 2.0)
+        finally:
+            merged = obs_metrics.collect()
+        assert merged["counters"]["x"] == 3.0  # `before` not included
+        # collection stops: new registries are no longer retained
+        assert obs_metrics._collection is None

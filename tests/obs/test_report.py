@@ -1,0 +1,205 @@
+"""The profiler CLI on a real heat run: report tables, counter tracks in
+the Chrome export, and the ``--compare`` regression gate."""
+
+import copy
+import json
+
+import pytest
+
+from repro.baselines.tida_runners import run_tida_heat
+from repro.obs.compare import compare_snapshots, flatten_snapshot, higher_is_better
+from repro.obs.report import build_report, load_run, main
+from repro.sim.trace import Trace
+
+
+@pytest.fixture(scope="module")
+def heat_run():
+    """A small Fig. 5-style heat solve (timing mode: fast)."""
+    return run_tida_heat(shape=(32, 32, 32), steps=2, n_regions=4)
+
+
+@pytest.fixture(scope="module")
+def manifest(heat_run):
+    return {
+        "schema": "repro-run-manifest/1",
+        "traceEvents": heat_run.trace.to_chrome_trace(),
+        "metrics": heat_run.metrics,
+    }
+
+
+@pytest.fixture
+def manifest_path(manifest, tmp_path):
+    path = tmp_path / "run.json"
+    path.write_text(json.dumps(manifest))
+    return path
+
+
+class TestChromeExportStructure:
+    def test_at_least_two_counter_tracks(self, manifest):
+        tracks = {e["name"] for e in manifest["traceEvents"] if e.get("ph") == "C"}
+        assert len(tracks) >= 2
+        assert any(t.startswith("queue_depth:") for t in tracks)
+        assert any(t.startswith("cache_occupancy:") for t in tracks)
+
+    def test_counter_events_carry_value_args(self, manifest):
+        samples = [e for e in manifest["traceEvents"] if e.get("ph") == "C"]
+        assert samples
+        assert all("value" in e["args"] for e in samples)
+
+    def test_decision_marks_are_structured_instants(self, manifest):
+        marks = [e for e in manifest["traceEvents"] if e.get("ph") == "i"]
+        assert marks
+        assert all(e["cat"] == "decision" for e in marks)
+        names = {e["name"] for e in marks}
+        assert "cache-miss" in names
+        # every mark names the field, region, and slot it decided about
+        assert all({"field", "region", "slot"} <= set(e["args"]) for e in marks)
+
+    def test_round_trip_preserves_timing_and_sidechannels(self, heat_run, manifest):
+        rebuilt = Trace.from_chrome_trace(manifest["traceEvents"])
+        orig = heat_run.trace
+        assert len(rebuilt) == len(orig)
+        assert set(rebuilt.lanes()) == set(orig.lanes())
+        for lane in orig.lanes():
+            assert rebuilt.busy_time(lane) == pytest.approx(orig.busy_time(lane))
+        assert set(rebuilt.counter_tracks) == set(orig.counter_tracks)
+        assert len(rebuilt.marks) == len(orig.marks)
+
+
+class TestLoadRun:
+    def test_manifest(self, manifest_path):
+        trace, metrics = load_run(manifest_path)
+        assert trace is not None and len(trace) > 0
+        assert metrics is not None and "counters" in metrics
+
+    def test_bare_chrome_event_list(self, manifest, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(manifest["traceEvents"]))
+        trace, metrics = load_run(path)
+        assert trace is not None and len(trace) > 0
+        assert metrics is None
+
+    def test_metrics_only_manifest(self, manifest, tmp_path):
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps({"metrics": manifest["metrics"]}))
+        trace, metrics = load_run(path)
+        assert trace is None
+        assert metrics is not None
+
+
+class TestReportCli:
+    def test_prints_utilization_cache_and_stalls(self, manifest_path, capsys):
+        assert main([str(manifest_path)]) == 0
+        out = capsys.readouterr().out
+        assert "lane utilization" in out
+        assert "widest pipeline stalls" in out
+        assert "counter tracks" in out
+        assert "slot-cache statistics" in out
+        assert "hit rate" in out
+        assert "transfer hidden behind compute" in out
+
+    def test_build_report_tables_have_rows(self, heat_run):
+        tables = build_report(
+            heat_run.trace, heat_run.metrics  # straight from the run, no JSON
+        )
+        by_title = {t.title: t for t in tables}
+        util = by_title["lane utilization"]
+        assert "compute" in util.column("lane")
+        cache = by_title["slot-cache statistics"]
+        assert sorted(cache.column("field")) == ["u_new", "u_old"]
+        for row_field in cache.column("field"):
+            row = cache.row_by("field", row_field)
+            hits, misses = row[1], row[2]
+            assert hits + misses > 0
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope.json")]) == 2
+        assert "cannot load" in capsys.readouterr().err
+
+    def test_empty_manifest_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "empty.json"
+        path.write_text("{}")
+        assert main([str(path)]) == 2
+        assert "neither" in capsys.readouterr().err
+
+
+class TestCompareGate:
+    def test_identical_runs_pass(self, manifest_path, capsys):
+        rc = main([str(manifest_path), "--compare", str(manifest_path)])
+        assert rc == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_injected_regression_fails(self, manifest, tmp_path, capsys):
+        baseline = copy.deepcopy(manifest)
+        # a baseline that moved half the bytes: the current run "regressed"
+        # by +100%, far past the 10% threshold
+        baseline["metrics"]["counters"]["cuda.h2d_bytes"] *= 0.5
+        cur_path = tmp_path / "cur.json"
+        base_path = tmp_path / "base.json"
+        cur_path.write_text(json.dumps(manifest))
+        base_path.write_text(json.dumps(baseline))
+        rc = main([str(cur_path), "--compare", str(base_path)])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "cuda.h2d_bytes" in out
+        assert "REGRESSED" in out
+
+    def test_threshold_is_respected(self, manifest, tmp_path):
+        baseline = copy.deepcopy(manifest)
+        baseline["metrics"]["counters"]["cuda.h2d_bytes"] *= 0.5
+        cur_path = tmp_path / "cur.json"
+        base_path = tmp_path / "base.json"
+        cur_path.write_text(json.dumps(manifest))
+        base_path.write_text(json.dumps(baseline))
+        # +100% growth is fine under a 300% threshold
+        rc = main([str(cur_path), "--compare", str(base_path), "--threshold", "3.0"])
+        assert rc == 0
+
+    def test_compare_needs_metrics_on_both_sides(self, manifest, tmp_path, capsys):
+        with_metrics = tmp_path / "m.json"
+        with_metrics.write_text(json.dumps(manifest))
+        without = tmp_path / "t.json"
+        without.write_text(json.dumps(manifest["traceEvents"]))
+        assert main([str(with_metrics), "--compare", str(without)]) == 2
+        assert "metrics" in capsys.readouterr().err
+
+
+class TestCompareSemantics:
+    def test_direction_awareness(self):
+        base = {"counters": {"cache.hits.f": 100.0, "cuda.stall_seconds": 1.0}}
+        cur = {"counters": {"cache.hits.f": 50.0, "cuda.stall_seconds": 2.0}}
+        _rows, regressions = compare_snapshots(cur, base, threshold=0.10)
+        assert {r["metric"] for r in regressions} == {
+            "cache.hits.f",        # hits fell: higher-is-better
+            "cuda.stall_seconds",  # stalls grew: lower-is-better
+        }
+
+    def test_improvements_are_not_regressions(self):
+        base = {"counters": {"cache.hits.f": 50.0, "cuda.stall_seconds": 2.0}}
+        cur = {"counters": {"cache.hits.f": 100.0, "cuda.stall_seconds": 1.0}}
+        rows, regressions = compare_snapshots(cur, base, threshold=0.10)
+        assert regressions == []
+        assert {r["verdict"] for r in rows} == {"improved"}
+
+    def test_new_and_gone_metrics_never_gate(self):
+        base = {"counters": {"gone_metric": 5.0}}
+        cur = {"counters": {"new_metric": 5.0}}
+        rows, regressions = compare_snapshots(cur, base)
+        assert regressions == []
+        assert {r["verdict"] for r in rows} == {"new", "gone"}
+
+    def test_flatten_covers_all_instrument_kinds(self):
+        from repro.obs import MetricsRegistry
+
+        m = MetricsRegistry()
+        m.inc("c", 2.0)
+        m.set_gauge("g", 7.0)
+        m.observe("h", 3.0)
+        flat = flatten_snapshot(m.snapshot())
+        assert flat == {"c": 2.0, "g.max": 7.0, "h.count": 1.0, "h.sum": 3.0}
+
+    def test_higher_is_better_fragments(self):
+        assert higher_is_better("cache.hits.f")
+        assert higher_is_better("ghost.hybrid_overlap_seconds")
+        assert not higher_is_better("cuda.h2d_bytes")
+        assert not higher_is_better("cache.evictions.f")

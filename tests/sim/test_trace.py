@@ -178,3 +178,114 @@ class TestGantt:
         out = t.gantt(width=40, lanes=["a"])
         assert "a" in out
         assert "\nb" not in out
+
+    def test_header_ruler_matches_row_width(self):
+        # regression: the header used a fixed pad computed from "%g", so
+        # span labels of other lengths skewed the closing "|" off the
+        # row boxes.  The ruler must end exactly where the rows do.
+        for span in (1.0, 0.0001234, 123456.0):
+            t = Trace()
+            t.add(ev("a", 0, span))
+            header, row = t.gantt(width=40).splitlines()[:2]
+            assert header.rstrip().endswith("|")
+            assert len(header.rstrip()) == len(row)
+
+    def test_header_shows_span_label(self):
+        t = Trace()
+        t.add(ev("a", 0.0, 2.5))
+        header = t.gantt(width=40).splitlines()[0]
+        assert "0.0s" in header
+        assert "2.5s" in header
+
+
+class TestBusyTimeMerging:
+    def test_overlapping_host_events_not_double_counted(self):
+        # regression: summing durations over-counted lanes (like "host")
+        # where events recorded by different layers overlap in time
+        t = Trace()
+        t.add(ev("host", 0, 2, category="host"))
+        t.add(ev("host", 1, 3, category="host"))
+        assert t.busy_time("host") == pytest.approx(3.0)
+
+    def test_contained_event_adds_nothing(self):
+        t = Trace()
+        t.add(ev("host", 0, 10, category="host"))
+        t.add(ev("host", 2, 3, category="host"))
+        assert t.busy_time("host") == pytest.approx(10.0)
+
+    def test_disjoint_events_still_sum(self):
+        t = Trace()
+        t.add(ev("host", 0, 1, category="host"))
+        t.add(ev("host", 5, 7, category="host"))
+        assert t.busy_time("host") == pytest.approx(3.0)
+
+    def test_busy_time_bounded_by_span(self):
+        t = Trace()
+        t.add(ev("host", 0, 1, category="host"))
+        t.add(ev("host", 0.5, 1.5, category="host"))
+        t.add(ev("host", 0.25, 0.75, category="host"))
+        assert t.busy_time("host") <= t.span() + 1e-12
+
+
+class TestObservabilitySidechannels:
+    def test_to_rows_includes_duration(self):
+        t = Trace()
+        t.record("a", "kernel", "compute", 1.0, 3.5)
+        assert t.to_rows()[0]["duration"] == pytest.approx(2.5)
+
+    def test_counter_samples_and_marks_recorded(self):
+        t = Trace()
+        t.record_counter("queue_depth:compute", 0.0, 1.0)
+        t.record_counter("queue_depth:compute", 1.0, 2.0)
+        t.mark("cache-evict", 0.5, region=3, slot=1)
+        assert t.counter_tracks == {"queue_depth:compute": [(0.0, 1.0), (1.0, 2.0)]}
+        assert t.marks[0]["name"] == "cache-evict"
+        assert t.marks[0]["args"] == {"region": 3, "slot": 1}
+
+    def test_negative_timestamps_rejected(self):
+        t = Trace()
+        with pytest.raises(SimulationError):
+            t.record_counter("x", -1.0, 0.0)
+        with pytest.raises(SimulationError):
+            t.mark("x", -1.0)
+
+    def test_last_event(self):
+        t = Trace()
+        assert t.last_event is None
+        t.add(ev("a", 0, 1))
+        e = t.add(ev("b", 1, 2))
+        assert t.last_event is e
+
+    def test_sidechannels_do_not_affect_timing_metrics(self):
+        t = Trace()
+        t.add(ev("a", 0, 1))
+        t.record_counter("c", 0.0, 99.0)
+        t.mark("m", 5000.0)
+        assert t.span() == 1.0
+        assert t.busy_time("a") == 1.0
+        assert len(t) == 1
+
+    def test_chrome_export_emits_counters_and_marks_only_when_present(self):
+        t = Trace()
+        t.add(ev("a", 0, 1))
+        phases = [e["ph"] for e in t.to_chrome_trace()]
+        assert "C" not in phases and "i" not in phases
+        t.record_counter("c", 0.5, 1.0)
+        t.mark("m", 0.5)
+        phases = [e["ph"] for e in t.to_chrome_trace()]
+        assert "C" in phases and "i" in phases
+
+    def test_chrome_round_trip(self):
+        t = Trace()
+        t.record("k", "kernel", "compute", 0.0, 1.0, stream=2, nbytes=0)
+        t.record("up", "h2d", "h2d", 0.5, 1.5, stream=2, nbytes=4096)
+        t.record_counter("queue_depth:compute", 0.25, 1.0)
+        t.mark("cache-hit", 0.75, region=0, slot=0)
+        back = Trace.from_chrome_trace(t.to_chrome_trace())
+        assert len(back) == 2
+        assert back.lanes() == t.lanes()
+        assert back.span() == pytest.approx(t.span())
+        assert back.events[1].nbytes == 4096
+        assert back.events[1].stream == 2
+        assert back.counter_tracks == {"queue_depth:compute": [(0.25, 1.0)]}
+        assert back.marks[0]["args"]["region"] == 0
