@@ -33,6 +33,8 @@ def run_tida_heat(
     tile_shape: tuple[int, ...] | None = None,
     gpu: bool = True,
     initial: np.ndarray | None = None,
+    prefetch_depth: int | None = None,
+    eviction: str = "lru",
 ) -> BaselineResult:
     """TiDA-acc heat solver: the Fig. 5 configuration.
 
@@ -41,7 +43,8 @@ def run_tida_heat(
     """
     machine = machine if machine is not None else DEFAULT_MACHINE
     bc = bc if bc is not None else Neumann()
-    lib = TidaAcc(machine, functional=functional, device_memory_limit=device_memory_limit)
+    lib = TidaAcc(machine, functional=functional, device_memory_limit=device_memory_limit,
+                  prefetch_depth=prefetch_depth, eviction=eviction)
     kernel = heat_kernel(len(shape))
     lib.add_array("u_old", shape, n_regions=n_regions, ghost=1, n_slots=n_slots)
     lib.add_array("u_new", shape, n_regions=n_regions, ghost=1, n_slots=n_slots)
@@ -72,6 +75,8 @@ def run_tida_heat(
             "device_memory_limit": device_memory_limit,
             "tile_shape": tile_shape,
             "gpu": gpu,
+            "prefetch_depth": prefetch_depth,
+            "eviction": eviction,
         },
         metrics=lib.metrics.snapshot(),
     )
@@ -89,6 +94,8 @@ def run_tida_compute(
     n_slots: int | None = None,
     gpu: bool = True,
     initial: np.ndarray | None = None,
+    prefetch_depth: int | None = None,
+    eviction: str = "lru",
 ) -> BaselineResult:
     """TiDA-acc compute-intensive runner: the Figs. 6-8 configurations.
 
@@ -97,7 +104,8 @@ def run_tida_compute(
     download, upload, kernel — all overlapped across slots).
     """
     machine = machine if machine is not None else DEFAULT_MACHINE
-    lib = TidaAcc(machine, functional=functional, device_memory_limit=device_memory_limit)
+    lib = TidaAcc(machine, functional=functional, device_memory_limit=device_memory_limit,
+                  prefetch_depth=prefetch_depth, eviction=eviction)
     kernel = compute_intensive_kernel(kernel_iteration)
     lib.add_array("data", shape, n_regions=n_regions, ghost=0, n_slots=n_slots)
     if functional:
@@ -124,6 +132,8 @@ def run_tida_compute(
             "device_memory_limit": device_memory_limit,
             "kernel_iteration": kernel_iteration,
             "gpu": gpu,
+            "prefetch_depth": prefetch_depth,
+            "eviction": eviction,
         },
         metrics=lib.metrics.snapshot(),
     )

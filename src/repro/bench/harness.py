@@ -69,12 +69,15 @@ def run_all(
     r7 = figures.figure7(shape=shape3)
     emit(r7.table, "fig7", r7.gantt)
     emit(figures.figure8(shape=shape3, steps=steps_f8), "fig8")
+    emit(figures.figure8_prefetch(shape=shape3, steps=20 if quick else 40), "fig8_prefetch")
     emit(figures.ablation_region_count(shape=shape3, steps=5 if quick else 10), "ablation_a1")
     emit(figures.ablation_interconnect(shape=shape3), "ablation_a2")
     emit(figures.ablation_model_accuracy(shape=shape3), "ablation_a3")
     emit(figures.ablation_tile_size(shape=(128,) * 3 if quick else (256,) * 3), "ablation_a4")
     emit(figures.ablation_cpu_tile_size(shape=(128,) * 3 if quick else (256,) * 3,
                                         steps=2 if quick else 5), "ablation_a6")
+    emit(figures.ablation_prefetch_depth(shape=(128,) * 3 if quick else (256,) * 3,
+                                         steps=10 if quick else 20), "ablation_a7")
     from ..multi import run_multi_gpu_heat
 
     a5 = Table(

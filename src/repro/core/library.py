@@ -33,6 +33,8 @@ from ..tida.tile import Tile
 from ..tida.tile_array import TileArray
 from ..tida.tile_iterator import TileIterator
 from .ghost import fill_boundary_hybrid
+from .prefetch import PrefetchScheduler
+from .slots import EvictionPolicy
 from .tile_acc import TileAcc
 
 #: The library-chosen OpenACC vector length (§II-A: pragma attributes let
@@ -53,6 +55,8 @@ class TidaAcc:
         runtime: CudaRuntime | None = None,
         acc: AccRuntime | None = None,
         vector_length: int = DEFAULT_VECTOR_LENGTH,
+        prefetch_depth: int | None = None,
+        eviction: str = "lru",
     ) -> None:
         if runtime is None:
             runtime = CudaRuntime(
@@ -63,6 +67,12 @@ class TidaAcc:
         if self.acc.cuda is not self.runtime:
             raise TileAccError("AccRuntime must wrap the same CudaRuntime")
         self.vector_length = int(vector_length)
+        #: default eviction policy for new fields ("lru" | "lookahead" | "modulo")
+        self.eviction = eviction
+        #: ``prefetch_depth=None`` means auto: prefetch when the iterator's
+        #: traversal order is known (sequential), stay demand-paged otherwise;
+        #: ``0`` disables prefetching entirely.
+        self._prefetcher = PrefetchScheduler(default_depth=prefetch_depth)
         self._fields: dict[str, TileArray] = {}
         self._managers: dict[str, TileAcc] = {}
         self._names_by_array: dict[int, str] = {}
@@ -82,6 +92,7 @@ class TidaAcc:
         fill: float | None = None,
         n_slots: int | None = None,
         access: str = "rw",
+        policy: str | EvictionPolicy | None = None,
     ) -> TileArray:
         """Declare a field: a pinned-host tileArray plus its TileAcc.
 
@@ -89,6 +100,9 @@ class TidaAcc:
         (coefficient tables, masks): evictions and host reads then cost no
         write-back.  Mutate such a field on the host only, followed by
         ``manager(name).invalidate_device()``.
+
+        ``policy`` overrides the library's default eviction policy for
+        this field (``"lru"``, ``"lookahead"``, or ``"modulo"``).
         """
         if access not in ("rw", "ro"):
             raise TidaError(f"access must be 'rw' or 'ro', got {access!r}")
@@ -110,7 +124,9 @@ class TidaAcc:
         # (e.g. not even one region fits in device memory) leaves the
         # library with no half-registered field
         manager = TileAcc(
-            self.runtime, self.acc, ta, n_slots=n_slots, read_only=(access == "ro")
+            self.runtime, self.acc, ta, n_slots=n_slots,
+            read_only=(access == "ro"),
+            policy=policy if policy is not None else self.eviction,
         )
         self._fields[name] = ta
         self._managers[name] = manager
@@ -152,15 +168,17 @@ class TidaAcc:
     # -- the compute method (§V) ---------------------------------------------------
 
     @staticmethod
-    def _normalize_tiles(tiles: Tile | Sequence[Tile] | TileIterator) -> tuple[tuple[Tile, ...], bool | None]:
+    def _normalize_tiles(
+        tiles: Tile | Sequence[Tile] | TileIterator,
+    ) -> tuple[tuple[Tile, ...], bool | None, TileIterator | None]:
         if isinstance(tiles, TileIterator):
-            return tiles.tiles(), tiles.gpu
+            return tiles.tiles(), tiles.gpu, tiles
         if isinstance(tiles, Tile):
-            return (tiles,), None
+            return (tiles,), None, None
         out = tuple(tiles)
         if not out or not all(isinstance(t, Tile) for t in out):
             raise TidaError("compute expects a Tile, a sequence of Tiles, or a TileIterator")
-        return out, None
+        return out, None, None
 
     def compute(
         self,
@@ -170,6 +188,7 @@ class TidaAcc:
         params: dict[str, Any] | None = None,
         gpu: bool | None = None,
         bounds: tuple[tuple[int, ...], tuple[int, ...]] | None = None,
+        prefetch_depth: int | None = None,
     ) -> float:
         """Execute ``kernel`` over the tiles' iteration space.
 
@@ -179,8 +198,13 @@ class TidaAcc:
         case the iterator's GPU flag applies).  ``bounds`` restricts the
         iteration space to global ``[lo, hi)`` (the two-dimension compute
         variant of §V).  Returns the virtual completion time.
+
+        When driven by a sequential iterator, the next ``prefetch_depth``
+        regions are uploaded asynchronously while this region's kernel
+        runs (see :mod:`repro.core.prefetch`); the per-call value
+        overrides the library-wide ``prefetch_depth``.
         """
-        tile_tuple, it_gpu = self._normalize_tiles(tiles)
+        tile_tuple, it_gpu, iterator = self._normalize_tiles(tiles)
         if gpu is None:
             gpu = bool(it_gpu)
         if bounds is not None:
@@ -225,13 +249,17 @@ class TidaAcc:
                 kernel.body(*[r.array for r in regions], lo=lo, hi=hi, **params)
             return end
 
+        managers = [self._managers[n] for n in names]
+        # schedule-aware eviction sees the sweep's remaining order before
+        # any placement decision for this region is made
+        self._prefetcher.feed_schedule(managers, iterator)
         buffers = []
         ready = 0.0
-        for n in names:
-            buf, t_ready = self._managers[n].request_device(rid)
+        for mgr in managers:
+            buf, t_ready = mgr.request_device(rid)
             buffers.append(buf)
             ready = max(ready, t_ready)
-        qid = self._managers[names[0]].queue_id_for(rid)
+        qid = managers[0].queue_id_for(rid)
         end = self.acc.parallel_loop(
             kernel,
             deviceptr=buffers,
@@ -244,8 +272,12 @@ class TidaAcc:
             params={"lo": lo, "hi": hi, **params},
             label=f"compute:{kernel.name}:r{rid}",
         )
-        for n in names:
-            self._managers[n].note_device_op(rid, end)
+        for mgr in managers:
+            mgr.note_device_op(rid, end)
+        # with the kernel queued, upload the next regions of the sweep so
+        # their transfers hide behind it (no-op for unknown schedules)
+        depth = self._prefetcher.resolve_depth(iterator, prefetch_depth)
+        self._prefetcher.issue(managers, iterator, depth)
         return end
 
     def parallel_for(
@@ -327,18 +359,22 @@ class TidaAcc:
         # device partials buffer: one scalar per region
         partials_dev = self.runtime.malloc((first.n_regions,), label=f"partials:{spec.name}")
         partials_host = self.runtime.malloc_host((first.n_regions,), label=f"partials:{spec.name}")
+        managers = [self._managers[n] for n in names]
+        for mgr in managers:
+            mgr.set_schedule(range(first.n_regions))
         last_stream = None
+        kernels_done = 0.0
         values: list[float] = []
         for rid in range(first.n_regions):
             buffers = []
             ready = 0.0
-            for n in names:
-                buf, t_ready = self._managers[n].request_device(rid)
+            for mgr in managers:
+                buf, t_ready = mgr.request_device(rid)
                 buffers.append(buf)
                 ready = max(ready, t_ready)
             region = first.region(rid)
             lo, hi = region.local_bounds(region.box)
-            qid = self._managers[names[0]].queue_id_for(rid)
+            qid = managers[0].queue_id_for(rid)
             end = self.acc.parallel_loop(
                 cost_kernel,
                 deviceptr=buffers,
@@ -351,21 +387,23 @@ class TidaAcc:
                 params={"lo": lo, "hi": hi},
                 label=f"reduce:{spec.name}:r{rid}",
             )
-            for n in names:
-                self._managers[n].note_device_op(rid, end)
-            last_stream = self._managers[names[0]].slot_for(rid).stream
+            for mgr in managers:
+                mgr.note_device_op(rid, end)
+            last_stream = managers[0].slot_for(rid).stream
+            kernels_done = max(kernels_done, end)
             if self.runtime.functional:
                 partial = spec.body(*[b.array for b in buffers], lo=lo, hi=hi, **params)
                 partials_dev.array[rid] = partial
                 values.append(partial)
-        # one batched download of all partials after the last kernel; the
-        # timing dependency is the maximum of all involved streams
-        mgr0 = self._managers[names[0]]
-        ready = max(mgr0.slot_for(rid).stream.tail for rid in range(first.n_regions))
+        # one batched download of all partials after the last kernel.  The
+        # dependency is the max *kernel* completion time: each kernel's
+        # ``after=ready`` already folds in every involved field's uploads,
+        # so this covers all managers — not just names[0]'s streams (which
+        # would ignore the other fields' transfer queues).
         self.runtime.memcpy_async(
             partials_host, partials_dev,
             last_stream if last_stream is not None else self.runtime.default_stream,
-            after=ready,
+            after=kernels_done,
             label=f"d2h:partials:{spec.name}",
         )
         self.runtime.stream_synchronize(

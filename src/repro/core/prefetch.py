@@ -1,0 +1,101 @@
+"""Lookahead prefetch scheduling: software-pipelining the limited-memory
+regime.
+
+The paper hides transfers behind compute by splitting fields into
+regions with per-slot streams (Figs. 5/7), but the runtime is still
+*demand*-driven: a cold miss issues its H2D upload inside
+``request_device`` at compute time, so the kernel's ``after=ready``
+dependency eats the full transfer latency.  When ``compute()`` is driven
+by a :class:`~repro.tida.tile_iterator.TileIterator`, the remaining
+traversal order is known — so the next ``depth`` regions can be uploaded
+on their slot streams *while the current region's kernel runs*, exactly
+the CrystalGPU-style transparent prefetch (PAPERS.md).
+
+The :class:`PrefetchScheduler` is deliberately conservative:
+
+* it only acts when the iterator's schedule is known
+  (``order="sequential"``); a shuffled traversal degrades to plain
+  demand paging — no speculative uploads, no corruption;
+* displacing live data for a prefetch is delegated to the eviction
+  policy (only ``lookahead`` accepts, and only for occupants needed
+  strictly later), so prefetching can never thrash the demand stream.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..tida.tile_iterator import TileIterator
+    from .tile_acc import TileAcc
+
+#: Lookahead depth used when prefetching is enabled without an explicit
+#: ``prefetch_depth`` (deep enough to cover one transfer behind a kernel,
+#: shallow enough not to flood the copy engine ahead of evictions).
+DEFAULT_PREFETCH_DEPTH = 2
+
+
+class PrefetchScheduler:
+    """Issues speculative uploads for the next regions of a traversal.
+
+    One scheduler serves a whole :class:`~repro.core.library.TidaAcc`;
+    it is stateless between compute calls — the iterator carries the
+    position, the managers carry the cache state.
+    """
+
+    def __init__(self, default_depth: int | None = None) -> None:
+        if default_depth is not None and default_depth < 0:
+            raise ValueError(f"prefetch_depth must be >= 0, got {default_depth}")
+        self.default_depth = default_depth
+
+    def resolve_depth(
+        self, iterator: "TileIterator | None", override: int | None = None
+    ) -> int:
+        """Effective lookahead depth for one compute call.
+
+        Explicit per-call ``override`` wins, then the library default,
+        then :data:`DEFAULT_PREFETCH_DEPTH` — but always 0 when there is
+        no iterator or its schedule is unknown (shuffled order), because
+        speculation without a schedule would be a guess.
+        """
+        if iterator is None or not iterator.schedule_known:
+            return 0
+        if override is not None:
+            return max(0, int(override))
+        if self.default_depth is not None:
+            return self.default_depth
+        return DEFAULT_PREFETCH_DEPTH
+
+    def feed_schedule(
+        self, managers: Sequence["TileAcc"], iterator: "TileIterator | None"
+    ) -> None:
+        """Hand the remaining traversal order to schedule-aware policies.
+
+        Called before placement decisions so a ``lookahead`` policy's
+        next-use knowledge is exact for the current sweep."""
+        if iterator is None or not iterator.schedule_known:
+            return
+        schedule = iterator.remaining_rids()
+        for mgr in managers:
+            mgr.set_schedule(schedule)
+
+    def issue(
+        self,
+        managers: Sequence["TileAcc"],
+        iterator: "TileIterator | None",
+        depth: int,
+    ) -> int:
+        """Prefetch the next ``depth`` distinct regions across ``managers``.
+
+        Called after the current region's kernel launch: the uploads
+        queue behind it on other slots' streams and overlap with it on
+        the copy engines.  Returns the number of uploads issued.
+        """
+        if depth <= 0 or iterator is None or not iterator.schedule_known:
+            return 0
+        issued = 0
+        for rid in iterator.upcoming_rids(depth):
+            for mgr in managers:
+                if mgr.prefetch(rid):
+                    issued += 1
+        return issued

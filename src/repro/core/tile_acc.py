@@ -15,14 +15,24 @@ One ``TileAcc`` manages the device side of one tileArray:
    synchronization (in-stream FIFO); downloads are followed by a
    ``cudaStreamSynchronize`` because the caller may read the host data
    immediately (§IV-B.3).
-4. **Eviction** — when a requested region's slot is occupied by another
-   region, the occupant is downloaded first (queued on the same slot
-   stream, so ordering is free) and then the new region is uploaded —
-   this is what lets applications larger than device memory run (§IV-B.4,
-   Figs. 7/8).
+4. **Eviction** — when no slot is free for a requested region, an
+   occupant chosen by the eviction policy is downloaded first and then
+   the new region is uploaded — this is what lets applications larger
+   than device memory run (§IV-B.4, Figs. 7/8).
+
+Deviation from the paper: slot assignment is *associative* with a
+pluggable eviction policy (see :mod:`repro.core.slots`) instead of the
+fixed ``rid % n_slots`` map (available as ``policy="modulo"``), and
+eviction write-backs go through a dedicated D2H queue so the write-back
+and the replacement upload use both copy engines instead of serializing
+on one stream.  :meth:`prefetch` uploads a region speculatively ahead of
+its compute — the :class:`~repro.core.prefetch.PrefetchScheduler` drives
+it from the iterator's known traversal order.
 """
 
 from __future__ import annotations
+
+from typing import Sequence
 
 from ..cuda.runtime import CudaRuntime
 from ..errors import TileAccError
@@ -30,7 +40,7 @@ from ..openacc.runtime import AccRuntime
 from ..sim.device import DeviceBuffer
 from ..tida.region import Region
 from ..tida.tile_array import TileArray
-from .slots import DEVICE, EMPTY, HOST, DeviceSlot
+from .slots import DEVICE, EMPTY, HOST, DeviceSlot, EvictionPolicy, SlotPool, make_policy
 
 
 class TileAcc:
@@ -44,6 +54,7 @@ class TileAcc:
         *,
         n_slots: int | None = None,
         read_only: bool = False,
+        policy: str | EvictionPolicy = "lru",
     ) -> None:
         if acc.cuda is not runtime:
             raise TileAccError("AccRuntime must be bound to the same CudaRuntime")
@@ -81,8 +92,16 @@ class TileAcc:
         for i in range(n_slots):
             qid = acc.new_auto_queue()
             self.slots.append(DeviceSlot(i, qid, acc.queue(qid)))
+        self.policy = make_policy(policy)
+        self.pool = SlotPool(self.slots, self.policy, self._resident)
+        # dedicated write-back queue: eviction D2H runs here while the
+        # replacement H2D uses the slot stream — both copy engines busy
+        self._wb_qid = acc.new_auto_queue()
+        self._wb_stream = acc.queue(self._wb_qid)
         self._location: list[str] = [HOST] * n_regions
         self._ready: list[float] = [0.0] * n_regions
+        # rid -> completion time of an unconsumed speculative upload
+        self._inflight: dict[int, float] = {}
         self.h2d_count = 0
         self.d2h_count = 0
         # -- observability: per-field cache accounting ---------------------
@@ -96,6 +115,12 @@ class TileAcc:
         self._m_wb_skipped = m.counter(f"cache.writebacks_skipped.{self._obs_field}")
         self._m_upload_avoided = m.counter(
             f"cache.upload_bytes_avoided.{self._obs_field}"
+        )
+        self._m_pf_issued = m.counter(f"cache.prefetch_issued.{self._obs_field}")
+        self._m_pf_useful = m.counter(f"cache.prefetch_useful.{self._obs_field}")
+        self._m_pf_wasted = m.counter(f"cache.prefetch_wasted.{self._obs_field}")
+        self._m_stall_avoided = m.counter(
+            f"cache.stall_seconds_avoided.{self._obs_field}"
         )
         self._occupancy_track = f"cache_occupancy:{self._obs_field}"
         self._occupied = 0
@@ -125,18 +150,30 @@ class TileAcc:
     def n_slots(self) -> int:
         return len(self.slots)
 
+    def _resident(self, rid: int) -> bool:
+        """Slot occupants whose device data is current (pool callback)."""
+        return rid != EMPTY and self._location[rid] == DEVICE
+
     def slot_for(self, rid: int) -> DeviceSlot:
-        """The slot assigned to region ``rid`` (the §IV-B.1 id mapping)."""
+        """The slot currently holding region ``rid``'s device binding.
+
+        With associative placement there is no fixed mapping: a region
+        has a slot only while bound (after ``request_device``/
+        ``prefetch``, until eviction)."""
         self.tile_array.region(rid)  # range check
-        return self.slots[rid % self.n_slots]
+        slot = self.pool.slot_of(rid)
+        if slot is None:
+            raise TileAccError(
+                f"region {rid} holds no device slot; request_device it first"
+            )
+        return slot
 
     def location(self, rid: int) -> str:
         self.tile_array.region(rid)
         return self._location[rid]
 
     def is_on_device(self, rid: int) -> bool:
-        slot = self.slot_for(rid)
-        return slot.bound == rid and self._location[rid] == DEVICE
+        return self._location[rid] == DEVICE and self.pool.slot_of(rid) is not None
 
     def device_ready(self, rid: int) -> float:
         """Virtual time at which region ``rid``'s device data is valid."""
@@ -151,33 +188,52 @@ class TileAcc:
     def queue_id_for(self, rid: int) -> int:
         return self.slot_for(rid).queue_id
 
+    def set_schedule(self, rids: Sequence[int]) -> None:
+        """Feed the upcoming traversal order to schedule-aware policies."""
+        self.policy.set_schedule(rids)
+
     # -- the cache/transfer protocol (§IV-B.3/4) --------------------------------
 
-    def _evict(self, slot: DeviceSlot) -> None:
+    def _drop_inflight(self, rid: int) -> bool:
+        """Forget an unconsumed prefetch of ``rid``; True when there was one."""
+        if self._inflight.pop(rid, None) is not None:
+            self._m_pf_wasted.inc()
+            return True
+        return False
+
+    def _evict(self, slot: DeviceSlot) -> float:
+        """Displace the slot's occupant; returns the write-back completion
+        time (0.0 when no write-back was needed) so the replacement upload
+        can order itself after it (same buffer)."""
         old = slot.bound
         if old == EMPTY:
-            return
+            return 0.0
         self._m_evictions.inc()
+        wb_end = 0.0
+        prefetched = self._drop_inflight(old)
         if self._location[old] == DEVICE:
-            if self.read_only:
-                # the host copy is authoritative by contract: drop for free
+            if self.read_only or prefetched:
+                # host copy authoritative (ro contract) or never written on
+                # the device (unconsumed prefetch): drop for free
                 self._m_wb_skipped.inc()
                 self._mark("cache-evict", old, slot, writeback=False)
                 self._location[old] = HOST
             else:
                 region = self.tile_array.region(old)
-                end = self.runtime.memcpy_async(
-                    region.data, slot.buffer, slot.stream, label=f"evict:{region.label}"
+                wb_end = self.runtime.memcpy_async(
+                    region.data, slot.buffer, self._wb_stream,
+                    after=self._ready[old], label=f"evict:{region.label}",
                 )
                 self.d2h_count += 1
                 self._m_writebacks.inc()
                 self._m_writeback_bytes.inc(region.nbytes)
                 self._mark("cache-evict", old, slot, writeback=True)
                 self._location[old] = HOST
-                self.note_device_op(old, end)
+                self.note_device_op(old, wb_end)
         else:
             self._mark("cache-evict", old, slot, writeback=False)
         self._set_bound(slot, EMPTY)
+        return wb_end
 
     def _ensure_buffer(self, slot: DeviceSlot, region: Region) -> None:
         shape = region.local_shape
@@ -195,6 +251,24 @@ class TileAcc:
             shape, self.tile_array.dtype, label=f"{self.tile_array.label}.slot{slot.index}"
         )
 
+    def _upload(self, slot: DeviceSlot, rid: int, region: Region, *, label: str) -> float:
+        """Evict-if-needed + upload ``rid`` into ``slot`` (shared miss path)."""
+        wb_end = 0.0
+        if slot.bound not in (EMPTY, rid):
+            wb_end = self._evict(slot)
+        self._ensure_buffer(slot, region)
+        # the upload reuses the evicted occupant's buffer: it must wait for
+        # the write-back D2H even though it runs on a different stream
+        end = self.runtime.memcpy_async(
+            slot.buffer, region.data, slot.stream,
+            after=max(wb_end, self._ready[rid]), label=label,
+        )
+        self.h2d_count += 1
+        self._set_bound(slot, rid)
+        self._location[rid] = DEVICE
+        self._ready[rid] = end
+        return end
+
     def request_device(self, rid: int) -> tuple[DeviceBuffer, float]:
         """Make region ``rid`` resident on the device.
 
@@ -203,27 +277,52 @@ class TileAcc:
         on the device (§III's caching).
         """
         region = self.tile_array.region(rid)
-        slot = self.slot_for(rid)
-        if slot.bound == rid and self._location[rid] == DEVICE:
+        self.policy.note_access(rid)
+        slot = self.pool.slot_of(rid)
+        if slot is not None and self._location[rid] == DEVICE:
             # §III cache hit: the upload the naive runtime would issue is
             # avoided entirely
             self._m_hits.inc()
             self._m_upload_avoided.inc(region.nbytes)
             self._mark("cache-hit", rid, slot)
+            pf_end = self._inflight.pop(rid, None)
+            if pf_end is not None:
+                # first demand use of a prefetched region: credit the stall
+                # a demand upload issued *now* would have cost
+                self._m_pf_useful.inc()
+                link = self.runtime.machine.link
+                cf_end = max(self.runtime.now, self.runtime.h2d_engine.tail) + \
+                    link.transfer_time(region.nbytes, direction="h2d", pinned=True)
+                self._m_stall_avoided.inc(max(0.0, cf_end - pf_end))
             return slot.buffer, self._ready[rid]
         self._m_misses.inc()
+        slot = self.pool.place(rid, protect=self._inflight)
         self._mark("cache-miss", rid, slot, occupant=slot.bound)
-        if slot.bound not in (EMPTY, rid):
-            self._evict(slot)
-        self._ensure_buffer(slot, region)
-        end = self.runtime.memcpy_async(
-            slot.buffer, region.data, slot.stream, label=f"h2d:{region.label}"
-        )
-        self.h2d_count += 1
-        self._set_bound(slot, rid)
-        self._location[rid] = DEVICE
-        self._ready[rid] = end
+        end = self._upload(slot, rid, region, label=f"h2d:{region.label}")
         return slot.buffer, end
+
+    def prefetch(self, rid: int) -> bool:
+        """Speculatively upload region ``rid`` ahead of its compute.
+
+        Issued on the target slot's stream, so it overlaps with kernels
+        and transfers on other slots.  Declines (returns ``False``) when
+        the region is already resident or no slot can take it without
+        displacing data the policy knows is needed sooner.
+        """
+        region = self.tile_array.region(rid)
+        if self._location[rid] == DEVICE and self.pool.slot_of(rid) is not None:
+            return False
+        protect = set(self._inflight)
+        protect.add(rid)
+        slot = self.pool.place_for_prefetch(rid, protect=protect)
+        if slot is None:
+            return False
+        self._mark("cache-prefetch", rid, slot, occupant=slot.bound)
+        end = self._upload(slot, rid, region, label=f"prefetch:{region.label}")
+        self._m_pf_issued.inc()
+        self._inflight[rid] = end
+        self.policy.note_access(rid)
+        return True
 
     def request_host(self, rid: int) -> Region:
         """Make region ``rid``'s data current on the host.
@@ -233,17 +332,24 @@ class TileAcc:
         immediately after this returns (§IV-B.3).
         """
         region = self.tile_array.region(rid)
-        slot = self.slot_for(rid)
         if self._location[rid] == DEVICE:
-            if slot.bound != rid:
+            slot = self.pool.slot_of(rid)
+            if slot is None:
                 raise TileAccError(
                     f"cache inconsistency: region {rid} marked on-device but "
-                    f"slot {slot.index} holds {slot.bound}"
+                    f"no slot holds it"
                 )
             if self.read_only:
                 # host copy never went stale; the device copy stays valid too
                 self._m_wb_skipped.inc()
                 self._mark("writeback-skip", rid, slot)
+                return region
+            if self._drop_inflight(rid):
+                # unconsumed prefetch: the device copy was never written, so
+                # the host copy is already current — no download needed
+                self._m_wb_skipped.inc()
+                self._mark("writeback-skip", rid, slot, prefetch=True)
+                self._location[rid] = HOST
                 return region
             end = self.runtime.memcpy_async(
                 region.data, slot.buffer, slot.stream, label=f"d2h:{region.label}"
@@ -261,6 +367,8 @@ class TileAcc:
 
     def invalidate_device(self) -> None:
         """Host data changed for a read-only field: drop all device copies."""
+        for rid in list(self._inflight):
+            self._drop_inflight(rid)
         for rid in range(self.tile_array.n_regions):
             self._location[rid] = HOST
         for slot in self.slots:
@@ -273,11 +381,15 @@ class TileAcc:
             if (
                 not self.read_only
                 and slot.bound != EMPTY
+                and slot.bound not in self._inflight
                 and self._location[slot.bound] == DEVICE
             ):
                 raise TileAccError(
                     f"region {slot.bound} still dirty on device; flush_to_host first"
                 )
+        for rid in list(self._inflight):
+            self._drop_inflight(rid)
+        for slot in self.slots:
             if slot.buffer is not None:
                 self.runtime.free(slot.buffer)
                 slot.buffer = None

@@ -85,3 +85,41 @@ def autotune_region_count(
     """The candidate with the smallest predicted/measured time."""
     sweep = sweep_region_counts(machine, **kwargs)
     return min(sweep, key=lambda p: p.seconds).n_regions
+
+
+@dataclass(frozen=True)
+class PrefetchSweepPoint:
+    prefetch_depth: int
+    seconds: float
+
+
+def sweep_prefetch_depth(
+    *,
+    candidates: Sequence[int] = (0, 1, 2, 4),
+    measure_fn: Callable[[int], float],
+) -> list[PrefetchSweepPoint]:
+    """Evaluate lookahead prefetch depths (measure-only: the closed-form
+    model has no notion of speculative uploads).
+
+    ``measure_fn(depth) -> seconds`` is typically a lambda around a
+    timing-only :func:`~repro.baselines.tida_runners.run_tida_compute`
+    call with ``prefetch_depth=depth``.  Depth 0 is the demand-paged
+    baseline; include it so the sweep shows whether prefetching pays at
+    all for the configuration.
+    """
+    if not candidates:
+        raise ReproError("candidates must be non-empty")
+    points: list[PrefetchSweepPoint] = []
+    for depth in candidates:
+        if depth < 0:
+            raise ReproError(f"prefetch depths must be >= 0, got {depth}")
+        points.append(PrefetchSweepPoint(prefetch_depth=depth,
+                                         seconds=measure_fn(depth)))
+    return points
+
+
+def autotune_prefetch_depth(**kwargs) -> int:
+    """The prefetch depth with the smallest measured time (ties favor the
+    shallowest depth, i.e. the least speculation)."""
+    sweep = sweep_prefetch_depth(**kwargs)
+    return min(sweep, key=lambda p: (p.seconds, p.prefetch_depth)).prefetch_depth

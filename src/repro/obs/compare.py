@@ -19,6 +19,7 @@ GOOD_WHEN_HIGH = (
     "hits",
     "hit_rate",
     "avoided",
+    "useful",
     "skipped",
     "overlap",
     "bandwidth",

@@ -132,7 +132,8 @@ def cache_table(metrics: dict[str, Any]) -> Table:
     table = Table(
         title="slot-cache statistics",
         columns=["field", "hits", "misses", "hit rate", "evictions",
-                 "writeback_bytes", "writebacks_skipped", "upload_bytes_avoided"],
+                 "writeback_bytes", "writebacks_skipped", "upload_bytes_avoided",
+                 "pf_issued", "pf_useful", "pf_wasted", "stall_s_avoided"],
     )
     counters = metrics.get("counters", {})
     fields: dict[str, dict[str, float]] = {}
@@ -154,6 +155,10 @@ def cache_table(metrics: dict[str, Any]) -> Table:
             int(stats.get("writeback_bytes", 0.0)),
             int(stats.get("writebacks_skipped", 0.0)),
             int(stats.get("upload_bytes_avoided", 0.0)),
+            int(stats.get("prefetch_issued", 0.0)),
+            int(stats.get("prefetch_useful", 0.0)),
+            int(stats.get("prefetch_wasted", 0.0)),
+            stats.get("stall_seconds_avoided", 0.0),
         )
     return table
 

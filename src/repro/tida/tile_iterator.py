@@ -48,6 +48,7 @@ class TileIterator:
             raise TidaError(f"order must be 'sequential' or 'shuffled', got {order!r}")
         self.arrays = arrays
         self.tile_shape = tile_shape
+        self.order = order
         per_array = [a.tiles(tile_shape) for a in arrays]
         counts = {len(t) for t in per_array}
         if len(counts) != 1:
@@ -95,6 +96,50 @@ class TileIterator:
     @property
     def n_tiles(self) -> int:
         return len(self._tuples)
+
+    # -- traversal-order introspection (the prefetcher's input) ---------------
+
+    @property
+    def schedule_known(self) -> bool:
+        """Whether the remaining traversal order may be relied upon.
+
+        Only ``order="sequential"`` advertises its schedule; a shuffled
+        traversal is treated as unknown, so schedule-aware eviction and
+        prefetching degrade to demand paging."""
+        return self.order == "sequential"
+
+    def remaining_rids(self) -> list[int]:
+        """Distinct region ids still to be visited, current tile first.
+
+        Duplicates (several tiles per region) collapse to the first
+        occurrence — exactly the next-use order an eviction policy needs.
+        """
+        out: list[int] = []
+        seen: set[int] = set()
+        for tup in self._tuples[self._pos:]:
+            rid = tup[0].rid
+            if rid not in seen:
+                seen.add(rid)
+                out.append(rid)
+        return out
+
+    def upcoming_rids(self, depth: int) -> list[int]:
+        """The next ``depth`` distinct region ids *after* the current tile.
+
+        The current tile's region is excluded — it is already resident by
+        the time the prefetcher runs."""
+        if depth <= 0 or not self.is_valid():
+            return []
+        seen = {self._tuples[self._pos][0].rid}
+        out: list[int] = []
+        for tup in self._tuples[self._pos + 1:]:
+            rid = tup[0].rid
+            if rid not in seen:
+                seen.add(rid)
+                out.append(rid)
+                if len(out) >= depth:
+                    break
+        return out
 
     # -- Pythonic interface ---------------------------------------------------------
 

@@ -93,6 +93,25 @@ class TestFigureFunctions:
         limited = t.row_by("configuration", "tida-acc limited memory")
         assert limited[2] == 2  # slots
 
+    def test_figure8_prefetch_win_and_counters(self):
+        t = figures.figure8_prefetch(shape=(256, 256, 256), steps=40)
+        assert len(t.rows) == 3
+        base = t.row_by("configuration", "demand modulo (paper)")
+        pf = t.rows[-1]
+        assert pf[0].startswith("prefetch")
+        # the ISSUE acceptance bar: >= 20% lower wall-clock than demand
+        assert pf[1] <= base[1] * 0.80
+        assert pf[3] < base[3]          # fewer uploads
+        assert pf[4] > 0                # useful prefetches
+        assert pf[5] > 0.0              # stall seconds avoided
+        assert base[4] == 0 and base[5] == 0.0
+
+    def test_ablation_prefetch_depth(self):
+        t = figures.ablation_prefetch_depth(shape=(64, 64, 64), steps=4,
+                                            candidates=(0, 1, 2))
+        assert t.column("prefetch_depth") == [0, 1, 2]
+        assert all(s > 0 for s in t.column("seconds"))
+
     def test_ablation_region_count(self):
         t = figures.ablation_region_count(shape=SMALL, steps=2, candidates=(1, 2, 4))
         assert len(t.rows) == 3
@@ -117,9 +136,11 @@ class TestFigureFunctions:
 class TestHarness:
     def test_run_all_quick_writes_files(self, tmp_path):
         tables = run_all(tmp_path, quick=True, echo=False)
-        assert len(tables) == 13
+        assert len(tables) == 15
         assert (tmp_path / "fig5.json").exists()
         assert (tmp_path / "fig7.txt").exists()
+        assert (tmp_path / "fig8_prefetch.json").exists()
+        assert (tmp_path / "ablation_a7.json").exists()
         assert (tmp_path / "all_results.md").exists()
         md = (tmp_path / "all_results.md").read_text()
-        assert md.count("###") == 13
+        assert md.count("###") == 15

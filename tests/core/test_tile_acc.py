@@ -18,11 +18,11 @@ from repro.tida.tile_array import TileArray
 
 
 def make_stack(machine, *, n_regions=4, shape=(16,), ghost=0, n_slots=None,
-               device_memory_limit=None, functional=True):
+               device_memory_limit=None, functional=True, policy="lru"):
     rt = CudaRuntime(machine, functional=functional, device_memory_limit=device_memory_limit)
     acc = AccRuntime(rt)
     ta = TileArray(shape, n_regions=n_regions, ghost=ghost, runtime=rt, label="f")
-    mgr = TileAcc(rt, acc, ta, n_slots=n_slots)
+    mgr = TileAcc(rt, acc, ta, n_slots=n_slots, policy=policy)
     return rt, acc, ta, mgr
 
 
@@ -114,15 +114,37 @@ class TestCacheProtocol:
         assert mgr.h2d_count == 2
         assert np.all(buf.array == 3.0)
 
-    def test_eviction_on_slot_collision(self, machine):
-        """Regions 0 and 2 share slot 0 with 2 slots: requesting 2 evicts 0."""
+    def test_eviction_when_all_slots_busy(self, machine):
+        """With every slot occupied, a new request evicts the LRU region."""
         _, _, ta, mgr = make_stack(machine, n_slots=2)
         buf0, _ = mgr.request_device(0)
         buf0.array[...] = 7.0
-        mgr.request_device(2)
+        mgr.request_device(1)
+        mgr.request_device(2)          # evicts region 0 (least recently used)
         assert mgr.location(0) == HOST
-        assert mgr.slot_for(0).bound == 2
+        assert mgr.slot_for(2).index == 0   # took over region 0's slot
         assert np.all(ta.region(0).interior == 7.0)  # written back
+
+    def test_no_conflict_miss_when_free_slot_exists(self, machine):
+        """Regions 0 and 2 alias to the same slot under the paper's
+        ``rid % n_slots`` mapping; the associative pool uses the free
+        slot instead of thrashing (conflict-miss regression)."""
+        _, _, _, mgr = make_stack(machine, n_slots=2)
+        for _ in range(3):
+            mgr.request_device(0)
+            mgr.request_device(2)
+        assert mgr.h2d_count == 2      # one cold miss each, then hits
+        assert mgr.d2h_count == 0      # nothing was ever evicted
+
+    def test_modulo_policy_keeps_paper_mapping(self, machine):
+        """``policy="modulo"`` restores the paper's fixed direct mapping:
+        the 0/2 aliasing pair thrashes even with slot 1 free."""
+        _, _, _, mgr = make_stack(machine, n_slots=2, policy="modulo")
+        for _ in range(3):
+            mgr.request_device(0)
+            mgr.request_device(2)
+        assert mgr.h2d_count == 6      # every access is a conflict miss
+        assert mgr.slot_for(2).index == 0
 
     def test_eviction_preserves_all_data_through_cycles(self, machine):
         _, _, ta, mgr = make_stack(machine, n_regions=4, n_slots=1)
@@ -189,25 +211,100 @@ class TestCacheProtocol:
             mgr.request_device(99)
 
 
+_ACCESS_SEQS = st.lists(
+    st.tuples(st.sampled_from(["gpu", "cpu"]), st.integers(0, 3)),
+    min_size=1, max_size=40,
+)
+
+
 class TestCachePropertyBased:
-    @given(
-        accesses=st.lists(
-            st.tuples(st.sampled_from(["gpu", "cpu"]), st.integers(0, 3)),
-            min_size=1, max_size=40,
-        ),
-        n_slots=st.integers(1, 4),
-    )
+    @given(accesses=_ACCESS_SEQS, n_slots=st.integers(1, 4))
     @settings(max_examples=40, deadline=None)
     def test_random_access_sequences(self, accesses, n_slots):
-        """Against a naive model of §IV-B.4's cache list:
+        """Against a naive model of the associative slot pool with LRU
+        eviction:
 
-        - a slot holds at most one region; bound region ids match;
+        - placement prefers the region's old slot, then the first empty
+          slot, then the first stale binding, then the LRU victim;
         - data written on either side is never lost;
         - no transfer happens on a same-side repeat access.
         """
         from repro.config import k40m_pcie3
         rt, acc, ta, mgr = make_stack(k40m_pcie3(), n_regions=4, shape=(16,),
                                       n_slots=n_slots)
+        # model state
+        model_loc = {rid: HOST for rid in range(4)}
+        model_bound = {s: EMPTY for s in range(n_slots)}
+        last_tick: dict[int, int] = {}
+        tick = 0
+        counters = [0.0, 0.0, 0.0, 0.0]  # expected region values
+
+        def model_place(rid):
+            for s in range(n_slots):            # 1. the slot already bound to rid
+                if model_bound[s] == rid:
+                    return s
+            for s in range(n_slots):            # 2. first empty slot
+                if model_bound[s] == EMPTY:
+                    return s
+            for s in range(n_slots):            # 3. first stale binding
+                if model_loc[model_bound[s]] != DEVICE:
+                    return s
+            victim = min((model_bound[s] for s in range(n_slots)),
+                         key=lambda r: last_tick.get(r, -1))
+            return next(s for s in range(n_slots) if model_bound[s] == victim)
+
+        for side, rid in accesses:
+            h2d_before, d2h_before = mgr.h2d_count, mgr.d2h_count
+            if side == "gpu":
+                buf, _ = mgr.request_device(rid)
+                buf.array[...] += 1.0
+                counters[rid] += 1.0
+                # model transition
+                last_tick[rid] = tick
+                tick += 1
+                hit = (model_loc[rid] == DEVICE
+                       and any(model_bound[s] == rid for s in range(n_slots)))
+                if hit:
+                    assert mgr.h2d_count == h2d_before
+                    assert mgr.d2h_count == d2h_before
+                else:
+                    s = model_place(rid)
+                    old = model_bound[s]
+                    if old != EMPTY and old != rid and model_loc[old] == DEVICE:
+                        model_loc[old] = HOST          # eviction writes back
+                        assert mgr.d2h_count == d2h_before + 1
+                    else:
+                        assert mgr.d2h_count == d2h_before
+                    model_bound[s] = rid
+                    model_loc[rid] = DEVICE
+                    assert mgr.h2d_count == h2d_before + 1
+            else:
+                region = mgr.request_host(rid)
+                region.interior[...] = region.interior + 1.0
+                counters[rid] += 1.0
+                if model_loc[rid] == DEVICE:
+                    assert mgr.d2h_count == d2h_before + 1
+                else:
+                    assert mgr.d2h_count == d2h_before
+                model_loc[rid] = HOST
+            # invariant: library bindings agree with the model exactly
+            for s, slot in enumerate(mgr.slots):
+                assert slot.bound == model_bound[s]
+
+        mgr.flush_to_host()
+        for rid in range(4):
+            assert np.all(ta.region(rid).interior == counters[rid]), (
+                f"region {rid} lost updates"
+            )
+
+    @given(accesses=_ACCESS_SEQS, n_slots=st.integers(1, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_random_access_sequences_modulo(self, accesses, n_slots):
+        """``policy="modulo"`` against a naive model of §IV-B.4's fixed
+        ``rid % n_slots`` cache list (the paper's original mapping)."""
+        from repro.config import k40m_pcie3
+        rt, acc, ta, mgr = make_stack(k40m_pcie3(), n_regions=4, shape=(16,),
+                                      n_slots=n_slots, policy="modulo")
         # model state
         model_loc = {rid: HOST for rid in range(4)}
         model_slot = {s: EMPTY for s in range(n_slots)}

@@ -7,7 +7,12 @@ from repro.errors import ReproError
 from repro.kernels.compute_intensive import compute_intensive_kernel
 from repro.kernels.heat import heat_kernel
 from repro.model.analytic import estimate_resident, estimate_streaming
-from repro.model.autotune import autotune_region_count, sweep_region_counts
+from repro.model.autotune import (
+    autotune_prefetch_depth,
+    autotune_region_count,
+    sweep_prefetch_depth,
+    sweep_region_counts,
+)
 
 
 class TestStreamingEstimate:
@@ -130,3 +135,27 @@ class TestAutotune:
         with pytest.raises(ReproError):
             sweep_region_counts(machine, kernel=heat_kernel(3), domain_cells=8,
                                 steps=1, candidates=(0,))
+
+
+class TestPrefetchAutotune:
+    def test_sweep_returns_all_candidates(self):
+        pts = sweep_prefetch_depth(candidates=(0, 1, 4),
+                                   measure_fn=lambda d: 10.0 - d)
+        assert [p.prefetch_depth for p in pts] == [0, 1, 4]
+        assert [p.seconds for p in pts] == [10.0, 9.0, 6.0]
+
+    def test_autotune_picks_minimum(self):
+        best = autotune_prefetch_depth(candidates=(0, 1, 2, 4),
+                                       measure_fn=lambda d: abs(d - 2) + 1.0)
+        assert best == 2
+
+    def test_ties_favor_shallowest_depth(self):
+        best = autotune_prefetch_depth(candidates=(0, 1, 2),
+                                       measure_fn=lambda d: 1.0)
+        assert best == 0
+
+    def test_bad_candidates(self):
+        with pytest.raises(ReproError):
+            sweep_prefetch_depth(candidates=(), measure_fn=lambda d: 1.0)
+        with pytest.raises(ReproError):
+            sweep_prefetch_depth(candidates=(-1,), measure_fn=lambda d: 1.0)

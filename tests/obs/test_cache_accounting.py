@@ -64,15 +64,16 @@ class TestLimitedMemorySchedule:
     def test_decision_marks_carry_region_and_slot(self, stack):
         rt, mgr = stack
         mgr.request_device(0)
-        mgr.request_device(2)            # evicts region 0 from slot 0
+        mgr.request_device(1)            # both slots now occupied
+        mgr.request_device(2)            # evicts region 0 (LRU) from slot 0
         names = [m["name"] for m in rt.trace.marks]
-        assert names == ["cache-miss", "cache-miss", "cache-evict"]
+        assert names == ["cache-miss", "cache-miss", "cache-miss", "cache-evict"]
         evict = rt.trace.marks[-1]
         assert evict["args"]["field"] == "f"
         assert evict["args"]["region"] == 0
         assert evict["args"]["slot"] == 0
         assert evict["args"]["writeback"] is True
-        miss = rt.trace.marks[1]
+        miss = rt.trace.marks[2]
         assert miss["args"]["occupant"] == 0
 
     def test_occupancy_counter_track(self, stack):
@@ -87,8 +88,9 @@ class TestLimitedMemorySchedule:
     def test_eviction_of_host_resident_region_writes_nothing_back(self, stack):
         rt, mgr = stack
         mgr.request_device(0)
+        mgr.request_device(1)            # both slots now occupied
         mgr.request_host(0)              # downloaded; device copy now stale
-        mgr.request_device(2)            # evicts slot 0, but 0 lives on host
+        mgr.request_device(2)            # takes slot 0, but 0 lives on host
         stats = cache_counters(rt)
         assert stats["evictions"] == 1
         assert stats.get("writebacks", 0) == 0
@@ -108,9 +110,10 @@ class TestReadOnlySchedule:
     def test_eviction_skips_writeback(self, stack):
         rt, mgr = stack
         mgr.request_device(0)            # miss
+        mgr.request_device(1)            # miss; both slots occupied
         mgr.request_device(2)            # miss; evicts 0 without write-back
         stats = cache_counters(rt)
-        assert stats["misses"] == 2
+        assert stats["misses"] == 3
         assert stats["evictions"] == 1
         assert stats.get("writebacks", 0) == 0
         assert stats.get("writeback_bytes", 0) == 0

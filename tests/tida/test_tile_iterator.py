@@ -100,3 +100,46 @@ class TestOrdering:
 
     def test_len(self, pair):
         assert len(TileIterator(pair[0])) == 4
+
+
+class TestScheduleIntrospection:
+    """The traversal-order surface the prefetcher consumes."""
+
+    def test_schedule_known_only_for_sequential(self, pair):
+        a, _ = pair
+        assert TileIterator(a).schedule_known
+        assert not TileIterator(a, order="shuffled", seed=3).schedule_known
+
+    def test_remaining_rids_current_first(self, pair):
+        a, _ = pair
+        it = TileIterator(a)
+        assert it.remaining_rids() == [0, 1, 2, 3]
+        it.next()
+        assert it.remaining_rids() == [1, 2, 3]
+
+    def test_remaining_rids_dedups_tiles_of_one_region(self, pair):
+        a, _ = pair
+        it = TileIterator(a, tile_shape=(1,))   # several tiles per region
+        assert len(it) > a.n_regions
+        assert it.remaining_rids() == [0, 1, 2, 3]
+
+    def test_upcoming_rids_excludes_current_region(self, pair):
+        a, _ = pair
+        it = TileIterator(a)
+        assert it.upcoming_rids(2) == [1, 2]
+        assert it.upcoming_rids(99) == [1, 2, 3]
+        assert it.upcoming_rids(0) == []
+
+    def test_upcoming_rids_skips_same_region_tiles(self, pair):
+        a, _ = pair
+        it = TileIterator(a, tile_shape=(1,))
+        # current tile is region 0's first tile; its later tiles are skipped
+        assert it.upcoming_rids(2) == [1, 2]
+
+    def test_upcoming_rids_empty_when_exhausted(self, pair):
+        a, _ = pair
+        it = TileIterator(a)
+        for _ in range(4):
+            it.next()
+        assert it.upcoming_rids(2) == []
+        assert it.remaining_rids() == []
