@@ -1,0 +1,33 @@
+"""Figure 9 (extension): heat under injected chaos, recovered in-pipeline."""
+
+from repro.bench import figures
+
+
+def test_fig9_resilience(run_once, results_dir):
+    table = run_once(
+        figures.figure9_resilience,
+        shape=(96, 96, 96), steps=5, n_regions=8,
+        fault_rates=(0.01, 0.05),
+    )
+    print()
+    print(table.format())
+    table.save_json(results_dir / "fig9.json")
+
+    base = table.row_by("plan", "fault-free")
+    assert base[2] == 1.0               # slowdown column is relative to row 0
+    assert base[3] == 0                 # nothing injected without a plan
+
+    seconds, slowdown, injected, retries, recovered, overlap = range(1, 7)
+    for rate in (0.01, 0.05):
+        row = table.row_by("plan", f"p={rate:g}")
+        # every injected fault was retried and recovered — the run finished
+        assert row[injected] > 0
+        assert row[retries] >= row[recovered] > 0
+        # recovery costs time but never collapses the pipeline
+        assert row[slowdown] >= 1.0
+        assert 0.0 < row[overlap] <= 1.0
+
+    mild = table.row_by("plan", "p=0.01")
+    harsh = table.row_by("plan", "p=0.05")
+    assert harsh[injected] > mild[injected]
+    assert harsh[seconds] >= mild[seconds]

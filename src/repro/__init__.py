@@ -37,7 +37,10 @@ The layers underneath (each usable on its own):
 * :mod:`repro.bench` — the per-figure experiment harness;
 * :mod:`repro.obs` — runtime observability: the metrics registry
   (``runtime.metrics``), snapshot diffing, and the profiler CLI
-  (``python -m repro.obs.report``).
+  (``python -m repro.obs.report``);
+* :mod:`repro.faults` — deterministic fault injection
+  (:class:`~repro.faults.FaultPlan`) and resilience policies
+  (:class:`~repro.faults.RetryPolicy`).
 """
 
 from .config import (
@@ -55,7 +58,8 @@ from .config import (
 )
 from .core import TidaAcc, TileAcc
 from .cuda import CudaRuntime, KernelSpec, LaunchConfig
-from .errors import ReproError
+from .errors import FaultError, ReproError
+from .faults import FaultPlan, FaultRule, RetryPolicy
 from .kernels import (
     blur_kernel,
     compute_intensive_kernel,
@@ -112,4 +116,8 @@ __all__ = [
     "p100_nvlink",
     "MetricsRegistry",
     "ReproError",
+    "FaultPlan",
+    "FaultRule",
+    "RetryPolicy",
+    "FaultError",
 ]

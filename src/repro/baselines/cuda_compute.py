@@ -62,7 +62,7 @@ def run_cuda_compute(
         )
 
     pinned = variant.startswith("pinned")
-    alloc = runtime.malloc_host if pinned else runtime.host_malloc
+    alloc = runtime.malloc_pinned if pinned else runtime.malloc_pageable
     h = alloc(shape, label="data")
     if functional:
         h.array[...] = init

@@ -105,7 +105,7 @@ def run_cuda_heat(
         )
 
     pinned = memory == "pinned"
-    alloc = runtime.malloc_host if pinned else runtime.host_malloc
+    alloc = runtime.malloc_pinned if pinned else runtime.malloc_pageable
     h_src = alloc(full, label="u0")
     h_dst = alloc(full, label="u1")
     if functional:

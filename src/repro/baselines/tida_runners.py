@@ -13,6 +13,8 @@ import numpy as np
 
 from ..config import DEFAULT_MACHINE, MachineSpec
 from ..core.library import TidaAcc
+from ..faults.plan import FaultPlan
+from ..faults.retry import RetryPolicy
 from ..kernels.compute_intensive import DEFAULT_KERNEL_ITERATION, compute_intensive_kernel
 from ..kernels.heat import heat_kernel
 from ..tida.boundary import BoundaryCondition, Neumann
@@ -35,16 +37,21 @@ def run_tida_heat(
     initial: np.ndarray | None = None,
     prefetch_depth: int | None = None,
     eviction: str = "lru",
+    faults: FaultPlan | None = None,
+    retry: RetryPolicy | None = None,
 ) -> BaselineResult:
     """TiDA-acc heat solver: the Fig. 5 configuration.
 
     Region transfers pipeline across per-slot streams; ghost cells are
-    exchanged with the hybrid CPU/GPU updater each step.
+    exchanged with the hybrid CPU/GPU updater each step.  ``faults`` arms
+    a fault plan on the runtime and ``retry`` a recovery policy — the
+    resilience benchmark (Fig. 9) drives both.
     """
     machine = machine if machine is not None else DEFAULT_MACHINE
     bc = bc if bc is not None else Neumann()
     lib = TidaAcc(machine, functional=functional, device_memory_limit=device_memory_limit,
-                  prefetch_depth=prefetch_depth, eviction=eviction)
+                  prefetch_depth=prefetch_depth, eviction=eviction,
+                  faults=faults, retry=retry)
     kernel = heat_kernel(len(shape))
     lib.add_array("u_old", shape, n_regions=n_regions, ghost=1, n_slots=n_slots)
     lib.add_array("u_new", shape, n_regions=n_regions, ghost=1, n_slots=n_slots)
@@ -96,6 +103,8 @@ def run_tida_compute(
     initial: np.ndarray | None = None,
     prefetch_depth: int | None = None,
     eviction: str = "lru",
+    faults: FaultPlan | None = None,
+    retry: RetryPolicy | None = None,
 ) -> BaselineResult:
     """TiDA-acc compute-intensive runner: the Figs. 6-8 configurations.
 
@@ -105,7 +114,8 @@ def run_tida_compute(
     """
     machine = machine if machine is not None else DEFAULT_MACHINE
     lib = TidaAcc(machine, functional=functional, device_memory_limit=device_memory_limit,
-                  prefetch_depth=prefetch_depth, eviction=eviction)
+                  prefetch_depth=prefetch_depth, eviction=eviction,
+                  faults=faults, retry=retry)
     kernel = compute_intensive_kernel(kernel_iteration)
     lib.add_array("data", shape, n_regions=n_regions, ghost=0, n_slots=n_slots)
     if functional:

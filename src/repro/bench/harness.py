@@ -29,6 +29,7 @@ def run_all(
     quick: bool = False,
     echo: bool = True,
     metrics_out: Path | None = None,
+    faults_spec: str | None = None,
 ) -> list[Table]:
     """Execute every experiment; returns the tables in paper order.
 
@@ -70,6 +71,9 @@ def run_all(
     emit(r7.table, "fig7", r7.gantt)
     emit(figures.figure8(shape=shape3, steps=steps_f8), "fig8")
     emit(figures.figure8_prefetch(shape=shape3, steps=20 if quick else 40), "fig8_prefetch")
+    emit(figures.figure9_resilience(shape=(96,) * 3 if quick else (256,) * 3,
+                                    steps=5 if quick else 10,
+                                    plan_spec=faults_spec), "fig9_resilience")
     emit(figures.ablation_region_count(shape=shape3, steps=5 if quick else 10), "ablation_a1")
     emit(figures.ablation_interconnect(shape=shape3), "ablation_a2")
     emit(figures.ablation_model_accuracy(shape=shape3), "ablation_a3")
@@ -119,6 +123,12 @@ def main(argv: list[str] | None = None) -> int:
         help="also dump a run manifest of merged runtime metrics "
              "(readable by python -m repro.obs.report)",
     )
+    parser.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="fault-plan spec for the resilience figure, e.g. "
+             "'h2d:p=0.02; launch:p=0.01; seed=7' "
+             "(default: sweep built-in fault rates)",
+    )
     args = parser.parse_args(argv)
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -126,6 +136,7 @@ def main(argv: list[str] | None = None) -> int:
         out_dir,
         quick=args.quick,
         metrics_out=Path(args.metrics_out) if args.metrics_out else None,
+        faults_spec=args.faults,
     )
     return 0
 

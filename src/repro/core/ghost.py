@@ -125,17 +125,20 @@ def fill_boundary_hybrid(
             src_slices = src.local_slices(src_box)
             # ... and queues the copy kernel; the next face's index
             # computation overlaps with it
-            end = lib.acc.parallel_loop(
-                copy_k,
-                deviceptr=[dst_buf, src_buf],
-                n_cells=dst_box.size,
-                collapse=ta.domain.ndim,
-                loop_dims=ta.domain.ndim,
-                async_=qid,
-                vector_length=lib.vector_length,
-                after=max(dst_ready, src_ready),
-                params={"dst_slices": dst_slices, "src_slices": src_slices},
-                label=f"ghost:{region.label}<-{src.label}",
+            end = lib._launch_with_retry(
+                copy_k.name, region.rid,
+                lambda: lib.acc.parallel_loop(
+                    copy_k,
+                    deviceptr=[dst_buf, src_buf],
+                    n_cells=dst_box.size,
+                    collapse=ta.domain.ndim,
+                    loop_dims=ta.domain.ndim,
+                    async_=qid,
+                    vector_length=lib.vector_length,
+                    after=max(dst_ready, src_ready),
+                    params={"dst_slices": dst_slices, "src_slices": src_slices},
+                    label=f"ghost:{region.label}<-{src.label}",
+                ),
             )
             _note_kernel(end)
             mgr.note_device_op(region.rid, end)
@@ -166,15 +169,18 @@ def fill_boundary_hybrid(
                 else:  # pragma: no cover - new BC types must be handled here
                     raise NotImplementedError(f"unsupported device BC {type(bc).__name__}")
             if ops:
-                end = lib.acc.parallel_loop(
-                    faces_k,
-                    deviceptr=[dst_buf],
-                    n_cells=total_cells,
-                    async_=qid,
-                    vector_length=lib.vector_length,
-                    after=dst_ready,
-                    params={"ops": tuple(ops)},
-                    label=f"bc-faces:{region.label}",
+                end = lib._launch_with_retry(
+                    faces_k.name, region.rid,
+                    lambda: lib.acc.parallel_loop(
+                        faces_k,
+                        deviceptr=[dst_buf],
+                        n_cells=total_cells,
+                        async_=qid,
+                        vector_length=lib.vector_length,
+                        after=dst_ready,
+                        params={"ops": tuple(ops)},
+                        label=f"bc-faces:{region.label}",
+                    ),
                 )
                 _note_kernel(end)
                 mgr.note_device_op(region.rid, end)

@@ -18,14 +18,19 @@ transfers, or directives — the §V contract:
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+import contextlib
+import warnings
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
 from ..config import MachineSpec
 from ..cuda.kernel import KernelSpec
 from ..cuda.runtime import CudaRuntime
-from ..errors import TidaError, TileAccError
+from ..errors import FaultError, ReproError, TidaError, TileAccError
+from ..faults import TRANSIENT_ERRORS
+from ..faults.plan import FaultPlan
+from ..faults.retry import RetryPolicy
 from ..openacc.runtime import AccRuntime
 from ..tida.boundary import BoundaryCondition
 from ..tida.box import Box
@@ -56,13 +61,20 @@ class TidaAcc:
         acc: AccRuntime | None = None,
         vector_length: int = DEFAULT_VECTOR_LENGTH,
         prefetch_depth: int | None = None,
-        eviction: str = "lru",
+        eviction: str | EvictionPolicy = "lru",
+        retry: RetryPolicy | None = None,
+        faults: FaultPlan | None = None,
     ) -> None:
         if runtime is None:
             runtime = CudaRuntime(
                 machine, functional=functional, device_memory_limit=device_memory_limit
             )
         self.runtime = runtime
+        if faults is not None:
+            self.runtime.set_fault_plan(faults)
+        #: resilience policy every field's TileAcc (and kernel launches)
+        #: inherit; ``None`` = fail fast on the first injected fault
+        self.retry = retry
         self.acc = acc if acc is not None else AccRuntime(runtime)
         if self.acc.cuda is not self.runtime:
             raise TileAccError("AccRuntime must wrap the same CudaRuntime")
@@ -92,6 +104,7 @@ class TidaAcc:
         fill: float | None = None,
         n_slots: int | None = None,
         access: str = "rw",
+        eviction: str | EvictionPolicy | None = None,
         policy: str | EvictionPolicy | None = None,
     ) -> TileArray:
         """Declare a field: a pinned-host tileArray plus its TileAcc.
@@ -101,9 +114,17 @@ class TidaAcc:
         write-back.  Mutate such a field on the host only, followed by
         ``manager(name).invalidate_device()``.
 
-        ``policy`` overrides the library's default eviction policy for
-        this field (``"lru"``, ``"lookahead"``, or ``"modulo"``).
+        ``eviction`` overrides the library's default eviction policy for
+        this field (``"lru"``, ``"lookahead"``, or ``"modulo"``);
+        ``policy`` is a deprecated alias for it.
         """
+        if policy is not None:
+            warnings.warn(
+                "add_array(policy=...) is deprecated; use eviction=...",
+                DeprecationWarning, stacklevel=2,
+            )
+            if eviction is None:
+                eviction = policy
         if access not in ("rw", "ro"):
             raise TidaError(f"access must be 'rw' or 'ro', got {access!r}")
         if name in self._fields:
@@ -126,7 +147,8 @@ class TidaAcc:
         manager = TileAcc(
             self.runtime, self.acc, ta, n_slots=n_slots,
             read_only=(access == "ro"),
-            policy=policy if policy is not None else self.eviction,
+            eviction=eviction if eviction is not None else self.eviction,
+            retry=self.retry,
         )
         self._fields[name] = ta
         self._managers[name] = manager
@@ -164,6 +186,66 @@ class TidaAcc:
         """A tile iterator over one or more compatible fields (§V)."""
         arrays = [self.field(n) for n in names]
         return TileIterator(*arrays, tile_shape=tile_shape, order=order, seed=seed)
+
+    # -- resilience (launch retry) -------------------------------------------------
+
+    def _launch_with_retry(
+        self, kernel_name: str, rid: int, issue: Callable[[], float]
+    ) -> float:
+        """Re-launch a transiently failing kernel per the armed retry policy.
+
+        ECC-style launch faults raise before the kernel body runs (no
+        partial writes), so re-issuing the same launch is safe.  Retry
+        exhaustion flushes every writable field to the host, then raises
+        :class:`FaultError`.
+        """
+        policy = self.retry
+        if policy is None:
+            return issue()
+        m = self.runtime.metrics
+        last: Exception | None = None
+        for attempt in range(1, policy.max_attempts + 1):
+            try:
+                result = issue()
+            except TRANSIENT_ERRORS as exc:
+                last = exc
+                if attempt == policy.max_attempts:
+                    break
+                m.inc("faults.retries")
+                m.inc(f"faults.retries.{kernel_name}")
+                wait = policy.delay(attempt, key=(kernel_name, "launch", rid))
+                self.runtime.trace.mark(
+                    "fault-retry", self.runtime.now,
+                    kernel=kernel_name, op="launch", region=rid,
+                    attempt=attempt, backoff=wait,
+                )
+                self.runtime.clock.advance(wait)
+                continue
+            if last is not None:
+                m.inc("faults.recovered")
+                m.inc(f"faults.recovered.{kernel_name}")
+                self.runtime.trace.mark(
+                    "fault-recovered", self.runtime.now,
+                    kernel=kernel_name, op="launch", region=rid, attempts=attempt,
+                )
+            return result
+        # rescue what survives before surfacing the failure
+        plan = self.runtime.faults
+        ctx = plan.suspended() if plan is not None else contextlib.nullcontext()
+        with ctx:
+            for name in self.field_names():
+                mgr = self._managers[name]
+                try:
+                    if not mgr.read_only:
+                        mgr.flush_to_host()
+                except ReproError:
+                    continue
+        raise FaultError(
+            f"launch of kernel {kernel_name!r} on region {rid} failed after "
+            f"{policy.max_attempts} attempts",
+            op="launch", field=kernel_name, region=rid,
+            attempts=policy.max_attempts,
+        ) from last
 
     # -- the compute method (§V) ---------------------------------------------------
 
@@ -260,17 +342,20 @@ class TidaAcc:
             buffers.append(buf)
             ready = max(ready, t_ready)
         qid = managers[0].queue_id_for(rid)
-        end = self.acc.parallel_loop(
-            kernel,
-            deviceptr=buffers,
-            n_cells=n_cells,
-            collapse=ndim,
-            loop_dims=ndim,
-            async_=qid,
-            vector_length=self.vector_length,
-            after=ready,
-            params={"lo": lo, "hi": hi, **params},
-            label=f"compute:{kernel.name}:r{rid}",
+        end = self._launch_with_retry(
+            kernel.name, rid,
+            lambda: self.acc.parallel_loop(
+                kernel,
+                deviceptr=buffers,
+                n_cells=n_cells,
+                collapse=ndim,
+                loop_dims=ndim,
+                async_=qid,
+                vector_length=self.vector_length,
+                after=ready,
+                params={"lo": lo, "hi": hi, **params},
+                label=f"compute:{kernel.name}:r{rid}",
+            ),
         )
         for mgr in managers:
             mgr.note_device_op(rid, end)
@@ -358,7 +443,7 @@ class TidaAcc:
 
         # device partials buffer: one scalar per region
         partials_dev = self.runtime.malloc((first.n_regions,), label=f"partials:{spec.name}")
-        partials_host = self.runtime.malloc_host((first.n_regions,), label=f"partials:{spec.name}")
+        partials_host = self.runtime.malloc_pinned((first.n_regions,), label=f"partials:{spec.name}")
         managers = [self._managers[n] for n in names]
         for mgr in managers:
             mgr.set_schedule(range(first.n_regions))
@@ -375,17 +460,20 @@ class TidaAcc:
             region = first.region(rid)
             lo, hi = region.local_bounds(region.box)
             qid = managers[0].queue_id_for(rid)
-            end = self.acc.parallel_loop(
-                cost_kernel,
-                deviceptr=buffers,
-                n_cells=region.box.size,
-                collapse=region.ndim,
-                loop_dims=region.ndim,
-                async_=qid,
-                vector_length=self.vector_length,
-                after=ready,
-                params={"lo": lo, "hi": hi},
-                label=f"reduce:{spec.name}:r{rid}",
+            end = self._launch_with_retry(
+                spec.name, rid,
+                lambda: self.acc.parallel_loop(
+                    cost_kernel,
+                    deviceptr=buffers,
+                    n_cells=region.box.size,
+                    collapse=region.ndim,
+                    loop_dims=region.ndim,
+                    async_=qid,
+                    vector_length=self.vector_length,
+                    after=ready,
+                    params={"lo": lo, "hi": hi},
+                    label=f"reduce:{spec.name}:r{rid}",
+                ),
             )
             for mgr in managers:
                 mgr.note_device_op(rid, end)
@@ -483,7 +571,8 @@ class TidaAcc:
     # -- lifetime -------------------------------------------------------------------
 
     def close(self) -> None:
-        """Flush every field to the host and free all device slots."""
+        """Drain device work, flush every field to the host, free all slots."""
+        self.synchronize()
         for name in self.field_names():
             mgr = self._managers[name]
             if not mgr.read_only:

@@ -93,6 +93,10 @@ class PrefetchScheduler:
         """
         if depth <= 0 or iterator is None or not iterator.schedule_known:
             return 0
+        # managers in degraded mode (OOM shrank their slot pool) opt out
+        managers = [m for m in managers if m.prefetch_enabled]
+        if not managers:
+            return 0
         issued = 0
         for rid in iterator.upcoming_rids(depth):
             for mgr in managers:

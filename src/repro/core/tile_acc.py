@@ -22,7 +22,7 @@ One ``TileAcc`` manages the device side of one tileArray:
 
 Deviation from the paper: slot assignment is *associative* with a
 pluggable eviction policy (see :mod:`repro.core.slots`) instead of the
-fixed ``rid % n_slots`` map (available as ``policy="modulo"``), and
+fixed ``rid % n_slots`` map (available as ``eviction="modulo"``), and
 eviction write-backs go through a dedicated D2H queue so the write-back
 and the replacement upload use both copy engines instead of serializing
 on one stream.  :meth:`prefetch` uploads a region speculatively ahead of
@@ -32,10 +32,14 @@ it from the iterator's known traversal order.
 
 from __future__ import annotations
 
-from typing import Sequence
+import contextlib
+import warnings
+from typing import Callable, Sequence
 
 from ..cuda.runtime import CudaRuntime
-from ..errors import TileAccError
+from ..errors import CudaMemoryAllocationError, FaultError, ReproError, TileAccError
+from ..faults import TRANSIENT_ERRORS
+from ..faults.retry import RetryPolicy
 from ..openacc.runtime import AccRuntime
 from ..sim.device import DeviceBuffer
 from ..tida.region import Region
@@ -54,8 +58,19 @@ class TileAcc:
         *,
         n_slots: int | None = None,
         read_only: bool = False,
-        policy: str | EvictionPolicy = "lru",
+        eviction: str | EvictionPolicy | None = None,
+        retry: RetryPolicy | None = None,
+        policy: str | EvictionPolicy | None = None,
     ) -> None:
+        if policy is not None:
+            warnings.warn(
+                "TileAcc(policy=...) is deprecated; use eviction=...",
+                DeprecationWarning, stacklevel=2,
+            )
+            if eviction is None:
+                eviction = policy
+        if eviction is None:
+            eviction = "lru"
         if acc.cuda is not runtime:
             raise TileAccError("AccRuntime must be bound to the same CudaRuntime")
         self.runtime = runtime
@@ -92,8 +107,15 @@ class TileAcc:
         for i in range(n_slots):
             qid = acc.new_auto_queue()
             self.slots.append(DeviceSlot(i, qid, acc.queue(qid)))
-        self.policy = make_policy(policy)
+        self.policy = make_policy(eviction)
         self.pool = SlotPool(self.slots, self.policy, self._resident)
+        #: resilience: transient faults on this field's transfers are
+        #: retried per this policy; ``None`` means fail fast (the raw
+        #: :class:`~repro.errors.CudaError` propagates, pre-PR-3 behaviour)
+        self.retry = retry
+        #: cleared when OOM degradation sacrifices a slot — in degraded
+        #: mode every byte of device memory serves demand traffic
+        self.prefetch_enabled = True
         # dedicated write-back queue: eviction D2H runs here while the
         # replacement H2D uses the slot stream — both copy engines busy
         self._wb_qid = acc.new_auto_queue()
@@ -235,6 +257,105 @@ class TileAcc:
         self._set_bound(slot, EMPTY)
         return wb_end
 
+    # -- resilience (fault retry, degradation, emergency flush) ---------------
+
+    def _with_retry(self, op: str, rid: int, issue: Callable[[], float]) -> float:
+        """Run ``issue`` under the armed retry policy.
+
+        Transient faults re-issue the operation on the same slot stream
+        after a virtual-clock backoff.  Exhaustion flushes every surviving
+        region to the host, then raises :class:`FaultError` carrying the
+        last underlying error as ``__cause__``.
+        """
+        policy = self.retry
+        if policy is None:
+            return issue()
+        m = self.runtime.metrics
+        last: Exception | None = None
+        for attempt in range(1, policy.max_attempts + 1):
+            try:
+                result = issue()
+            except TRANSIENT_ERRORS as exc:
+                last = exc
+                if attempt == policy.max_attempts:
+                    break
+                m.inc("faults.retries")
+                m.inc(f"faults.retries.{self._obs_field}")
+                wait = policy.delay(attempt, key=(self._obs_field, op, rid))
+                self.runtime.trace.mark(
+                    "fault-retry", self.runtime.now,
+                    field=self._obs_field, op=op, region=rid,
+                    attempt=attempt, backoff=wait,
+                )
+                self.runtime.clock.advance(wait)
+                continue
+            if last is not None:
+                m.inc("faults.recovered")
+                m.inc(f"faults.recovered.{self._obs_field}")
+                self.runtime.trace.mark(
+                    "fault-recovered", self.runtime.now,
+                    field=self._obs_field, op=op, region=rid, attempts=attempt,
+                )
+            return result
+        self._flush_surviving()
+        raise FaultError(
+            f"{op} of region {rid} on field {self._obs_field!r} failed after "
+            f"{policy.max_attempts} attempts",
+            op=op, field=self._obs_field, region=rid,
+            attempts=policy.max_attempts,
+        ) from last
+
+    def _flush_surviving(self) -> None:
+        """Emergency download of every device-resident region.
+
+        Runs with injection suspended — the flush that rescues data must
+        not itself be sabotaged — and best-effort: one broken region does
+        not strand the others.
+        """
+        plan = self.runtime.faults
+        ctx = plan.suspended() if plan is not None else contextlib.nullcontext()
+        self.runtime.trace.mark("fault-flush", self.runtime.now, field=self._obs_field)
+        with ctx:
+            for rid in range(self.tile_array.n_regions):
+                try:
+                    self.request_host(rid)
+                except ReproError:
+                    continue
+
+    def _shrink_pool(self, keep: DeviceSlot) -> bool:
+        """Sacrifice one slot to relieve device-memory pressure.
+
+        The victim's occupant is written back, its buffer freed, and the
+        slot removed from the pool; prefetching is disabled for the rest
+        of the run.  Returns False when no slot can be spared.
+        """
+        if len(self.slots) <= 1:
+            return False
+        victim = None
+        for slot in reversed(self.slots):
+            if slot is not keep and slot.buffer is not None:
+                victim = slot
+                break
+        if victim is None:
+            return False
+        plan = self.runtime.faults
+        ctx = plan.suspended() if plan is not None else contextlib.nullcontext()
+        with ctx:
+            if victim.bound != EMPTY:
+                if self._evict(victim):
+                    # the write-back D2H must land before the buffer is freed
+                    self.runtime.stream_synchronize(self._wb_stream)
+            self.runtime.free(victim.buffer)
+        victim.buffer = None
+        self.slots.remove(victim)
+        self.pool.slots.remove(victim)
+        self.prefetch_enabled = False
+        m = self.runtime.metrics
+        m.inc("faults.degraded")
+        m.inc(f"faults.degraded.{self._obs_field}")
+        self._mark("fault-degrade", EMPTY, victim, slots_left=len(self.slots))
+        return True
+
     def _ensure_buffer(self, slot: DeviceSlot, region: Region) -> None:
         shape = region.local_shape
         if slot.buffer is not None and slot.buffer.shape == shape:
@@ -247,9 +368,45 @@ class TileAcc:
             # device memory), the slot must not point at freed memory.
             self.runtime.free(slot.buffer)
             slot.buffer = None
-        slot.buffer = self.runtime.malloc(
-            shape, self.tile_array.dtype, label=f"{self.tile_array.label}.slot{slot.index}"
-        )
+        label = f"{self.tile_array.label}.slot{slot.index}"
+        policy = self.retry
+        if policy is None:
+            slot.buffer = self.runtime.malloc(shape, self.tile_array.dtype, label=label)
+            return
+        m = self.runtime.metrics
+        last: Exception | None = None
+        failures = 0
+        while True:
+            try:
+                slot.buffer = self.runtime.malloc(
+                    shape, self.tile_array.dtype, label=label
+                )
+            except CudaMemoryAllocationError as exc:
+                last = exc
+                if self._shrink_pool(keep=slot):
+                    # a slot was sacrificed; its memory may satisfy us now
+                    continue
+                failures += 1
+                if failures >= policy.max_attempts:
+                    break
+                m.inc("faults.retries")
+                m.inc(f"faults.retries.{self._obs_field}")
+                self.runtime.clock.advance(
+                    policy.delay(failures, key=(self._obs_field, "malloc", slot.index))
+                )
+                continue
+            if last is not None:
+                m.inc("faults.recovered")
+                m.inc(f"faults.recovered.{self._obs_field}")
+            return
+        self._flush_surviving()
+        raise FaultError(
+            f"device allocation for field {self._obs_field!r} failed after "
+            f"{policy.max_attempts} attempts (pool already shrunk to "
+            f"{len(self.slots)} slots)",
+            op="malloc", field=self._obs_field, region=region.rid,
+            attempts=policy.max_attempts,
+        ) from last
 
     def _upload(self, slot: DeviceSlot, rid: int, region: Region, *, label: str) -> float:
         """Evict-if-needed + upload ``rid`` into ``slot`` (shared miss path)."""
@@ -298,7 +455,10 @@ class TileAcc:
         self._m_misses.inc()
         slot = self.pool.place(rid, protect=self._inflight)
         self._mark("cache-miss", rid, slot, occupant=slot.bound)
-        end = self._upload(slot, rid, region, label=f"h2d:{region.label}")
+        end = self._with_retry(
+            "h2d", rid,
+            lambda: self._upload(slot, rid, region, label=f"h2d:{region.label}"),
+        )
         return slot.buffer, end
 
     def prefetch(self, rid: int) -> bool:
@@ -309,6 +469,8 @@ class TileAcc:
         the region is already resident or no slot can take it without
         displacing data the policy knows is needed sooner.
         """
+        if not self.prefetch_enabled:
+            return False
         region = self.tile_array.region(rid)
         if self._location[rid] == DEVICE and self.pool.slot_of(rid) is not None:
             return False
@@ -318,7 +480,10 @@ class TileAcc:
         if slot is None:
             return False
         self._mark("cache-prefetch", rid, slot, occupant=slot.bound)
-        end = self._upload(slot, rid, region, label=f"prefetch:{region.label}")
+        end = self._with_retry(
+            "h2d", rid,
+            lambda: self._upload(slot, rid, region, label=f"prefetch:{region.label}"),
+        )
         self._m_pf_issued.inc()
         self._inflight[rid] = end
         self.policy.note_access(rid)
@@ -351,12 +516,16 @@ class TileAcc:
                 self._mark("writeback-skip", rid, slot, prefetch=True)
                 self._location[rid] = HOST
                 return region
-            end = self.runtime.memcpy_async(
-                region.data, slot.buffer, slot.stream, label=f"d2h:{region.label}"
-            )
-            self.d2h_count += 1
+            def issue() -> float:
+                end = self.runtime.memcpy_async(
+                    region.data, slot.buffer, slot.stream, label=f"d2h:{region.label}"
+                )
+                self.d2h_count += 1
+                self.runtime.stream_synchronize(slot.stream)
+                return end
+
+            end = self._with_retry("d2h", rid, issue)
             self.note_device_op(rid, end)
-            self.runtime.stream_synchronize(slot.stream)
             self._location[rid] = HOST
         return region
 

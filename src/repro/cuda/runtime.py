@@ -25,6 +25,7 @@ host clock (`now`) is the virtual wall-clock the benches measure with.
 from __future__ import annotations
 
 import itertools
+import warnings
 from collections import deque
 from typing import Any, Sequence
 
@@ -34,7 +35,9 @@ from ..config import DEFAULT_MACHINE, MachineSpec, MathModel
 from ..errors import (
     CudaInvalidResourceHandleError,
     CudaInvalidValueError,
+    CudaMemoryAllocationError,
 )
+from ..faults.plan import FaultPlan
 from ..obs.metrics import MetricsRegistry
 from ..sim.device import DeviceBuffer, DeviceMemoryPool
 from ..sim.engine import FifoEngine, HostClock
@@ -66,6 +69,10 @@ class CudaRuntime:
     metrics:
         Optional shared :class:`~repro.obs.metrics.MetricsRegistry`;
         by default each runtime owns one, exposed as ``runtime.metrics``.
+    faults:
+        Optional :class:`~repro.faults.FaultPlan` consulted at every
+        injectable call site (copies, launches, allocations, syncs);
+        also settable later via :meth:`set_fault_plan`.
     """
 
     def __init__(
@@ -78,6 +85,7 @@ class CudaRuntime:
         trace: Trace | None = None,
         metrics: MetricsRegistry | None = None,
         lane_prefix: str = "",
+        faults: FaultPlan | None = None,
     ) -> None:
         self.machine = machine if machine is not None else DEFAULT_MACHINE
         self.functional = bool(functional)
@@ -120,6 +128,40 @@ class CudaRuntime:
         self._streams: dict[int, Stream] = {0: self.default_stream}
         self._next_stream_id = 1
         self._managed_reservations: dict[int, DeviceBuffer] = {}
+        self.faults: FaultPlan | None = None
+        if faults is not None:
+            self.set_fault_plan(faults)
+
+    # -- fault injection ----------------------------------------------------
+
+    def set_fault_plan(self, plan: FaultPlan | None) -> None:
+        """Arm (or disarm, with ``None``) a fault plan on this runtime."""
+        self.faults = plan
+
+    def _inject(self, op: str, label: str) -> float:
+        """Consult the fault plan for operation ``op``.
+
+        Returns extra *hang* seconds to charge (0.0 normally); raises the
+        rule's typed :class:`~repro.errors.CudaError` for error faults —
+        before any engine/stream state was mutated, so a retry can simply
+        re-issue the call.  Every injection is counted and trace-marked.
+        """
+        plan = self.faults
+        if plan is None:
+            return 0.0
+        inj = plan.draw(op, label, self.clock.now)
+        if inj is None:
+            return 0.0
+        self.metrics.inc("faults.injected")
+        self.metrics.inc(f"faults.injected.{op}")
+        self.trace.mark(
+            "fault-inject", self.clock.now,
+            op=op, label=label, kind=inj.kind, rule=inj.rule_index,
+        )
+        if inj.kind == "hang":
+            self.metrics.inc("faults.hang_seconds", inj.hang_seconds)
+            return inj.hang_seconds
+        raise inj.make_error()
 
     # -- host clock -------------------------------------------------------
 
@@ -192,6 +234,20 @@ class CudaRuntime:
     ) -> DeviceBuffer:
         """``cudaMalloc``: allocate device memory."""
         self._api()
+        hang = self._inject("malloc", label)
+        if hang:
+            self.clock.advance(hang)
+        if self.faults is not None:
+            # OOM-spike rules shrink the apparently free memory
+            pressure = self.faults.memory_pressure(self.clock.now)
+            if pressure > 0:
+                nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
+                free = self.pool.free_bytes
+                if nbytes > free - pressure:
+                    raise CudaMemoryAllocationError(
+                        f"out of device memory allocating {nbytes} bytes "
+                        f"({free} free, {pressure} under injected pressure)"
+                    )
         return self.pool.allocate(shape, dtype, functional=self.functional, label=label)
 
     def free(self, buf: DeviceBuffer) -> None:
@@ -199,7 +255,7 @@ class CudaRuntime:
         self._api()
         self.pool.free(buf)
 
-    def malloc_host(
+    def malloc_pinned(
         self,
         shape: int | tuple[int, ...],
         dtype: Any = np.float64,
@@ -213,7 +269,7 @@ class CudaRuntime:
             shape, dtype, pinned=True, functional=self.functional, fill=fill, label=label
         )
 
-    def host_malloc(
+    def malloc_pageable(
         self,
         shape: int | tuple[int, ...],
         dtype: Any = np.float64,
@@ -225,6 +281,22 @@ class CudaRuntime:
         return HostBuffer(
             shape, dtype, pinned=False, functional=self.functional, fill=fill, label=label
         )
+
+    def malloc_host(self, *args: Any, **kwargs: Any) -> HostBuffer:
+        """Deprecated alias for :meth:`malloc_pinned`."""
+        warnings.warn(
+            "CudaRuntime.malloc_host is deprecated; use malloc_pinned",
+            DeprecationWarning, stacklevel=2,
+        )
+        return self.malloc_pinned(*args, **kwargs)
+
+    def host_malloc(self, *args: Any, **kwargs: Any) -> HostBuffer:
+        """Deprecated alias for :meth:`malloc_pageable`."""
+        warnings.warn(
+            "CudaRuntime.host_malloc is deprecated; use malloc_pageable",
+            DeprecationWarning, stacklevel=2,
+        )
+        return self.malloc_pageable(*args, **kwargs)
 
     def free_host(self, buf: HostBuffer) -> None:
         """``cudaFreeHost`` / ``free``."""
@@ -355,8 +427,13 @@ class CudaRuntime:
         self._validate_copy_operands(dst, src)
         direction, host_buf = self._classify_copy(dst, src)
         self._api()
+        op_label = (
+            label or f"{direction}:{getattr(src, 'label', '') or getattr(dst, 'label', '')}"
+        )
+        hang = self._inject(direction, op_label)
         link = self.machine.link
         duration = link.transfer_time(src.nbytes, direction=direction, pinned=host_buf.pinned)
+        duration += hang
         engine = self.h2d_engine if direction == "h2d" else self.d2h_engine
         ready = max(self.now, stream.tail, after)
         start, end = engine.submit(ready, duration)
@@ -370,7 +447,7 @@ class CudaRuntime:
             self._m_d2h_copies.inc()
         self._m_copy_nbytes.observe(src.nbytes)
         self.trace.record(
-            label or f"{direction}:{getattr(src, 'label', '') or getattr(dst, 'label', '')}",
+            op_label,
             direction,
             engine.name,
             start,
@@ -506,6 +583,8 @@ class CudaRuntime:
                 )
 
         self._api()
+        op_label = label or f"kernel:{kernel.name}"
+        hang = self._inject("launch", op_label)
         ready = max(self.now, stream.tail, after)
         if managed:
             # Kepler: the driver migrates touched managed allocations before
@@ -518,14 +597,14 @@ class CudaRuntime:
         body = kernel.duration_on_gpu(
             self.machine, n_cells, tuned_geometry=tuned_geometry, math=math
         )
-        duration = self.machine.gpu.kernel_launch_overhead + body
+        duration = self.machine.gpu.kernel_launch_overhead + body + hang
         start, end = self.compute_engine.submit(ready, duration)
         stream._push(end)
         self._note_queue_op(stream, self.compute_engine, end)
         self._m_launches.inc()
         self._m_kernel_cells.observe(n_cells)
         self.trace.record(
-            label or f"kernel:{kernel.name}",
+            op_label,
             "kernel",
             self.compute_engine.name,
             start,
@@ -544,8 +623,10 @@ class CudaRuntime:
         """``cudaStreamSynchronize``: block the host until the stream drains."""
         self._check_stream(stream)
         self._api()
+        hang = self._inject("sync", f"sync:stream{stream.stream_id}")
         start = self.now
-        end = self._host_stall(stream.tail, stream=stream)
+        target = stream.tail if hang == 0.0 else max(stream.tail, self.now) + hang
+        end = self._host_stall(target, stream=stream)
         if end > start:
             self.trace.record(
                 f"sync:stream{stream.stream_id}", "sync", "host", start, end,
@@ -556,11 +637,14 @@ class CudaRuntime:
     def device_synchronize(self) -> float:
         """``cudaDeviceSynchronize``: block until all device work drains."""
         self._api()
+        hang = self._inject("sync", "sync:device")
         start = self.now
         target = max(
             [self.compute_engine.tail, self.h2d_engine.tail, self.d2h_engine.tail]
             + [s.tail for s in self._streams.values()]
         )
+        if hang:
+            target = max(target, self.now) + hang
         end = self._host_stall(target)
         if end > start:
             self.trace.record("sync:device", "sync", "host", start, end)

@@ -48,6 +48,24 @@ class CudaIllegalAddressError(CudaError):
     """cudaErrorIllegalAddress: kernel touched freed or foreign memory."""
 
 
+class CudaTransferError(CudaError):
+    """A DMA transfer failed in flight (engine fault, link error).
+
+    Real runtimes surface this as ``cudaErrorUnknown``/xid reports on the
+    next synchronizing call; the simulator raises it at the issuing call
+    so fault-injection tests can pin the failure to one transfer.  It is
+    *transient*: re-issuing the same copy may succeed.
+    """
+
+
+class CudaEccUncorrectableError(CudaError):
+    """cudaErrorECCUncorrectable: an uncorrectable ECC error hit a launch.
+
+    Transient from the scheduler's point of view: the kernel did not run
+    (no partial writes), so a re-launch is safe.
+    """
+
+
 # ---------------------------------------------------------------------------
 # OpenACC layer errors
 # ---------------------------------------------------------------------------
@@ -78,3 +96,37 @@ class DecompositionError(TidaError):
 
 class TileAccError(ReproError):
     """Base class for TiDA-acc core errors (slot/cache management, compute)."""
+
+
+# ---------------------------------------------------------------------------
+# Fault-injection / resilience layer errors
+# ---------------------------------------------------------------------------
+
+class FaultPlanError(ReproError):
+    """Invalid fault plan: bad rule fields or an unparsable spec string."""
+
+
+class FaultError(ReproError):
+    """Retry exhaustion in the resilience layer.
+
+    Raised after a :class:`~repro.faults.RetryPolicy` has spent every
+    attempt on a failing operation.  Before raising, the resilience layer
+    flushes all surviving device-resident regions back to the host (with
+    injection suspended), so no data is silently lost.  ``__cause__``
+    carries the last underlying :class:`CudaError`.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        op: str | None = None,
+        field: str | None = None,
+        region: int | None = None,
+        attempts: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.op = op
+        self.field = field
+        self.region = region
+        self.attempts = attempts

@@ -24,6 +24,7 @@ GOOD_WHEN_HIGH = (
     "overlap",
     "bandwidth",
     "utilization",
+    "recovered",
 )
 
 

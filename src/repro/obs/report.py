@@ -8,6 +8,8 @@ carrying ``traceEvents`` and/or a ``metrics`` snapshot (as written by
 
 * per-lane utilization and overlap fractions (the Fig. 3/7 health check);
 * slot-cache statistics per field (hits, misses, evictions, write-backs);
+* fault-injection statistics (injected/retried/recovered/degraded), when
+  a fault plan was armed;
 * the top-N widest pipeline stalls — engine-lane idle gaps, labelled
   with the operation that eventually filled them;
 * counter-track and runtime-metric summaries.
@@ -163,10 +165,48 @@ def cache_table(metrics: dict[str, Any]) -> Table:
     return table
 
 
+def faults_table(metrics: dict[str, Any]) -> Table:
+    """Fault-injection and recovery statistics from ``faults.*`` counters."""
+    table = Table(
+        title="fault injection & recovery",
+        columns=["field", "retries", "recovered", "degraded"],
+    )
+    counters = metrics.get("counters", {})
+    per_field: dict[str, dict[str, float]] = {}
+    totals: dict[str, float] = {}
+    injected_by_op: dict[str, float] = {}
+    for name, value in counters.items():
+        if not name.startswith("faults."):
+            continue
+        parts = name.split(".", 2)
+        stat = parts[1]
+        if len(parts) == 2:
+            totals[stat] = value
+        elif stat == "injected":
+            injected_by_op[parts[2]] = value
+        else:
+            per_field.setdefault(parts[2], {})[stat] = value
+    for fname in sorted(per_field):
+        stats = per_field[fname]
+        table.add_row(
+            fname,
+            int(stats.get("retries", 0.0)),
+            int(stats.get("recovered", 0.0)),
+            int(stats.get("degraded", 0.0)),
+        )
+    if totals.get("injected"):
+        ops = ", ".join(f"{op}={int(v)}" for op, v in sorted(injected_by_op.items()))
+        table.add_note(f"injected = {int(totals['injected'])} ({ops})")
+    if totals.get("hang_seconds"):
+        table.add_note(f"hang time injected = {totals['hang_seconds']:.6g} s")
+    return table
+
+
 def metrics_table(metrics: dict[str, Any]) -> Table:
     table = Table(title="runtime metrics", columns=["metric", "value"])
     for name, value in metrics.get("counters", {}).items():
-        if not name.startswith("cache."):  # cache counters have their own table
+        # cache and fault counters have their own tables
+        if not name.startswith(("cache.", "faults.")):
             table.add_row(name, value)
     for name, g in metrics.get("gauges", {}).items():
         table.add_row(f"{name} (last/max)", f"{g['value']:g}/{g['max']:g}")
@@ -188,6 +228,9 @@ def build_report(
         cache = cache_table(metrics)
         if cache.rows:
             tables.append(cache)
+        faults = faults_table(metrics)
+        if faults.rows or faults.notes:
+            tables.append(faults)
         tables.append(metrics_table(metrics))
     return tables
 

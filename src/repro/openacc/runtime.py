@@ -62,8 +62,8 @@ class AccRuntime:
         if self.flags.managed:
             return self.cuda.malloc_managed(shape, dtype, fill=fill, label=label)
         if self.flags.pinned:
-            return self.cuda.malloc_host(shape, dtype, fill=fill, label=label)
-        return self.cuda.host_malloc(shape, dtype, fill=fill, label=label)
+            return self.cuda.malloc_pinned(shape, dtype, fill=fill, label=label)
+        return self.cuda.malloc_pageable(shape, dtype, fill=fill, label=label)
 
     # -- activity queues -----------------------------------------------------
 

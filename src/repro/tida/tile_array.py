@@ -83,8 +83,8 @@ class TileArray:
         if self.runtime is None:
             return HostBuffer(shape, self.dtype, pinned=self.pinned, fill=fill, label=label)
         if self.pinned:
-            return self.runtime.malloc_host(shape, self.dtype, fill=fill, label=label)
-        return self.runtime.host_malloc(shape, self.dtype, fill=fill, label=label)
+            return self.runtime.malloc_pinned(shape, self.dtype, fill=fill, label=label)
+        return self.runtime.malloc_pageable(shape, self.dtype, fill=fill, label=label)
 
     # -- basic queries -----------------------------------------------------
 

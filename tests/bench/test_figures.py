@@ -136,11 +136,12 @@ class TestFigureFunctions:
 class TestHarness:
     def test_run_all_quick_writes_files(self, tmp_path):
         tables = run_all(tmp_path, quick=True, echo=False)
-        assert len(tables) == 15
+        assert len(tables) == 16
         assert (tmp_path / "fig5.json").exists()
         assert (tmp_path / "fig7.txt").exists()
         assert (tmp_path / "fig8_prefetch.json").exists()
+        assert (tmp_path / "fig9_resilience.json").exists()
         assert (tmp_path / "ablation_a7.json").exists()
         assert (tmp_path / "all_results.md").exists()
         md = (tmp_path / "all_results.md").read_text()
-        assert md.count("###") == 15
+        assert md.count("###") == 16

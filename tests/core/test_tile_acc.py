@@ -18,11 +18,11 @@ from repro.tida.tile_array import TileArray
 
 
 def make_stack(machine, *, n_regions=4, shape=(16,), ghost=0, n_slots=None,
-               device_memory_limit=None, functional=True, policy="lru"):
+               device_memory_limit=None, functional=True, eviction="lru"):
     rt = CudaRuntime(machine, functional=functional, device_memory_limit=device_memory_limit)
     acc = AccRuntime(rt)
     ta = TileArray(shape, n_regions=n_regions, ghost=ghost, runtime=rt, label="f")
-    mgr = TileAcc(rt, acc, ta, n_slots=n_slots, policy=policy)
+    mgr = TileAcc(rt, acc, ta, n_slots=n_slots, eviction=eviction)
     return rt, acc, ta, mgr
 
 
@@ -137,9 +137,9 @@ class TestCacheProtocol:
         assert mgr.d2h_count == 0      # nothing was ever evicted
 
     def test_modulo_policy_keeps_paper_mapping(self, machine):
-        """``policy="modulo"`` restores the paper's fixed direct mapping:
+        """``eviction="modulo"`` restores the paper's fixed direct mapping:
         the 0/2 aliasing pair thrashes even with slot 1 free."""
-        _, _, _, mgr = make_stack(machine, n_slots=2, policy="modulo")
+        _, _, _, mgr = make_stack(machine, n_slots=2, eviction="modulo")
         for _ in range(3):
             mgr.request_device(0)
             mgr.request_device(2)
@@ -300,11 +300,11 @@ class TestCachePropertyBased:
     @given(accesses=_ACCESS_SEQS, n_slots=st.integers(1, 4))
     @settings(max_examples=40, deadline=None)
     def test_random_access_sequences_modulo(self, accesses, n_slots):
-        """``policy="modulo"`` against a naive model of §IV-B.4's fixed
+        """``eviction="modulo"`` against a naive model of §IV-B.4's fixed
         ``rid % n_slots`` cache list (the paper's original mapping)."""
         from repro.config import k40m_pcie3
         rt, acc, ta, mgr = make_stack(k40m_pcie3(), n_regions=4, shape=(16,),
-                                      n_slots=n_slots, policy="modulo")
+                                      n_slots=n_slots, eviction="modulo")
         # model state
         model_loc = {rid: HOST for rid in range(4)}
         model_slot = {s: EMPTY for s in range(n_slots)}

@@ -8,29 +8,29 @@ from repro.errors import CudaInvalidValueError
 
 class TestFunctionalCopies:
     def test_h2d_d2h_roundtrip(self, runtime):
-        host = runtime.malloc_host((8,), fill=3.0)
+        host = runtime.malloc_pinned((8,), fill=3.0)
         dev = runtime.malloc((8,))
         runtime.memcpy(dev, host)
         assert np.all(dev.array == 3.0)
-        host2 = runtime.malloc_host((8,))
+        host2 = runtime.malloc_pinned((8,))
         runtime.memcpy(host2, dev)
         assert np.all(host2.array == 3.0)
 
     def test_reshaping_copy_same_bytes(self, runtime):
-        host = runtime.malloc_host((2, 4), fill=1.0)
+        host = runtime.malloc_pinned((2, 4), fill=1.0)
         dev = runtime.malloc((8,))
         runtime.memcpy(dev, host)
         assert np.all(dev.array == 1.0)
 
     def test_size_mismatch_rejected(self, runtime):
-        host = runtime.malloc_host((8,))
+        host = runtime.malloc_pinned((8,))
         dev = runtime.malloc((9,))
         with pytest.raises(CudaInvalidValueError):
             runtime.memcpy(dev, host)
 
     def test_host_host_copy_rejected(self, runtime):
-        a = runtime.malloc_host((8,))
-        b = runtime.malloc_host((8,))
+        a = runtime.malloc_pinned((8,))
+        b = runtime.malloc_pinned((8,))
         with pytest.raises(CudaInvalidValueError):
             runtime.memcpy(a, b)
 
@@ -41,7 +41,7 @@ class TestFunctionalCopies:
             runtime.memcpy(a, b)
 
     def test_freed_buffer_copy_rejected(self, runtime):
-        host = runtime.malloc_host((8,))
+        host = runtime.malloc_pinned((8,))
         dev = runtime.malloc((8,))
         runtime.free(dev)
         with pytest.raises(CudaInvalidValueError):
@@ -51,7 +51,7 @@ class TestFunctionalCopies:
 class TestTimingSemantics:
     def test_sync_memcpy_blocks_host(self, tiny_runtime):
         rt = tiny_runtime
-        host = rt.malloc_host((100_000,))   # 800 KB
+        host = rt.malloc_pinned((100_000,))   # 800 KB
         dev = rt.malloc((100_000,))
         t0 = rt.now
         rt.memcpy(dev, host)
@@ -60,7 +60,7 @@ class TestTimingSemantics:
     def test_async_pinned_does_not_block_host(self, tiny_runtime):
         rt = tiny_runtime
         s = rt.create_stream()
-        host = rt.malloc_host((100_000,))
+        host = rt.malloc_pinned((100_000,))
         dev = rt.malloc((100_000,))
         t0 = rt.now
         end = rt.memcpy_async(dev, host, s)
@@ -71,7 +71,7 @@ class TestTimingSemantics:
         """cudaMemcpyAsync on pageable memory is synchronous (paper §II-B)."""
         rt = tiny_runtime
         s = rt.create_stream()
-        host = rt.host_malloc((100_000,))
+        host = rt.malloc_pageable((100_000,))
         dev = rt.malloc((100_000,))
         t0 = rt.now
         end = rt.memcpy_async(dev, host, s)
@@ -80,8 +80,8 @@ class TestTimingSemantics:
 
     def test_pageable_slower_than_pinned(self, tiny_runtime):
         rt = tiny_runtime
-        pinned = rt.malloc_host((100_000,))
-        pageable = rt.host_malloc((100_000,))
+        pinned = rt.malloc_pinned((100_000,))
+        pageable = rt.malloc_pageable((100_000,))
         dev = rt.malloc((100_000,))
         t0 = rt.now
         rt.memcpy(dev, pinned)
@@ -95,8 +95,8 @@ class TestTimingSemantics:
         """Dual copy engines: opposite-direction copies overlap."""
         rt = tiny_runtime
         s1, s2 = rt.create_stream(), rt.create_stream()
-        h1 = rt.malloc_host((1_000_000,))
-        h2 = rt.malloc_host((1_000_000,))
+        h1 = rt.malloc_pinned((1_000_000,))
+        h2 = rt.malloc_pinned((1_000_000,))
         d1 = rt.malloc((1_000_000,))
         d2 = rt.malloc((1_000_000,))
         end_up = rt.memcpy_async(d1, h1, s1)
@@ -107,8 +107,8 @@ class TestTimingSemantics:
     def test_same_direction_copies_serialize(self, tiny_runtime):
         rt = tiny_runtime
         s1, s2 = rt.create_stream(), rt.create_stream()
-        h1 = rt.malloc_host((1_000_000,))
-        h2 = rt.malloc_host((1_000_000,))
+        h1 = rt.malloc_pinned((1_000_000,))
+        h2 = rt.malloc_pinned((1_000_000,))
         d1 = rt.malloc((1_000_000,))
         d2 = rt.malloc((1_000_000,))
         end1 = rt.memcpy_async(d1, h1, s1)
@@ -118,7 +118,7 @@ class TestTimingSemantics:
     def test_in_stream_fifo(self, tiny_runtime):
         rt = tiny_runtime
         s = rt.create_stream()
-        host = rt.malloc_host((1_000_000,))
+        host = rt.malloc_pinned((1_000_000,))
         d1 = rt.malloc((1_000_000,))
         d2 = rt.malloc((1_000_000,))
         end1 = rt.memcpy_async(d1, host, s)
@@ -128,14 +128,14 @@ class TestTimingSemantics:
     def test_after_dependency_delays_start(self, tiny_runtime):
         rt = tiny_runtime
         s = rt.create_stream()
-        host = rt.malloc_host((1000,))
+        host = rt.malloc_pinned((1000,))
         dev = rt.malloc((1000,))
         end = rt.memcpy_async(dev, host, s, after=1.0)
         assert end >= 1.0
 
     def test_trace_records_direction_and_bytes(self, tiny_runtime):
         rt = tiny_runtime
-        host = rt.malloc_host((100,), label="x")
+        host = rt.malloc_pinned((100,), label="x")
         dev = rt.malloc((100,))
         rt.memcpy(dev, host)
         events = rt.trace.by_category("h2d")
@@ -146,7 +146,7 @@ class TestTimingSemantics:
         """Paper machine has 10 us PCIe latency: tiny copies are latency-bound."""
         from repro.cuda.runtime import CudaRuntime
         rt = CudaRuntime(machine)
-        host = rt.malloc_host((1,))
+        host = rt.malloc_pinned((1,))
         dev = rt.malloc((1,))
         t0 = rt.now
         rt.memcpy(dev, host)

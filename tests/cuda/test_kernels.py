@@ -148,7 +148,7 @@ class TestLaunch:
         """In-stream FIFO: a kernel issued after an upload sees the data."""
         rt = tiny_runtime
         s = rt.create_stream()
-        host = rt.malloc_host((100_000,), fill=1.0)
+        host = rt.malloc_pinned((100_000,), fill=1.0)
         dev = rt.malloc((100_000,))
         copy_end = rt.memcpy_async(dev, host, s)
         kernel_end = rt.launch(add_one_kernel(), buffers=[dev], stream=s)

@@ -45,24 +45,24 @@ class TestDeviceAlloc:
 
 
 class TestHostAlloc:
-    def test_malloc_host_is_pinned(self, runtime):
-        assert runtime.malloc_host((8,)).pinned
+    def test_malloc_pinned_is_pinned(self, runtime):
+        assert runtime.malloc_pinned((8,)).pinned
 
-    def test_host_malloc_is_pageable(self, runtime):
-        assert not runtime.host_malloc((8,)).pinned
+    def test_malloc_pageable_is_pageable(self, runtime):
+        assert not runtime.malloc_pageable((8,)).pinned
 
     def test_fill(self, runtime):
-        buf = runtime.malloc_host((4,), fill=2.5)
+        buf = runtime.malloc_pinned((4,), fill=2.5)
         assert np.all(buf.array == 2.5)
 
     def test_free_host(self, runtime):
-        buf = runtime.malloc_host((8,))
+        buf = runtime.malloc_pinned((8,))
         runtime.free_host(buf)
         assert buf.freed
 
     def test_host_memory_not_counted_against_device(self, runtime):
         free0, _ = runtime.mem_get_info()
-        runtime.malloc_host((1024,))
+        runtime.malloc_pinned((1024,))
         assert runtime.mem_get_info()[0] == free0
 
 

@@ -39,7 +39,7 @@ class TestSchedulingProperties:
     def test_random_programs_preserve_invariants(self, ops):
         rt = CudaRuntime(k40m_pcie3(), functional=False)
         streams = [rt.create_stream() for _ in range(4)]
-        host = rt.malloc_host((200_000,))
+        host = rt.malloc_pinned((200_000,))
         devs = [rt.malloc((200_000,)) for _ in range(4)]
 
         clock_history = [rt.now]
@@ -94,7 +94,7 @@ class TestSchedulingProperties:
 
         rt_async = CudaRuntime(machine, functional=False)
         streams = [rt_async.create_stream() for _ in sizes]
-        host = rt_async.malloc_host((500_000,))
+        host = rt_async.malloc_pinned((500_000,))
         for s, n in zip(streams, sizes):
             dev = rt_async.malloc((500_000,))
             rt_async.memcpy_async(dev, host, s)
@@ -102,7 +102,7 @@ class TestSchedulingProperties:
         t_async = rt_async.device_synchronize()
 
         rt_sync = CudaRuntime(machine, functional=False)
-        host_s = rt_sync.malloc_host((500_000,))
+        host_s = rt_sync.malloc_pinned((500_000,))
         for n in sizes:
             dev = rt_sync.malloc((500_000,))
             rt_sync.memcpy(dev, host_s)

@@ -51,7 +51,7 @@ class TestStreams:
         rt = tiny_runtime
         s = rt.create_stream()
         dev = rt.malloc((1000,))
-        host = rt.malloc_host((1000,))
+        host = rt.malloc_pinned((1000,))
         end = rt.memcpy_async(dev, host, s)
         rt.destroy_stream(s)
         assert rt.now >= end
@@ -60,7 +60,7 @@ class TestStreams:
         rt = tiny_runtime
         s = rt.create_stream()
         dev = rt.malloc((10000,))
-        host = rt.malloc_host((10000,))
+        host = rt.malloc_pinned((10000,))
         end = rt.memcpy_async(dev, host, s)
         assert rt.now < end  # async: host ran ahead
         rt.stream_synchronize(s)
@@ -70,7 +70,7 @@ class TestStreams:
         rt = tiny_runtime
         s = rt.create_stream()
         dev = rt.malloc((10000,))
-        host = rt.malloc_host((10000,))
+        host = rt.malloc_pinned((10000,))
         rt.memcpy_async(dev, host, s)
         rt.stream_synchronize(s)
         assert any(e.category == "sync" for e in rt.trace)
@@ -79,7 +79,7 @@ class TestStreams:
         rt = tiny_runtime
         s1, s2 = rt.create_stream(), rt.create_stream()
         dev1, dev2 = rt.malloc((5000,)), rt.malloc((5000,))
-        host = rt.malloc_host((5000,))
+        host = rt.malloc_pinned((5000,))
         e1 = rt.memcpy_async(dev1, host, s1)
         e2 = rt.memcpy_async(dev2, host, s2)
         rt.device_synchronize()
@@ -96,7 +96,7 @@ class TestEvents:
         rt = tiny_runtime
         s = rt.create_stream()
         dev = rt.malloc((10000,))
-        host = rt.malloc_host((10000,))
+        host = rt.malloc_pinned((10000,))
         end = rt.memcpy_async(dev, host, s)
         ev = rt.create_event()
         rt.event_record(ev, s)
@@ -111,7 +111,7 @@ class TestEvents:
         rt = tiny_runtime
         s = rt.create_stream()
         dev = rt.malloc((100_000,))
-        host = rt.malloc_host((100_000,))
+        host = rt.malloc_pinned((100_000,))
         e_start = rt.create_event()
         rt.event_record(e_start, s)
         rt.memcpy_async(dev, host, s)  # 800 KB at 1 GB/s = 0.8 ms
@@ -123,7 +123,7 @@ class TestEvents:
         rt = tiny_runtime
         s = rt.create_stream()
         dev = rt.malloc((10000,))
-        host = rt.malloc_host((10000,))
+        host = rt.malloc_pinned((10000,))
         rt.memcpy_async(dev, host, s)
         ev = rt.create_event()
         rt.event_record(ev, s)
@@ -135,13 +135,13 @@ class TestEvents:
         rt = tiny_runtime
         s1, s2 = rt.create_stream(), rt.create_stream()
         dev = rt.malloc((100_000,))
-        host = rt.malloc_host((100_000,))
+        host = rt.malloc_pinned((100_000,))
         end1 = rt.memcpy_async(dev, host, s1)
         ev = rt.create_event()
         rt.event_record(ev, s1)
         rt.stream_wait_event(s2, ev)
         dev2 = rt.malloc((8,))
-        host2 = rt.malloc_host((8,))
+        host2 = rt.malloc_pinned((8,))
         end2 = rt.memcpy_async(host2, dev2, s2)
         # the s2 copy's completion must come after the s1 copy's
         assert end2 > end1

@@ -63,7 +63,7 @@ class TestMigration:
         n = 100_000
         k = inc_kernel()
 
-        pinned_host = rt.malloc_host((n,))
+        pinned_host = rt.malloc_pinned((n,))
         dev = rt.malloc((n,))
         t0 = rt.now
         rt.memcpy(dev, pinned_host)

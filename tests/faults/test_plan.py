@@ -1,0 +1,186 @@
+"""Unit tests for repro.faults: rules, plans, spec strings, retry policies."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import (
+    CudaEccUncorrectableError,
+    CudaMemoryAllocationError,
+    CudaTransferError,
+)
+from repro.faults import (
+    FaultPlan,
+    FaultPlanError,
+    FaultRule,
+    RetryPolicy,
+)
+
+
+class TestFaultRule:
+    def test_defaults_match_everything(self):
+        r = FaultRule()
+        for op in ("h2d", "d2h", "launch", "malloc", "sync"):
+            assert r.matches_op(op)
+        assert r.in_window(0.0)
+        assert r.in_window(1e9)
+
+    def test_copy_group(self):
+        r = FaultRule(op="copy")
+        assert r.matches_op("h2d")
+        assert r.matches_op("d2h")
+        assert not r.matches_op("launch")
+
+    def test_nth_implies_single_fire(self):
+        assert FaultRule(nth=3).max_fires == 1
+
+    def test_default_error_classes_per_op(self):
+        assert FaultRule(op="h2d").error_class("h2d") is CudaTransferError
+        assert FaultRule(op="launch").error_class("launch") is CudaEccUncorrectableError
+        assert FaultRule(op="malloc").error_class("malloc") is CudaMemoryAllocationError
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(op="teleport"),
+        dict(kind="meteor"),
+        dict(nth=0),
+        dict(p=1.5),
+        dict(nth=1, p=0.5),
+        dict(after_t=2.0, until_t=1.0),
+        dict(error="segfault"),
+        dict(kind="hang"),                       # needs hang_seconds > 0
+        dict(kind="pressure"),                   # needs oom_bytes > 0
+        dict(kind="pressure", oom_bytes=1, op="h2d"),
+    ])
+    def test_validation_rejects(self, kwargs):
+        with pytest.raises(FaultPlanError):
+            FaultRule(**kwargs)
+
+
+class TestFaultPlan:
+    def test_nth_fires_exactly_once(self):
+        plan = FaultPlan([FaultRule(op="h2d", nth=3)])
+        fires = [plan.draw("h2d", "h2d:u.r0", 0.0) is not None for _ in range(6)]
+        assert fires == [False, False, True, False, False, False]
+
+    def test_field_substring_match(self):
+        plan = FaultPlan([FaultRule(op="h2d", field="u_old", nth=1)])
+        assert plan.draw("h2d", "h2d:u_new.r0", 0.0) is None
+        assert plan.draw("h2d", "h2d:u_old.r0", 0.0) is not None
+
+    def test_probability_is_seed_deterministic(self):
+        def fires(seed):
+            plan = FaultPlan([FaultRule(op="launch", p=0.3)], seed=seed)
+            return [plan.draw("launch", "k", 0.0) is not None for _ in range(50)]
+
+        assert fires(7) == fires(7)
+        assert fires(7) != fires(8)  # astronomically unlikely to collide
+
+    def test_reset_replays_identically(self):
+        plan = FaultPlan([FaultRule(op="copy", p=0.4)], seed=3)
+        first = [plan.draw("h2d", "x", 0.0) is not None for _ in range(30)]
+        plan.reset()
+        second = [plan.draw("h2d", "x", 0.0) is not None for _ in range(30)]
+        assert first == second
+
+    def test_time_window(self):
+        plan = FaultPlan([FaultRule(op="sync", after_t=1.0, until_t=2.0)])
+        assert plan.draw("sync", "s", 0.5) is None
+        assert plan.draw("sync", "s", 1.0) is not None
+        assert plan.draw("sync", "s", 2.0) is None
+
+    def test_suspended_scope_fires_nothing(self):
+        plan = FaultPlan([FaultRule(op="h2d")])
+        with plan.suspended():
+            assert plan.draw("h2d", "x", 0.0) is None
+            assert plan.memory_pressure(0.0) == 0
+        assert plan.draw("h2d", "x", 0.0) is not None
+
+    def test_memory_pressure_sums_active_rules(self):
+        plan = FaultPlan([
+            FaultRule(op="malloc", kind="pressure", oom_bytes=100),
+            FaultRule(op="malloc", kind="pressure", oom_bytes=50, after_t=1.0),
+        ])
+        assert plan.memory_pressure(0.0) == 100
+        assert plan.memory_pressure(1.5) == 150
+
+    def test_first_matching_rule_wins(self):
+        plan = FaultPlan([
+            FaultRule(op="h2d", error="invalid"),
+            FaultRule(op="h2d", error="transfer"),
+        ])
+        inj = plan.draw("h2d", "x", 0.0)
+        assert inj is not None and inj.rule_index == 0
+
+    def test_rejects_non_rules(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(["h2d:nth=1"])  # type: ignore[list-item]
+
+
+class TestFromSpec:
+    def test_parses_the_docstring_example(self):
+        plan = FaultPlan.from_spec(
+            "h2d:field=u,nth=3; launch:p=0.01; malloc:oom=1048576,after=0.5; "
+            "sync:hang=0.002,nth=1; seed=42"
+        )
+        assert plan.seed == 42
+        r_h2d, r_launch, r_oom, r_hang = plan.rules
+        assert (r_h2d.op, r_h2d.field, r_h2d.nth) == ("h2d", "u", 3)
+        assert (r_launch.op, r_launch.p) == ("launch", 0.01)
+        assert (r_oom.kind, r_oom.oom_bytes, r_oom.after_t) == ("pressure", 1048576, 0.5)
+        assert (r_hang.kind, r_hang.hang_seconds, r_hang.nth) == ("hang", 0.002, 1)
+
+    def test_empty_clauses_ignored(self):
+        plan = FaultPlan.from_spec(" ; h2d:nth=1 ; ")
+        assert len(plan.rules) == 1
+
+    @pytest.mark.parametrize("spec", [
+        "h2d:nth=three",
+        "h2d:wat=1",
+        "seed=x",
+        "h2d:nth",
+    ])
+    def test_bad_specs_raise(self, spec):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_spec(spec)
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(FaultPlanError):
+            RetryPolicy(0)
+        with pytest.raises(FaultPlanError):
+            RetryPolicy(backoff=-1.0)
+        with pytest.raises(FaultPlanError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(FaultPlanError):
+            RetryPolicy(jitter=2.0)
+        with pytest.raises(FaultPlanError):
+            RetryPolicy().delay(0)
+
+    def test_exponential_growth_and_cap(self):
+        p = RetryPolicy(backoff=1e-3, multiplier=2.0, max_backoff=3e-3, jitter=0.0)
+        assert p.delay(1) == pytest.approx(1e-3)
+        assert p.delay(2) == pytest.approx(2e-3)
+        assert p.delay(3) == pytest.approx(3e-3)   # capped
+        assert p.delay(4) == pytest.approx(3e-3)
+
+    def test_jitter_is_bounded_and_deterministic(self):
+        p = RetryPolicy(backoff=1e-3, jitter=0.25, jitter_seed=9)
+        d1 = p.delay(1, key=("u", "h2d", 0))
+        d2 = p.delay(1, key=("u", "h2d", 0))
+        assert d1 == d2                             # same key -> same jitter
+        assert 1e-3 <= d1 <= 1e-3 * 1.25
+        other = p.delay(1, key=("u", "h2d", 1))
+        assert other != d1                          # independent chains differ
+
+    def test_jitter_seed_changes_schedule(self):
+        a = RetryPolicy(jitter_seed=1).delay(2, key=("f", "d2h", 3))
+        b = RetryPolicy(jitter_seed=2).delay(2, key=("f", "d2h", 3))
+        assert a != b
+
+    def test_backoff_sequence_is_finite(self):
+        p = RetryPolicy(max_attempts=6)
+        total = sum(p.delay(i) for i in range(1, 6))
+        assert math.isfinite(total) and total > 0

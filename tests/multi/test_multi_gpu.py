@@ -72,7 +72,7 @@ class TestMultiGpuRuntime:
     def test_synchronize_all(self, machine):
         mgr = MultiGpuRuntime(machine, 2)
         src = mgr.device(0).malloc((100_000,))
-        host = mgr.device(0).malloc_host((100_000,))
+        host = mgr.device(0).malloc_pinned((100_000,))
         end = mgr.device(0).memcpy_async(src, host, mgr.device(0).create_stream())
         mgr.synchronize_all()
         assert mgr.now >= end

@@ -68,7 +68,7 @@ def acc(machine):
 
 class TestPresentTable:
     def test_insert_lookup(self, acc):
-        host = acc.cuda.malloc_host((4,))
+        host = acc.cuda.malloc_pinned((4,))
         dev = acc.cuda.malloc((4,))
         table = PresentTable()
         table.insert(host, dev, copyout_on_delete=False)
@@ -82,7 +82,7 @@ class TestPresentTable:
             table.device_of(HostBuffer(4))
 
     def test_double_insert(self, acc):
-        host = acc.cuda.malloc_host((4,))
+        host = acc.cuda.malloc_pinned((4,))
         dev = acc.cuda.malloc((4,))
         table = PresentTable()
         table.insert(host, dev, copyout_on_delete=False)
@@ -90,7 +90,7 @@ class TestPresentTable:
             table.insert(host, dev, copyout_on_delete=False)
 
     def test_refcount(self, acc):
-        host = acc.cuda.malloc_host((4,))
+        host = acc.cuda.malloc_pinned((4,))
         dev = acc.cuda.malloc((4,))
         table = PresentTable()
         table.insert(host, dev, copyout_on_delete=False)
@@ -101,7 +101,7 @@ class TestPresentTable:
 
 class TestDataRegions:
     def test_copyin_copies_and_frees(self, acc):
-        host = acc.cuda.malloc_host((8,), fill=3.0)
+        host = acc.cuda.malloc_pinned((8,), fill=3.0)
         free0 = acc.cuda.mem_get_info()[0]
         with acc.data(copyin=[host]):
             assert acc.present.is_present(host)
@@ -111,19 +111,19 @@ class TestDataRegions:
         assert acc.cuda.mem_get_info()[0] == free0
 
     def test_copy_copies_back(self, acc):
-        host = acc.cuda.malloc_host((8,), fill=1.0)
+        host = acc.cuda.malloc_pinned((8,), fill=1.0)
         with acc.data(copy=[host]):
             acc.present.device_of(host).array[...] = 9.0
         assert np.all(host.array == 9.0)
 
     def test_copyin_does_not_copy_back(self, acc):
-        host = acc.cuda.malloc_host((8,), fill=1.0)
+        host = acc.cuda.malloc_pinned((8,), fill=1.0)
         with acc.data(copyin=[host]):
             acc.present.device_of(host).array[...] = 9.0
         assert np.all(host.array == 1.0)
 
     def test_copyout_allocates_uninitialized_then_copies_back(self, acc):
-        host = acc.cuda.malloc_host((8,), fill=5.0)
+        host = acc.cuda.malloc_pinned((8,), fill=5.0)
         with acc.data(copyout=[host]):
             dev = acc.present.device_of(host)
             assert np.all(dev.array == 0.0)  # create: no copyin
@@ -131,14 +131,14 @@ class TestDataRegions:
         assert np.all(host.array == 2.0)
 
     def test_create_no_copies(self, acc):
-        host = acc.cuda.malloc_host((8,), fill=5.0)
+        host = acc.cuda.malloc_pinned((8,), fill=5.0)
         with acc.data(create=[host]):
             acc.present.device_of(host).array[...] = 2.0
         assert np.all(host.array == 5.0)
         assert len(acc.cuda.trace.by_category("h2d", "d2h")) == 0
 
     def test_nested_regions_no_recopy(self, acc):
-        host = acc.cuda.malloc_host((8,), fill=1.0)
+        host = acc.cuda.malloc_pinned((8,), fill=1.0)
         with acc.data(copyin=[host]):
             n_transfers = len(acc.cuda.trace.by_category("h2d"))
             with acc.data(copyin=[host]):
@@ -147,7 +147,7 @@ class TestDataRegions:
         assert not acc.present.is_present(host)
 
     def test_present_clause_checks(self, acc):
-        host = acc.cuda.malloc_host((8,))
+        host = acc.cuda.malloc_pinned((8,))
         with pytest.raises(AccPresentError):
             with acc.data(present=[host]):
                 pass  # pragma: no cover
@@ -156,7 +156,7 @@ class TestDataRegions:
                 pass
 
     def test_enter_exit_data(self, acc):
-        host = acc.cuda.malloc_host((8,), fill=4.0)
+        host = acc.cuda.malloc_pinned((8,), fill=4.0)
         acc.enter_data(copyin=[host])
         assert acc.present.is_present(host)
         acc.present.device_of(host).array[...] = 7.0
@@ -165,14 +165,14 @@ class TestDataRegions:
         assert not acc.present.is_present(host)
 
     def test_exit_data_delete_discards(self, acc):
-        host = acc.cuda.malloc_host((8,), fill=4.0)
+        host = acc.cuda.malloc_pinned((8,), fill=4.0)
         acc.enter_data(copyin=[host])
         acc.present.device_of(host).array[...] = 7.0
         acc.exit_data(delete=[host])
         assert np.all(host.array == 4.0)
 
     def test_update_host_device(self, acc):
-        host = acc.cuda.malloc_host((8,), fill=1.0)
+        host = acc.cuda.malloc_pinned((8,), fill=1.0)
         acc.enter_data(copyin=[host])
         host.array[...] = 5.0
         acc.update_device(host)
@@ -183,7 +183,7 @@ class TestDataRegions:
         acc.exit_data(delete=[host])
 
     def test_update_nonpresent_raises(self, acc):
-        host = acc.cuda.malloc_host((8,))
+        host = acc.cuda.malloc_pinned((8,))
         with pytest.raises(AccError):
             acc.update_host(host)
 

@@ -55,7 +55,7 @@ class TestQueues:
         acc = tiny_acc
         rt = acc.cuda
         dev = rt.malloc((100_000,))
-        host = rt.malloc_host((100_000,))
+        host = rt.malloc_pinned((100_000,))
         end = rt.memcpy_async(dev, host, acc.queue(1))
         acc.wait()
         assert rt.now >= end
@@ -64,7 +64,7 @@ class TestQueues:
         acc = tiny_acc
         rt = acc.cuda
         dev = rt.malloc((100_000,))
-        host = rt.malloc_host((100_000,))
+        host = rt.malloc_pinned((100_000,))
         end = rt.memcpy_async(dev, host, acc.queue(1))
         acc.wait(1)
         assert rt.now >= end
@@ -73,7 +73,7 @@ class TestQueues:
 class TestParallelLoopDataPaths:
     def test_implicit_copy_when_not_present(self, acc):
         """No data region: the compiler wraps the kernel in copyin+copyout."""
-        host = acc.cuda.malloc_host((8,), fill=1.0)
+        host = acc.cuda.malloc_pinned((8,), fill=1.0)
         acc.parallel_loop(inc_kernel(), arrays=[host], n_cells=8)
         assert np.all(host.array == 2.0)   # copied back
         assert len(acc.cuda.trace.by_category("h2d")) == 1
@@ -81,7 +81,7 @@ class TestParallelLoopDataPaths:
         assert not acc.present.is_present(host)
 
     def test_present_path_no_copies(self, acc):
-        host = acc.cuda.malloc_host((8,), fill=1.0)
+        host = acc.cuda.malloc_pinned((8,), fill=1.0)
         with acc.data(copy=[host]):
             n_h2d = len(acc.cuda.trace.by_category("h2d"))
             acc.parallel_loop(inc_kernel(), arrays=[host], n_cells=8)
@@ -96,7 +96,7 @@ class TestParallelLoopDataPaths:
         assert len(acc.cuda.trace.by_category("h2d", "d2h")) == 0
 
     def test_deviceptr_clause_requires_device_buffer(self, acc):
-        host = acc.cuda.malloc_host((8,))
+        host = acc.cuda.malloc_pinned((8,))
         with pytest.raises(AccError):
             acc.parallel_loop(inc_kernel(), deviceptr=[host], n_cells=8)
 
