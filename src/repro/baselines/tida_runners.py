@@ -39,19 +39,24 @@ def run_tida_heat(
     eviction: str = "lru",
     faults: FaultPlan | None = None,
     retry: RetryPolicy | None = None,
+    check: str | bool | None = None,
+    order: str = "sequential",
+    order_seed: int | None = None,
 ) -> BaselineResult:
     """TiDA-acc heat solver: the Fig. 5 configuration.
 
     Region transfers pipeline across per-slot streams; ghost cells are
     exchanged with the hybrid CPU/GPU updater each step.  ``faults`` arms
     a fault plan on the runtime and ``retry`` a recovery policy — the
-    resilience benchmark (Fig. 9) drives both.
+    resilience benchmark (Fig. 9) drives both.  ``check`` arms the hazard
+    checker (see :mod:`repro.check`); ``order``/``order_seed`` control the
+    tile-visit order (the schedule-exploration harness shuffles it).
     """
     machine = machine if machine is not None else DEFAULT_MACHINE
     bc = bc if bc is not None else Neumann()
     lib = TidaAcc(machine, functional=functional, device_memory_limit=device_memory_limit,
                   prefetch_depth=prefetch_depth, eviction=eviction,
-                  faults=faults, retry=retry)
+                  faults=faults, retry=retry, check=check)
     kernel = heat_kernel(len(shape))
     lib.add_array("u_old", shape, n_regions=n_regions, ghost=1, n_slots=n_slots)
     lib.add_array("u_new", shape, n_regions=n_regions, ghost=1, n_slots=n_slots)
@@ -63,7 +68,9 @@ def run_tida_heat(
     t0 = lib.now
     for _ in range(steps):
         lib.fill_boundary("u_old", bc)
-        it = lib.iterator("u_new", "u_old", tile_shape=tile_shape).reset(gpu=gpu)
+        it = lib.iterator(
+            "u_new", "u_old", tile_shape=tile_shape, order=order, seed=order_seed
+        ).reset(gpu=gpu)
         while it.is_valid():
             lib.compute(it, kernel, params={"coef": coef})
             it.next()
@@ -105,17 +112,22 @@ def run_tida_compute(
     eviction: str = "lru",
     faults: FaultPlan | None = None,
     retry: RetryPolicy | None = None,
+    check: str | bool | None = None,
+    order: str = "sequential",
+    order_seed: int | None = None,
 ) -> BaselineResult:
     """TiDA-acc compute-intensive runner: the Figs. 6-8 configurations.
 
     Single in-place field, no ghosts — with a device-memory limit the
     per-slot streams turn every step into the Fig. 7 pipeline (eviction
-    download, upload, kernel — all overlapped across slots).
+    download, upload, kernel — all overlapped across slots).  ``check``
+    arms the hazard checker; ``order``/``order_seed`` control the
+    tile-visit order (the schedule-exploration harness shuffles it).
     """
     machine = machine if machine is not None else DEFAULT_MACHINE
     lib = TidaAcc(machine, functional=functional, device_memory_limit=device_memory_limit,
                   prefetch_depth=prefetch_depth, eviction=eviction,
-                  faults=faults, retry=retry)
+                  faults=faults, retry=retry, check=check)
     kernel = compute_intensive_kernel(kernel_iteration)
     lib.add_array("data", shape, n_regions=n_regions, ghost=0, n_slots=n_slots)
     if functional:
@@ -124,7 +136,7 @@ def run_tida_compute(
 
     t0 = lib.now
     for _ in range(steps):
-        it = lib.iterator("data").reset(gpu=gpu)
+        it = lib.iterator("data", order=order, seed=order_seed).reset(gpu=gpu)
         while it.is_valid():
             lib.compute(it, kernel, params={"kernel_iteration": kernel_iteration})
             it.next()

@@ -30,15 +30,44 @@ def run_all(
     echo: bool = True,
     metrics_out: Path | None = None,
     faults_spec: str | None = None,
+    check: bool = False,
 ) -> list[Table]:
     """Execute every experiment; returns the tables in paper order.
 
     ``metrics_out`` writes a run manifest (``{"metrics": ...}``) merging
     the counters of every runtime the experiments created — the input
     format of ``python -m repro.obs.report`` and its ``--compare`` gate.
+
+    ``check=True`` arms the strict hazard checker on every runtime the
+    experiments create (see :mod:`repro.check`): any racy device-buffer
+    access raises :class:`~repro.errors.HazardError` on the spot, and a
+    hazard summary is printed at the end — the CI conformance leg.
     """
-    if metrics_out is not None:
+    if check:
+        from ..check import set_default_mode
+
+        set_default_mode("strict")
+    if metrics_out is not None or check:
         obs_metrics.start_collection()
+    try:
+        return _run_figures(
+            out_dir, quick=quick, echo=echo, metrics_out=metrics_out,
+            faults_spec=faults_spec, check=check,
+        )
+    finally:
+        if check:
+            set_default_mode(None)
+
+
+def _run_figures(
+    out_dir: Path,
+    *,
+    quick: bool,
+    echo: bool,
+    metrics_out: Path | None,
+    faults_spec: str | None,
+    check: bool,
+) -> list[Table]:
     shape3 = (128, 128, 128) if quick else (512, 512, 512)
     shape_f1 = (96, 96, 96) if quick else (384, 384, 384)
     steps_f1 = 10 if quick else 100
@@ -100,15 +129,25 @@ def run_all(
 
     md = "\n\n".join(t.to_markdown() for t in tables)
     (out_dir / "all_results.md").write_text(md + "\n")
-    if metrics_out is not None:
+    if metrics_out is not None or check:
         snapshot = obs_metrics.collect()
-        metrics_out.parent.mkdir(parents=True, exist_ok=True)
-        metrics_out.write_text(json.dumps(
-            {"schema": "repro-run-manifest/1", "metrics": snapshot}, indent=2
-        ))
-        if echo:
-            n = len(snapshot["counters"])
-            print(f"wrote {n} merged counters to {metrics_out}")
+        if metrics_out is not None:
+            metrics_out.parent.mkdir(parents=True, exist_ok=True)
+            metrics_out.write_text(json.dumps(
+                {"schema": "repro-run-manifest/1", "metrics": snapshot}, indent=2
+            ))
+            if echo:
+                n = len(snapshot["counters"])
+                print(f"wrote {n} merged counters to {metrics_out}")
+        if check:
+            counters = snapshot["counters"]
+            ops = int(counters.get("check.ops", 0))
+            racy = int(counters.get("check.hazards.racy", 0))
+            luck = int(counters.get("check.hazards.fifo_luck", 0))
+            print(
+                f"\nstrict hazard check: {ops} device ops, "
+                f"{racy} racy, {luck} fifo-luck warning(s)"
+            )
     if echo:
         print(f"\nwrote {len(tables)} tables to {out_dir} in {time.time() - t0:.1f}s")
     return tables
@@ -129,6 +168,11 @@ def main(argv: list[str] | None = None) -> int:
              "'h2d:p=0.02; launch:p=0.01; seed=7' "
              "(default: sweep built-in fault rates)",
     )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="run every experiment under the strict hazard checker "
+             "(racy device-buffer accesses abort the run; see repro.check)",
+    )
     args = parser.parse_args(argv)
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -137,6 +181,7 @@ def main(argv: list[str] | None = None) -> int:
         quick=args.quick,
         metrics_out=Path(args.metrics_out) if args.metrics_out else None,
         faults_spec=args.faults,
+        check=args.check,
     )
     return 0
 

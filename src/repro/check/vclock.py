@@ -1,0 +1,69 @@
+"""Vector clocks over dynamically discovered timelines.
+
+Timelines are hashable keys — ``("stream", runtime_id, stream_id)``,
+``("host",)``, ``("engine", name)`` — so one clock spans every stream of
+every device plus the host thread.  Ticks are assigned by the checker
+(one global counter per timeline); the clock itself only stores and
+merges them.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+Timeline = Hashable
+
+
+class VectorClock:
+    """A mapping ``timeline -> last-seen tick`` with join/covers."""
+
+    __slots__ = ("_c",)
+
+    def __init__(self, clocks: dict[Timeline, int] | None = None) -> None:
+        self._c: dict[Timeline, int] = dict(clocks) if clocks else {}
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self._c)
+
+    def get(self, tid: Timeline) -> int:
+        return self._c.get(tid, 0)
+
+    def set(self, tid: Timeline, tick: int) -> None:
+        if tick > self._c.get(tid, 0):
+            self._c[tid] = tick
+
+    def join(self, other: "VectorClock | None") -> "VectorClock":
+        """Pointwise maximum, in place; returns self for chaining."""
+        if other is not None:
+            c = self._c
+            for tid, tick in other._c.items():
+                if tick > c.get(tid, 0):
+                    c[tid] = tick
+        return self
+
+    def covers(self, tid: Timeline, tick: int) -> bool:
+        """True when this clock has seen ``tid`` up to (and incl.) ``tick``."""
+        return self._c.get(tid, 0) >= tick
+
+    def covers_any(self, epochs: Iterable[tuple[Timeline, int]]) -> bool:
+        """True when any of an event's (timeline, tick) epochs is covered.
+
+        An event that ticked several timelines (a peer copy ticks both
+        devices' streams) is one event: seeing it on either timeline means
+        it happened-before the observer.
+        """
+        c = self._c
+        return any(c.get(tid, 0) >= tick for tid, tick in epochs)
+
+    def __len__(self) -> int:
+        return len(self._c)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        return self._c == other._c
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{tid}:{tick}" for tid, tick in sorted(
+            self._c.items(), key=repr))
+        return f"VC({inner})"

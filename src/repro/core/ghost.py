@@ -115,14 +115,19 @@ def fill_boundary_hybrid(
             metrics.inc("ghost.host_fallback_bytes", nb)
             continue
 
-        dst_buf, dst_ready = mgr.request_device(region.rid)
+        dst_buf, _dst_ready = mgr.request_device(region.rid)
         qid = mgr.queue_id_for(region.rid)
         for src, src_box, dst_box in pairs:
-            src_buf, src_ready = mgr.request_device(src.rid)
+            src_buf, _src_ready = mgr.request_device(src.rid)
             # host computes this face's index sets (Fig. 4's CPU lane) ...
             _host_index(f"ghost-idx:{region.label}", dst_box.size)
             dst_slices = region.local_slices(dst_box)
             src_slices = src.local_slices(src_box)
+            # both regions' individual dep times (not their max): the
+            # hazard checker resolves each component to an ordering edge
+            after = (
+                mgr.device_ready_deps(region.rid) + mgr.device_ready_deps(src.rid)
+            )
             # ... and queues the copy kernel; the next face's index
             # computation overlaps with it
             end = lib._launch_with_retry(
@@ -135,15 +140,14 @@ def fill_boundary_hybrid(
                     loop_dims=ta.domain.ndim,
                     async_=qid,
                     vector_length=lib.vector_length,
-                    after=max(dst_ready, src_ready),
+                    after=after,
                     params={"dst_slices": dst_slices, "src_slices": src_slices},
                     label=f"ghost:{region.label}<-{src.label}",
                 ),
             )
             _note_kernel(end)
-            mgr.note_device_op(region.rid, end)
-            mgr.note_device_op(src.rid, end)
-            dst_ready = max(dst_ready, end)
+            mgr.note_device_op(region.rid, end, covers=True)
+            mgr.note_device_op(src.rid, end, covers=True)
             if safe and src.rid != region.rid:
                 src_stream = mgr.slot_for(src.rid).stream
                 dst_stream = mgr.slot_for(region.rid).stream
@@ -177,14 +181,13 @@ def fill_boundary_hybrid(
                         n_cells=total_cells,
                         async_=qid,
                         vector_length=lib.vector_length,
-                        after=dst_ready,
+                        after=mgr.device_ready_deps(region.rid),
                         params={"ops": tuple(ops)},
                         label=f"bc-faces:{region.label}",
                     ),
                 )
                 _note_kernel(end)
-                mgr.note_device_op(region.rid, end)
-                dst_ready = max(dst_ready, end)
+                mgr.note_device_op(region.rid, end, covers=True)
 
     if host_bytes:
         duration = 2 * host_bytes / machine.cpu.mem_bandwidth

@@ -64,10 +64,17 @@ class TidaAcc:
         eviction: str | EvictionPolicy = "lru",
         retry: RetryPolicy | None = None,
         faults: FaultPlan | None = None,
+        check: str | bool | None = None,
     ) -> None:
         if runtime is None:
             runtime = CudaRuntime(
-                machine, functional=functional, device_memory_limit=device_memory_limit
+                machine, functional=functional,
+                device_memory_limit=device_memory_limit, check=check,
+            )
+        elif check is not None:
+            from ..check.hazards import resolve_checker
+            runtime.checker = resolve_checker(
+                check, trace=runtime.trace, metrics=runtime.metrics
             )
         self.runtime = runtime
         if faults is not None:
@@ -88,6 +95,11 @@ class TidaAcc:
         self._fields: dict[str, TileArray] = {}
         self._managers: dict[str, TileAcc] = {}
         self._names_by_array: dict[int, str] = {}
+
+    @property
+    def checker(self):
+        """The runtime's :class:`~repro.check.hazards.HazardChecker` (or None)."""
+        return self.runtime.checker
 
     # -- field management -----------------------------------------------------
 
@@ -336,11 +348,13 @@ class TidaAcc:
         # any placement decision for this region is made
         self._prefetcher.feed_schedule(managers, iterator)
         buffers = []
-        ready = 0.0
+        ready: list[float] = []
         for mgr in managers:
-            buf, t_ready = mgr.request_device(rid)
+            buf, _t_ready = mgr.request_device(rid)
             buffers.append(buf)
-            ready = max(ready, t_ready)
+            # individual dep times, not their max: the checker resolves
+            # each component to an ordering edge (see device_ready_deps)
+            ready.extend(mgr.device_ready_deps(rid))
         qid = managers[0].queue_id_for(rid)
         end = self._launch_with_retry(
             kernel.name, rid,
@@ -352,13 +366,13 @@ class TidaAcc:
                 loop_dims=ndim,
                 async_=qid,
                 vector_length=self.vector_length,
-                after=ready,
+                after=tuple(ready),
                 params={"lo": lo, "hi": hi, **params},
                 label=f"compute:{kernel.name}:r{rid}",
             ),
         )
         for mgr in managers:
-            mgr.note_device_op(rid, end)
+            mgr.note_device_op(rid, end, covers=True)
         # with the kernel queued, upload the next regions of the sweep so
         # their transfers hide behind it (no-op for unknown schedules)
         depth = self._prefetcher.resolve_depth(iterator, prefetch_depth)
@@ -448,15 +462,15 @@ class TidaAcc:
         for mgr in managers:
             mgr.set_schedule(range(first.n_regions))
         last_stream = None
-        kernels_done = 0.0
+        kernel_ends: list[float] = []
         values: list[float] = []
         for rid in range(first.n_regions):
             buffers = []
-            ready = 0.0
+            ready: list[float] = []
             for mgr in managers:
-                buf, t_ready = mgr.request_device(rid)
+                buf, _t_ready = mgr.request_device(rid)
                 buffers.append(buf)
-                ready = max(ready, t_ready)
+                ready.extend(mgr.device_ready_deps(rid))
             region = first.region(rid)
             lo, hi = region.local_bounds(region.box)
             qid = managers[0].queue_id_for(rid)
@@ -470,28 +484,27 @@ class TidaAcc:
                     loop_dims=region.ndim,
                     async_=qid,
                     vector_length=self.vector_length,
-                    after=ready,
+                    after=tuple(ready),
                     params={"lo": lo, "hi": hi},
                     label=f"reduce:{spec.name}:r{rid}",
                 ),
             )
             for mgr in managers:
-                mgr.note_device_op(rid, end)
+                mgr.note_device_op(rid, end, covers=True)
             last_stream = managers[0].slot_for(rid).stream
-            kernels_done = max(kernels_done, end)
+            kernel_ends.append(end)
             if self.runtime.functional:
                 partial = spec.body(*[b.array for b in buffers], lo=lo, hi=hi, **params)
                 partials_dev.array[rid] = partial
                 values.append(partial)
-        # one batched download of all partials after the last kernel.  The
-        # dependency is the max *kernel* completion time: each kernel's
-        # ``after=ready`` already folds in every involved field's uploads,
-        # so this covers all managers — not just names[0]'s streams (which
-        # would ignore the other fields' transfer queues).
+        # one batched download of all partials after every kernel.  Each
+        # kernel's ``after=ready`` already folds in every involved field's
+        # uploads, so this covers all managers — not just names[0]'s
+        # streams (which would ignore the other fields' transfer queues).
         self.runtime.memcpy_async(
             partials_host, partials_dev,
             last_stream if last_stream is not None else self.runtime.default_stream,
-            after=kernels_done,
+            after=tuple(kernel_ends),
             label=f"d2h:partials:{spec.name}",
         )
         self.runtime.stream_synchronize(

@@ -122,6 +122,17 @@ class TileAcc:
         self._wb_stream = acc.queue(self._wb_qid)
         self._location: list[str] = [HOST] * n_regions
         self._ready: list[float] = [0.0] * n_regions
+        # per-region completion times of the individual device ops still
+        # "live" for ordering purposes (see device_ready_deps); _ready
+        # keeps the max-collapsed view for cheap scalar queries
+        self._ready_deps: list[tuple[float, ...]] = [()] * n_regions
+        # slot index -> completion times the *next* upload into that slot
+        # must wait for (eviction write-back, or — when the occupant was
+        # dropped without write-back — its outstanding readers).  Never
+        # cleared on consumption: a faulted upload re-issued by the retry
+        # policy must see the same barrier, and stale entries are covered
+        # by the later upload they already ordered.
+        self._slot_after: dict[int, tuple[float, ...]] = {}
         # rid -> completion time of an unconsumed speculative upload
         self._inflight: dict[int, float] = {}
         self.h2d_count = 0
@@ -201,9 +212,35 @@ class TileAcc:
         """Virtual time at which region ``rid``'s device data is valid."""
         return self._ready[rid]
 
-    def note_device_op(self, rid: int, end: float) -> None:
+    def device_ready_deps(self, rid: int) -> tuple[float, ...]:
+        """The individual op completion times behind :meth:`device_ready`.
+
+        Callers that queue a dependent operation should pass this tuple to
+        ``after=`` instead of the max-collapsed :meth:`device_ready`: the
+        effective wait is identical (the runtime takes the max), but the
+        hazard checker can then resolve *every* component to the operation
+        that produced it — a single collapsed float only proves an edge to
+        the latest op, leaving the others "ordered by luck".
+        """
+        return self._ready_deps[rid]
+
+    def _ready_after(self, rid: int) -> tuple[float, ...]:
+        return self._ready_deps[rid]
+
+    def note_device_op(self, rid: int, end: float, *, covers: bool = False) -> None:
         """Record that a device operation touching ``rid`` completes at ``end``
-        (cross-stream consumers use this as a readiness dependency)."""
+        (cross-stream consumers use this as a readiness dependency).
+
+        ``covers=True`` asserts the recorded op was itself ordered after
+        every dependency currently in :meth:`device_ready_deps` (its
+        ``after=`` included them), so the dep list collapses to just
+        ``end`` instead of growing — this is what keeps the list bounded
+        across a long run.
+        """
+        if covers:
+            self._ready_deps[rid] = (end,)
+        elif end not in self._ready_deps[rid]:
+            self._ready_deps[rid] = self._ready_deps[rid] + (end,)
         if end > self._ready[rid]:
             self._ready[rid] = end
 
@@ -236,7 +273,12 @@ class TileAcc:
         if self._location[old] == DEVICE:
             if self.read_only or prefetched:
                 # host copy authoritative (ro contract) or never written on
-                # the device (unconsumed prefetch): drop for free
+                # the device (unconsumed prefetch): drop for free.  The
+                # buffer is still a read target of the occupant's queued
+                # ops (kernels on *other* fields' streams may read a
+                # read-only coefficient slot), so the replacement upload
+                # must not overwrite it before they finish.
+                self._slot_after[slot.index] = self._ready_after(old)
                 self._m_wb_skipped.inc()
                 self._mark("cache-evict", old, slot, writeback=False)
                 self._location[old] = HOST
@@ -244,16 +286,18 @@ class TileAcc:
                 region = self.tile_array.region(old)
                 wb_end = self.runtime.memcpy_async(
                     region.data, slot.buffer, self._wb_stream,
-                    after=self._ready[old], label=f"evict:{region.label}",
+                    after=self._ready_after(old), label=f"evict:{region.label}",
                 )
+                self._slot_after[slot.index] = (wb_end,)
                 self.d2h_count += 1
                 self._m_writebacks.inc()
                 self._m_writeback_bytes.inc(region.nbytes)
                 self._mark("cache-evict", old, slot, writeback=True)
                 self._location[old] = HOST
-                self.note_device_op(old, wb_end)
+                self.note_device_op(old, wb_end, covers=True)
         else:
             self._mark("cache-evict", old, slot, writeback=False)
+            self._slot_after[slot.index] = self._ready_after(old)
         self._set_bound(slot, EMPTY)
         return wb_end
 
@@ -410,20 +454,25 @@ class TileAcc:
 
     def _upload(self, slot: DeviceSlot, rid: int, region: Region, *, label: str) -> float:
         """Evict-if-needed + upload ``rid`` into ``slot`` (shared miss path)."""
-        wb_end = 0.0
         if slot.bound not in (EMPTY, rid):
-            wb_end = self._evict(slot)
+            self._evict(slot)
         self._ensure_buffer(slot, region)
         # the upload reuses the evicted occupant's buffer: it must wait for
-        # the write-back D2H even though it runs on a different stream
+        # the write-back D2H (or the dropped occupant's readers) even
+        # though those ran on different streams.  The barrier lives in
+        # _slot_after — not a local — so a faulted upload re-issued by
+        # _with_retry still waits for the very same write-back instead of
+        # racing it.
         end = self.runtime.memcpy_async(
             slot.buffer, region.data, slot.stream,
-            after=max(wb_end, self._ready[rid]), label=label,
+            after=self._slot_after.get(slot.index, ()) + self._ready_after(rid),
+            label=label,
         )
         self.h2d_count += 1
         self._set_bound(slot, rid)
         self._location[rid] = DEVICE
         self._ready[rid] = end
+        self._ready_deps[rid] = (end,)
         return end
 
     def request_device(self, rid: int) -> tuple[DeviceBuffer, float]:
@@ -517,15 +566,19 @@ class TileAcc:
                 self._location[rid] = HOST
                 return region
             def issue() -> float:
+                # the after edge matters when a kernel on *another* field's
+                # stream wrote this region (cross-manager compute): stream
+                # FIFO alone would let the download race that write
                 end = self.runtime.memcpy_async(
-                    region.data, slot.buffer, slot.stream, label=f"d2h:{region.label}"
+                    region.data, slot.buffer, slot.stream,
+                    after=self._ready_after(rid), label=f"d2h:{region.label}",
                 )
                 self.d2h_count += 1
                 self.runtime.stream_synchronize(slot.stream)
                 return end
 
             end = self._with_retry("d2h", rid, issue)
-            self.note_device_op(rid, end)
+            self.note_device_op(rid, end, covers=True)
             self._location[rid] = HOST
         return region
 

@@ -104,6 +104,11 @@ class KernelSpec:
     #: exceeds the last-level cache (stencil planes falling out between row
     #: sweeps) — the §IV-A cache-reuse effect tiles exist to avoid.
     cpu_spill_bytes_per_cell: float = 0.0
+    #: Per-buffer-argument access declaration for the hazard checker:
+    #: one of ``"r"``, ``"w"``, ``"rw"`` per positional buffer (in the
+    #: body's argument order).  ``None`` (or missing trailing entries)
+    #: means the conservative ``"rw"``.
+    arg_access: tuple[str, ...] | None = None
     meta: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -113,6 +118,12 @@ class KernelSpec:
         ):
             if getattr(self, attr) < 0:
                 raise CudaInvalidValueError(f"{attr} must be >= 0")
+        if self.arg_access is not None:
+            bad = [a for a in self.arg_access if a not in ("r", "w", "rw")]
+            if bad:
+                raise CudaInvalidValueError(
+                    f"arg_access entries must be 'r', 'w', or 'rw', got {bad}"
+                )
 
     def flop_equivalents(self, math: MathModel, n_cells: int) -> float:
         """Total FMA-equivalent work for ``n_cells``, folding in special functions."""

@@ -27,7 +27,7 @@ from __future__ import annotations
 import itertools
 import warnings
 from collections import deque
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 import numpy as np
 
@@ -47,6 +47,9 @@ from .event import Event
 from .kernel import KernelSpec, LaunchConfig
 from .stream import Stream
 from .uvm import DEVICE, HOST, ManagedBuffer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..check.hazards import HazardChecker
 
 _runtime_ids = itertools.count(1)
 
@@ -73,6 +76,17 @@ class CudaRuntime:
         Optional :class:`~repro.faults.FaultPlan` consulted at every
         injectable call site (copies, launches, allocations, syncs);
         also settable later via :meth:`set_fault_plan`.
+    check:
+        Happens-before hazard checking mode: ``"observe"`` records
+        hazards (``check.*`` metrics + ``hazard`` trace marks),
+        ``"strict"`` additionally raises
+        :class:`~repro.errors.HazardError` on racy pairs, ``False`` is
+        off.  The default ``None`` defers to
+        :func:`repro.check.set_default_mode` / ``REPRO_CHECK``.
+    checker:
+        An existing :class:`~repro.check.hazards.HazardChecker` to share
+        (the multi-GPU group gives all devices one checker so peer
+        copies are checked across devices); overrides ``check``.
     """
 
     def __init__(
@@ -86,6 +100,8 @@ class CudaRuntime:
         metrics: MetricsRegistry | None = None,
         lane_prefix: str = "",
         faults: FaultPlan | None = None,
+        check: str | bool | None = None,
+        checker: "HazardChecker | None" = None,
     ) -> None:
         self.machine = machine if machine is not None else DEFAULT_MACHINE
         self.functional = bool(functional)
@@ -131,6 +147,13 @@ class CudaRuntime:
         self.faults: FaultPlan | None = None
         if faults is not None:
             self.set_fault_plan(faults)
+        if checker is not None:
+            self.checker = checker
+        else:
+            # imported lazily: most runtimes never enable checking
+            from ..check.hazards import resolve_checker
+
+            self.checker = resolve_checker(check, trace=self.trace, metrics=self.metrics)
 
     # -- fault injection ----------------------------------------------------
 
@@ -214,6 +237,21 @@ class CudaRuntime:
             f"cuda.{self.lane_prefix}stream.{stream.stream_id}.queue_depth"
         ).set(len(sdq))
 
+    @staticmethod
+    def _after_deps(after: "float | Sequence[float]") -> tuple[tuple[float, ...], float]:
+        """Normalize an ``after=`` argument to (components, effective max).
+
+        Call sites may pass the individual completion times an operation
+        depends on instead of collapsing them with ``max`` themselves —
+        scheduling uses the max, while the hazard checker resolves each
+        component to the operation that produced it.
+        """
+        if isinstance(after, (int, float)):
+            a = float(after)
+            return (a,), a
+        deps = tuple(float(a) for a in after)
+        return deps, (max(deps) if deps else 0.0)
+
     def host_compute(self, name: str, duration: float, **meta: Any) -> float:
         """Account for host-side work (e.g. ghost-index computation, §IV-B.6)."""
         if duration < 0:
@@ -254,6 +292,8 @@ class CudaRuntime:
         """``cudaFree``."""
         self._api()
         self.pool.free(buf)
+        if self.checker is not None:
+            self.checker.forget(buf)
 
     def malloc_pinned(
         self,
@@ -302,6 +342,8 @@ class CudaRuntime:
         """``cudaFreeHost`` / ``free``."""
         self._api()
         buf.free()
+        if self.checker is not None:
+            self.checker.forget(buf)
 
     def malloc_managed(
         self,
@@ -331,6 +373,8 @@ class CudaRuntime:
             raise CudaInvalidValueError("managed buffer not owned by this runtime (or already freed)")
         self.pool.free(reservation)
         buf._mark_freed()
+        if self.checker is not None:
+            self.checker.forget(buf)
 
     def mem_get_info(self) -> tuple[int, int]:
         """``cudaMemGetInfo``: (free, total) allocatable device bytes."""
@@ -354,6 +398,8 @@ class CudaRuntime:
             raise CudaInvalidValueError("the default stream cannot be destroyed")
         self._api()
         self._host_stall(stream.tail, stream=stream)
+        if self.checker is not None:
+            self.checker.host_sync_stream(self._runtime_id, stream)
         stream._destroy()
         del self._streams[stream.stream_id]
 
@@ -365,6 +411,31 @@ class CudaRuntime:
     @property
     def streams(self) -> tuple[Stream, ...]:
         return tuple(self._streams.values())
+
+    def reset_schedule(self) -> None:
+        """Rewind all scheduling state between harness repetitions.
+
+        Repetition drivers used to reset only the engines
+        (:meth:`~repro.sim.engine.FifoEngine.reset`), which left stream
+        tails and the pending-work deques stale: the next repetition's
+        operations were scheduled after completion times of the previous
+        run, corrupting per-repetition ``busy_time`` and queue-depth
+        accounting.  This clears engines, stream tails, the backlog
+        deques, and the hazard checker's per-run state together.
+        Allocations, metrics, and the trace are kept (repetitions
+        accumulate there by design); the host clock keeps advancing.
+        """
+        # d2h may alias h2d (single-copy-engine parts): reset each once
+        for engine in {id(e): e for e in (
+            self.compute_engine, self.h2d_engine, self.d2h_engine
+        )}.values():
+            engine.reset()
+        for stream in self._streams.values():
+            stream._reset()
+        self._engine_pending.clear()
+        self._stream_pending.clear()
+        if self.checker is not None:
+            self.checker.reset_schedule()
 
     # -- copies ---------------------------------------------------------------
 
@@ -409,15 +480,17 @@ class CudaRuntime:
         src: Any,
         stream: Stream | None = None,
         *,
-        after: float = 0.0,
+        after: float | Sequence[float] = 0.0,
         label: str = "",
         _force_sync: bool = False,
     ) -> float:
         """``cudaMemcpyAsync``: queue a copy on ``stream``.
 
-        Returns the virtual completion time of the copy.  ``after`` adds an
-        extra readiness dependency (used by TileAcc when an upload must wait
-        for the eviction download sharing the same device pointer).
+        Returns the virtual completion time of the copy.  ``after`` adds
+        extra readiness dependencies — a single completion time or a
+        sequence of them (the copy waits for their max; used by TileAcc
+        when an upload must wait for the eviction download sharing the
+        same device pointer).
 
         Pageable host memory makes the call synchronous with respect to the
         host (the documented CUDA behaviour that breaks overlap, §II-B).
@@ -435,7 +508,8 @@ class CudaRuntime:
         duration = link.transfer_time(src.nbytes, direction=direction, pinned=host_buf.pinned)
         duration += hang
         engine = self.h2d_engine if direction == "h2d" else self.d2h_engine
-        ready = max(self.now, stream.tail, after)
+        after_deps, after_max = self._after_deps(after)
+        ready = max(self.now, stream.tail, after_max)
         start, end = engine.submit(ready, duration)
         stream._push(end)
         self._note_queue_op(stream, engine, end)
@@ -456,6 +530,13 @@ class CudaRuntime:
             nbytes=src.nbytes,
         )
         self._do_functional_copy(dst, src)
+        if self.checker is not None:
+            self.checker.record_op(
+                kind=direction, label=op_label,
+                streams=((self._runtime_id, stream),), engines=(engine,),
+                start=start, end=end, after=after_deps,
+                reads=(src,), writes=(dst,), now=self.now,
+            )
         if not host_buf.pinned and link.pageable_async_is_sync and not _force_sync:
             # async call degraded to synchronous by pageable memory (§II-B)
             self._m_pageable_sync.inc()
@@ -464,6 +545,8 @@ class CudaRuntime:
         )
         if synchronous:
             self._host_stall(end, stream=stream)
+            if self.checker is not None:
+                self.checker.host_sync_stream(self._runtime_id, stream)
         return end
 
     # -- managed-memory migration ---------------------------------------------
@@ -541,14 +624,21 @@ class CudaRuntime:
         config: LaunchConfig | None = None,
         tuned_geometry: bool | None = None,
         math: MathModel | None = None,
-        after: float = 0.0,
+        after: float | Sequence[float] = 0.0,
         label: str = "",
+        reads: Sequence[DeviceBuffer | ManagedBuffer] | None = None,
+        writes: Sequence[DeviceBuffer | ManagedBuffer] | None = None,
     ) -> float:
         """Launch ``kernel`` over ``n_cells`` iteration points on ``stream``.
 
         Returns the virtual completion time.  In functional mode the kernel
         body executes immediately against the buffers' arrays (in-stream
         issue order equals execution order, so eager execution is sound).
+
+        ``reads``/``writes`` declare the kernel's per-buffer access sets
+        for the hazard checker; when omitted they are derived from
+        ``kernel.arg_access`` (positionally, over ``buffers``), falling
+        back to the conservative every-buffer-read-and-written.
         """
         stream = stream if stream is not None else self.default_stream
         self._check_stream(stream)
@@ -585,7 +675,8 @@ class CudaRuntime:
         self._api()
         op_label = label or f"kernel:{kernel.name}"
         hang = self._inject("launch", op_label)
-        ready = max(self.now, stream.tail, after)
+        after_deps, after_max = self._after_deps(after)
+        ready = max(self.now, stream.tail, after_max)
         if managed:
             # Kepler: the driver migrates touched managed allocations before
             # the kernel runs and charges a per-launch management cost.
@@ -612,10 +703,43 @@ class CudaRuntime:
             stream=stream.stream_id,
             n_cells=n_cells,
         )
+        if self.checker is not None:
+            k_reads, k_writes = self._derive_access(kernel, buffers, reads, writes)
+            self.checker.record_op(
+                kind="kernel", label=op_label,
+                streams=((self._runtime_id, stream),),
+                engines=(self.compute_engine,),
+                start=start, end=end, after=after_deps,
+                reads=k_reads, writes=k_writes, now=self.now,
+            )
         if self.functional and kernel.body is not None:
             arrays = [b.array for b in buffers]
             kernel.body(*arrays, **params)
         return end
+
+    @staticmethod
+    def _derive_access(
+        kernel: KernelSpec,
+        buffers: Sequence[DeviceBuffer | ManagedBuffer],
+        reads: Sequence[DeviceBuffer | ManagedBuffer] | None,
+        writes: Sequence[DeviceBuffer | ManagedBuffer] | None,
+    ) -> tuple[tuple[Any, ...], tuple[Any, ...]]:
+        """The read/write buffer sets a launch declares to the checker."""
+        if reads is not None or writes is not None:
+            return tuple(reads or ()), tuple(writes or ())
+        access = kernel.arg_access
+        if access is None:
+            bufs = tuple(buffers)
+            return bufs, bufs  # conservative: every buffer read and written
+        r: list[Any] = []
+        w: list[Any] = []
+        for i, buf in enumerate(buffers):
+            a = access[i] if i < len(access) else "rw"
+            if a in ("r", "rw"):
+                r.append(buf)
+            if a in ("w", "rw"):
+                w.append(buf)
+        return tuple(r), tuple(w)
 
     # -- synchronization ----------------------------------------------------
 
@@ -632,6 +756,8 @@ class CudaRuntime:
                 f"sync:stream{stream.stream_id}", "sync", "host", start, end,
                 stream=stream.stream_id,
             )
+        if self.checker is not None:
+            self.checker.host_sync_stream(self._runtime_id, stream)
         return end
 
     def device_synchronize(self) -> float:
@@ -648,6 +774,8 @@ class CudaRuntime:
         end = self._host_stall(target)
         if end > start:
             self.trace.record("sync:device", "sync", "host", start, end)
+        if self.checker is not None:
+            self.checker.host_sync_streams(self._runtime_id, self._streams.values())
         return end
 
     # -- events ------------------------------------------------------------
@@ -663,11 +791,16 @@ class CudaRuntime:
         event._check_usable(self._runtime_id)
         self._api()
         event._record(max(self.now, stream.tail))
+        if self.checker is not None:
+            self.checker.on_event_record(event, self._runtime_id, stream)
 
     def event_synchronize(self, event: Event) -> float:
         event._check_usable(self._runtime_id)
         self._api()
-        return self._host_stall(event.time)
+        end = self._host_stall(event.time)
+        if self.checker is not None:
+            self.checker.host_sync_event(event)
+        return end
 
     def stream_wait_event(self, stream: Stream, event: Event) -> None:
         """``cudaStreamWaitEvent``: later work on ``stream`` waits for ``event``."""
@@ -675,3 +808,5 @@ class CudaRuntime:
         event._check_usable(self._runtime_id)
         self._api()
         stream._push(event.time)
+        if self.checker is not None:
+            self.checker.on_stream_wait_event(self._runtime_id, stream, event)

@@ -50,6 +50,10 @@ class Stream:
     def _destroy(self) -> None:
         self._destroyed = True
 
+    def _reset(self) -> None:
+        """Forget queued work (runtime ``reset_schedule`` between runs)."""
+        self._tail = 0.0
+
     @property
     def is_default(self) -> bool:
         return self.stream_id == 0

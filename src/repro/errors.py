@@ -130,3 +130,22 @@ class FaultError(ReproError):
         self.field = field
         self.region = region
         self.attempts = attempts
+
+
+# ---------------------------------------------------------------------------
+# Happens-before checking (repro.check)
+# ---------------------------------------------------------------------------
+
+class HazardError(ReproError):
+    """A racy conflicting access pair detected in strict checking mode.
+
+    Raised by :class:`~repro.check.hazards.HazardChecker` when two
+    operations touch the same device buffer (RAW/WAR/WAW) with no
+    happens-before edge between them — not even the engine-FIFO ordering
+    the simulator happens to provide.  ``hazard`` carries the full
+    :class:`~repro.check.hazards.Hazard` record.
+    """
+
+    def __init__(self, message: str, *, hazard=None) -> None:
+        super().__init__(message)
+        self.hazard = hazard

@@ -58,6 +58,7 @@ def compute_intensive_kernel(kernel_iteration: int = DEFAULT_KERNEL_ITERATION) -
         sin_per_cell=it,
         cos_per_cell=it,
         sqrt_per_cell=it,
+        arg_access=("rw",),  # in-place update
         meta={"kernel_iteration": kernel_iteration},
     )
 

@@ -42,6 +42,7 @@ def ghost_copy_kernel() -> KernelSpec:
         body=_ghost_copy_body,
         bytes_per_cell=_COPY_BYTES_PER_CELL,
         flops_per_cell=0.0,
+        arg_access=("w", "r"),  # dst ghost slab written, src interior read
     )
 
 
@@ -59,6 +60,7 @@ def face_copy_kernel() -> KernelSpec:
         body=_face_copy_body,
         bytes_per_cell=_COPY_BYTES_PER_CELL,
         flops_per_cell=0.0,
+        arg_access=("rw",),  # copies interior plane into its own ghost slab
     )
 
 
@@ -86,6 +88,7 @@ def bc_faces_kernel() -> KernelSpec:
         body=_bc_faces_body,
         bytes_per_cell=_COPY_BYTES_PER_CELL,
         flops_per_cell=0.0,
+        arg_access=("rw",),  # Neumann ops read the interior they replicate
     )
 
 
@@ -103,4 +106,5 @@ def face_fill_kernel() -> KernelSpec:
         body=_face_fill_body,
         bytes_per_cell=_FILL_BYTES_PER_CELL,
         flops_per_cell=0.0,
+        arg_access=("w",),
     )

@@ -61,6 +61,7 @@ def heat_kernel(ndim: int = 3) -> KernelSpec:
         # re-fetched from DRAM (+2 x 8 B per cell) — the classic reuse
         # loss that cache-sized tiles avoid (§IV-A).
         cpu_spill_bytes_per_cell=16.0,
+        arg_access=("w", "r"),  # dst written, src read
         meta={"ndim": ndim, "stencil_radius": 1},
     )
 

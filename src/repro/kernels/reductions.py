@@ -54,6 +54,8 @@ class ReductionSpec:
             body=None,
             bytes_per_cell=self.bytes_per_cell,
             flops_per_cell=self.flops_per_cell,
+            # reductions only read their inputs (partials are folded host-side)
+            arg_access=("r", "r", "r", "r", "r", "r", "r", "r"),
             meta=dict(self.meta),
         )
 

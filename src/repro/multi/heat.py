@@ -38,11 +38,17 @@ def _unpack_body(field, staging, dst_slices):
 
 
 def _pack_kernel() -> KernelSpec:
-    return KernelSpec(name="halo-pack", body=_pack_body, bytes_per_cell=16.0)
+    return KernelSpec(
+        name="halo-pack", body=_pack_body, bytes_per_cell=16.0,
+        arg_access=("w", "r"),  # staging <- field plane
+    )
 
 
 def _unpack_kernel() -> KernelSpec:
-    return KernelSpec(name="halo-unpack", body=_unpack_body, bytes_per_cell=16.0)
+    return KernelSpec(
+        name="halo-unpack", body=_unpack_body, bytes_per_cell=16.0,
+        arg_access=("w", "r"),  # field ghost plane <- staging
+    )
 
 
 class _Halo:
@@ -78,6 +84,7 @@ class MultiGpuHeat:
         functional: bool = False,
         bc: BoundaryCondition | None = None,
         coef: float = 0.1,
+        check: str | bool | None = None,
     ) -> None:
         if len(shape) < 1:
             raise TidaError("shape must have at least one dimension")
@@ -89,7 +96,9 @@ class MultiGpuHeat:
         self.shape = shape
         self.bc = bc if bc is not None else Neumann()
         self.coef = coef
-        self.mgr = MultiGpuRuntime(self.machine, n_devices, functional=functional)
+        self.mgr = MultiGpuRuntime(
+            self.machine, n_devices, functional=functional, check=check
+        )
         self.kernel = heat_kernel(len(shape))
         self.ghost = 1
 
@@ -154,22 +163,25 @@ class MultiGpuHeat:
             mgr_s, mgr_d = lib_s.manager(field), lib_d.manager(field)
             src_region = lib_s.field(field).region(h.src_rid)
             dst_region = lib_d.field(field).region(h.dst_rid)
-            src_buf, src_ready = mgr_s.request_device(h.src_rid)
-            dst_buf, dst_ready = mgr_d.request_device(h.dst_rid)
+            src_buf, _src_ready = mgr_s.request_device(h.src_rid)
+            dst_buf, _dst_ready = mgr_d.request_device(h.dst_rid)
             src_stream = mgr_s.slot_for(h.src_rid).stream
             dst_stream = mgr_d.slot_for(h.dst_rid).stream
             n_cells = h.src_box.size
 
-            lib_s.acc.parallel_loop(
+            pack_end = lib_s.acc.parallel_loop(
                 pack,
                 deviceptr=[h.src_stage, src_buf],
                 n_cells=n_cells,
                 async_=mgr_s.queue_id_for(h.src_rid),
                 vector_length=lib_s.vector_length,
-                after=src_ready,
+                after=mgr_s.device_ready_deps(h.src_rid),
                 params={"src_slices": src_region.local_slices(h.src_box)},
                 label=f"halo-pack:gpu{h.src_dev}",
             )
+            mgr_s.note_device_op(h.src_rid, pack_end, covers=True)
+            # the peer copy reads the staging buffer the pack just wrote on
+            # the same src stream — FIFO order covers it, no edge needed
             end = self.mgr.peer_copy(
                 h.dst_dev, h.dst_stage, h.src_dev, h.src_stage,
                 dst_stream=dst_stream, src_stream=src_stream,
@@ -180,12 +192,14 @@ class MultiGpuHeat:
                 n_cells=n_cells,
                 async_=mgr_d.queue_id_for(h.dst_rid),
                 vector_length=lib_d.vector_length,
-                after=max(end, dst_ready),
+                after=(end,) + mgr_d.device_ready_deps(h.dst_rid),
                 params={"dst_slices": dst_region.local_slices(h.dst_box)},
                 label=f"halo-unpack:gpu{h.dst_dev}",
             )
+            # keep the historic conservative readiness on the source side
+            # (its next consumer waits for the whole chain, as before)
             mgr_s.note_device_op(h.src_rid, end)
-            mgr_d.note_device_op(h.dst_rid, end)
+            mgr_d.note_device_op(h.dst_rid, end, covers=True)
 
     # -- driver ---------------------------------------------------------------
 
@@ -249,12 +263,13 @@ def run_multi_gpu_heat(
     bc: BoundaryCondition | None = None,
     coef: float = 0.1,
     initial: np.ndarray | None = None,
+    check: str | bool | None = None,
 ) -> BaselineResult:
     """Run the multi-GPU heat solver; timing starts after initialization."""
     solver = MultiGpuHeat(
         machine, shape=shape, n_devices=n_devices,
         regions_per_device=regions_per_device, functional=functional,
-        bc=bc, coef=coef,
+        bc=bc, coef=coef, check=check,
     )
     if functional:
         init = initial if initial is not None else default_init(shape, 0)
@@ -271,4 +286,5 @@ def run_multi_gpu_heat(
         name=f"tida-acc-{n_devices}gpu", elapsed=elapsed, shape=shape, steps=steps,
         trace=solver.trace, result=result,
         meta={"n_devices": n_devices, "regions_per_device": regions_per_device},
+        metrics=solver.mgr.metrics.snapshot(),
     )

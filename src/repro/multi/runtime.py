@@ -13,6 +13,8 @@ the same PCIe root complex).
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from ..config import DEFAULT_MACHINE, MachineSpec
 from ..cuda.runtime import CudaRuntime
 from ..cuda.stream import Stream
@@ -33,6 +35,7 @@ class MultiGpuRuntime:
         *,
         functional: bool = True,
         device_memory_limit: int | None = None,
+        check: str | bool | None = None,
     ) -> None:
         if n_devices < 1:
             raise CudaInvalidValueError(f"n_devices must be >= 1, got {n_devices}")
@@ -42,6 +45,11 @@ class MultiGpuRuntime:
         # one metric space across devices (per-engine names stay distinct
         # through the lane prefixes)
         self.metrics = MetricsRegistry()
+        # one checker across devices: a peer copy is a single op touching
+        # two devices' streams, which only one clock space can order
+        from ..check.hazards import resolve_checker
+
+        self.checker = resolve_checker(check, trace=self.trace, metrics=self.metrics)
         self.devices: list[CudaRuntime] = [
             CudaRuntime(
                 self.machine,
@@ -51,6 +59,10 @@ class MultiGpuRuntime:
                 trace=self.trace,
                 metrics=self.metrics,
                 lane_prefix=f"gpu{i}:",
+                # check=False stops a device from resolving its own default
+                # checker when this group runs unchecked
+                **({"checker": self.checker} if self.checker is not None
+                   else {"check": False}),
             )
             for i in range(n_devices)
         ]
@@ -83,7 +95,7 @@ class MultiGpuRuntime:
         *,
         dst_stream: Stream | None = None,
         src_stream: Stream | None = None,
-        after: float = 0.0,
+        after: float | Sequence[float] = 0.0,
         label: str = "",
     ) -> float:
         """``cudaMemcpyPeerAsync``: device-to-device over the interconnect.
@@ -116,7 +128,8 @@ class MultiGpuRuntime:
         src_rt._api()
         link = self.machine.link
         duration = link.transfer_time(src.nbytes, direction="d2h", pinned=True)
-        ready = max(self.clock.now, src_stream.tail, dst_stream.tail, after,
+        after_deps, after_max = CudaRuntime._after_deps(after)
+        ready = max(self.clock.now, src_stream.tail, dst_stream.tail, after_max,
                     src_rt.d2h_engine.tail, dst_rt.h2d_engine.tail)
         start_a, end_a = src_rt.d2h_engine.submit(ready, duration)
         start_b, end_b = dst_rt.h2d_engine.submit(start_a, duration)
@@ -149,6 +162,18 @@ class MultiGpuRuntime:
         )
         if src_rt.functional:
             dst.array.reshape(-1)[:] = src.array.reshape(-1)
+        if self.checker is not None:
+            self.checker.record_op(
+                kind="peer",
+                label=label or f"p2p:gpu{src_device}->gpu{dst_device}",
+                streams=(
+                    (src_rt._runtime_id, src_stream),
+                    (dst_rt._runtime_id, dst_stream),
+                ),
+                engines=(src_rt.d2h_engine, dst_rt.h2d_engine),
+                start=start_a, end=end, after=after_deps,
+                reads=(src,), writes=(dst,), now=self.clock.now,
+            )
         return end
 
     def synchronize_all(self) -> float:

@@ -202,11 +202,52 @@ def faults_table(metrics: dict[str, Any]) -> Table:
     return table
 
 
+def hazard_table(
+    trace: Trace | None, metrics: dict[str, Any] | None
+) -> Table:
+    """Happens-before hazards flagged by the checker (:mod:`repro.check`).
+
+    Rows come from the ``hazard`` decision marks the checker writes to the
+    trace (one per flagged pair); the note summarizes the ``check.*``
+    counters.  An armed checker with zero rows is itself a result: every
+    device-buffer access of the run was provably ordered.
+    """
+    table = Table(
+        title="happens-before hazards",
+        columns=["t_s", "severity", "kind", "buffer", "earlier", "later"],
+    )
+    if trace is not None:
+        for m in trace.marks:
+            if m["name"] != "hazard":
+                continue
+            a = m.get("args", {})
+            table.add_row(
+                m["ts"], a.get("severity", "?"), a.get("kind", "?"),
+                a.get("buffer", "?"), a.get("earlier", "?"), a.get("later", "?"),
+            )
+    if metrics is not None:
+        counters = metrics.get("counters", {})
+        ops = int(counters.get("check.ops", 0))
+        if ops:
+            table.add_note(
+                f"checked ops = {ops}; "
+                f"racy = {int(counters.get('check.hazards.racy', 0))}, "
+                f"fifo-luck = {int(counters.get('check.hazards.fifo_luck', 0))} "
+                f"(RAW={int(counters.get('check.raw', 0))}, "
+                f"WAR={int(counters.get('check.war', 0))}, "
+                f"WAW={int(counters.get('check.waw', 0))})"
+            )
+        unresolved = int(counters.get("check.after_unresolved", 0))
+        if unresolved:
+            table.add_note(f"unresolved after= components = {unresolved}")
+    return table
+
+
 def metrics_table(metrics: dict[str, Any]) -> Table:
     table = Table(title="runtime metrics", columns=["metric", "value"])
     for name, value in metrics.get("counters", {}).items():
-        # cache and fault counters have their own tables
-        if not name.startswith(("cache.", "faults.")):
+        # cache, fault, and hazard counters have their own tables
+        if not name.startswith(("cache.", "faults.", "check.")):
             table.add_row(name, value)
     for name, g in metrics.get("gauges", {}).items():
         table.add_row(f"{name} (last/max)", f"{g['value']:g}/{g['max']:g}")
@@ -232,6 +273,9 @@ def build_report(
         if faults.rows or faults.notes:
             tables.append(faults)
         tables.append(metrics_table(metrics))
+    hazards = hazard_table(trace, metrics)
+    if hazards.rows or hazards.notes:
+        tables.append(hazards)
     return tables
 
 

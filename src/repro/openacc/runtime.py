@@ -233,7 +233,7 @@ class AccRuntime:
         num_gangs: int | None = None,
         num_workers: int | None = None,
         vector_length: int | None = None,
-        after: float = 0.0,
+        after: float | Sequence[float] = 0.0,
         params: dict[str, Any] | None = None,
         label: str = "",
     ) -> float:

@@ -100,7 +100,14 @@ class FifoEngine:
         return start, end
 
     def reset(self) -> None:
-        """Forget all queued work (used only by tests)."""
+        """Forget all queued work and zero the busy/op accounting.
+
+        Resetting an engine in isolation is almost never what a harness
+        repetition wants: stream tails and the runtime's pending-work
+        deques would still reference the previous run's completion times.
+        Use :meth:`repro.cuda.runtime.CudaRuntime.reset_schedule`, which
+        resets engines, streams, and backlog accounting together.
+        """
         self._tail = 0.0
         self._busy_time = 0.0
         self._op_count = 0

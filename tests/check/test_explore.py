@@ -1,0 +1,187 @@
+"""Schedule exploration: digests, machine perturbation, conformance sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.check.explore import (
+    ExploreReport,
+    ScheduleRun,
+    conformance_matrix,
+    digest,
+    explore,
+    perturb_machine,
+)
+from repro.config import k40m_pcie3
+
+
+class TestDigest:
+    def test_deterministic(self):
+        a = np.arange(64, dtype=np.float64).reshape(8, 8)
+        assert digest(a) == digest(a.copy())
+
+    def test_one_ulp_flip_changes_digest(self):
+        a = np.arange(64, dtype=np.float64)
+        b = a.copy()
+        b[17] = np.nextafter(b[17], np.inf)  # allclose would miss this
+        assert digest(a) != digest(b)
+
+    def test_shape_and_dtype_matter(self):
+        a = np.zeros(16, dtype=np.float64)
+        assert digest(a) != digest(a.reshape(4, 4))
+        assert digest(a) != digest(a.astype(np.float32))
+
+    def test_non_contiguous_input(self):
+        a = np.arange(64, dtype=np.float64).reshape(8, 8)
+        assert digest(a[:, ::2]) == digest(np.ascontiguousarray(a[:, ::2]))
+
+
+class TestPerturbMachine:
+    def test_deterministic_per_seed(self, machine):
+        m1 = perturb_machine(machine, 7)
+        m2 = perturb_machine(machine, 7)
+        assert m1.link.h2d_bandwidth == m2.link.h2d_bandwidth
+        assert m1.gpu.dp_flops == m2.gpu.dp_flops
+
+    def test_different_seeds_differ(self, machine):
+        m1 = perturb_machine(machine, 1)
+        m2 = perturb_machine(machine, 2)
+        assert m1.link.h2d_bandwidth != m2.link.h2d_bandwidth
+
+    def test_jitter_bounds(self, machine):
+        for seed in range(5):
+            m = perturb_machine(machine, seed, jitter=0.25)
+            for got, ref in [
+                (m.link.h2d_bandwidth, machine.link.h2d_bandwidth),
+                (m.link.d2h_bandwidth, machine.link.d2h_bandwidth),
+                (m.gpu.dp_flops, machine.gpu.dp_flops),
+                (m.gpu.mem_bandwidth, machine.gpu.mem_bandwidth),
+                (m.cpu.dp_flops, machine.cpu.dp_flops),
+            ]:
+                assert 0.75 * ref <= got <= 1.25 * ref
+
+    def test_original_untouched_and_renamed(self, machine):
+        before = machine.link.h2d_bandwidth
+        m = perturb_machine(machine, 3)
+        assert machine.link.h2d_bandwidth == before
+        assert m.name == f"{machine.name}~s3"
+        assert m.gpu.memory_bytes == machine.gpu.memory_bytes  # capacity kept
+
+    def test_jitter_validation(self, machine):
+        with pytest.raises(ValueError, match="jitter"):
+            perturb_machine(machine, 0, jitter=1.0)
+        with pytest.raises(ValueError, match="jitter"):
+            perturb_machine(machine, 0, jitter=-0.1)
+
+
+class _FakeResult:
+    def __init__(self, arr, counters=None, elapsed=1.0):
+        self.result = arr
+        self.elapsed = elapsed
+        self.metrics = counters or {}
+        self.meta = None
+
+
+class TestExplore:
+    def test_labels_and_grouping(self):
+        calls = []
+
+        def run(machine=None, **kw):
+            calls.append((machine, kw))
+            return _FakeResult(np.zeros(4))
+
+        report = explore(
+            run, [{"x": 1}, {"x": 2, "label": "two"}],
+            machine=k40m_pcie3(), timing_seeds=(0, 5),
+        )
+        assert [r.label for r in report.runs] == ["t0/x=1", "t0/two", "t5/x=1", "t5/two"]
+        # seed 0 runs the unperturbed machine, seed 5 a jittered copy
+        assert calls[0][0].name == "k40m-pcie3"
+        assert calls[2][0].name == "k40m-pcie3~s5"
+        assert report.ok and report.byte_identical and report.racy == 0
+
+    def test_divergent_digests_fail(self):
+        arrs = iter([np.zeros(4), np.ones(4)])
+
+        def run(machine=None, **kw):
+            return _FakeResult(next(arrs))
+
+        report = explore(run, [{"x": 1}, {"x": 2}])
+        assert not report.byte_identical
+        assert not report.ok
+        assert any("diverge" in f for f in report.failures())
+
+    def test_racy_counters_read_from_snapshot(self):
+        # BaselineResult.metrics is a full registry snapshot
+        counters = {"counters": {"check.hazards.racy": 2,
+                                 "check.hazards.fifo_luck": 1}}
+
+        def run(machine=None, **kw):
+            return _FakeResult(np.zeros(4), counters=counters)
+
+        report = explore(run, [{"x": 1}])
+        assert report.runs[0].hazards == {"warning": 1, "error": 2}
+        assert report.runs[0].racy == 2
+        assert not report.ok
+        assert any("racy" in f for f in report.failures())
+
+    def test_flat_counter_mapping_accepted(self):
+        def run(machine=None, **kw):
+            return _FakeResult(np.zeros(4), counters={"check.hazards.racy": 1})
+
+        assert explore(run, [{}]).racy == 1
+
+    def test_perturbation_requires_machine(self):
+        with pytest.raises(ValueError, match="explicit machine"):
+            explore(lambda machine=None, **kw: _FakeResult(np.zeros(2)),
+                    [{}], machine=None, timing_seeds=(0, 1))
+
+    def test_report_properties(self):
+        report = ExploreReport([
+            ScheduleRun("a", "d1", {"warning": 0, "error": 0}, 1.0),
+            ScheduleRun("b", "d1", {"warning": 3, "error": 0}, 1.0),
+        ])
+        assert report.digests == {"d1"}
+        assert report.ok  # warnings alone don't fail conformance
+        assert report.failures() == []
+
+
+class TestConformanceMatrix:
+    """The tentpole acceptance sweep, at test-sized shapes.
+
+    Every eviction policy × prefetch depth × visit order × timing seed
+    must produce the byte-identical result with zero racy hazards.
+    """
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError, match="workload"):
+            conformance_matrix("lbm")
+
+    def test_compute_sweep_conforms(self, machine):
+        report = conformance_matrix(
+            "compute", machine=machine,
+            evictions=("lru", "lookahead", "modulo"),
+            prefetch_depths=(0, 2),
+            order_seeds=(None, 1),
+            timing_seeds=(0, 1),
+            shape=(64, 16, 16), steps=2, n_regions=8, n_slots=3,
+            device_memory_limit=70_000,
+        )
+        assert len(report.runs) == 24
+        assert report.ok, report.failures()
+        assert len(report.digests) == 1
+
+    def test_heat_sweep_with_faults_conforms(self, machine):
+        # transfer faults + retries fold re-issued uploads into the
+        # explored schedules; recovery must stay byte-identical too
+        report = conformance_matrix(
+            "heat", machine=machine,
+            evictions=("lru",),
+            prefetch_depths=(0, 2),
+            order_seeds=(None, 1),
+            timing_seeds=(0, 1),
+            faults_spec="h2d:p=0.1; seed=9",
+            shape=(48, 24, 24), steps=2, n_regions=8, n_slots=3,
+            device_memory_limit=310_000,
+        )
+        assert len(report.runs) == 8
+        assert report.ok, report.failures()

@@ -1,0 +1,385 @@
+"""The happens-before hazard detector, driven through the real runtime.
+
+Each test builds a tiny schedule by hand — copies and kernel launches on
+explicit streams — and asserts what the checker flags: properly
+synchronized schedules are clean, cross-stream conflicts without an edge
+are racy, conflicts ordered only by a shared engine FIFO are warnings.
+"""
+
+import pytest
+
+from repro.check import (
+    HazardChecker,
+    default_mode,
+    resolve_checker,
+    resolve_mode,
+    set_default_mode,
+)
+from repro.cuda.kernel import KernelSpec
+from repro.cuda.runtime import CudaRuntime
+from repro.errors import HazardError
+
+
+@pytest.fixture
+def rt(machine):
+    return CudaRuntime(machine, check="observe")
+
+
+@pytest.fixture
+def strict_rt(machine):
+    return CudaRuntime(machine, check="strict")
+
+
+def touch_kernel(arg_access=None):
+    """A pure-timing kernel for launch-ordering tests."""
+    return KernelSpec(
+        name="touch", body=None, bytes_per_cell=8.0, flops_per_cell=1.0,
+        arg_access=arg_access,
+    )
+
+
+class TestModeResolution:
+    def test_bool_and_string_forms(self):
+        assert resolve_mode(True) == "strict"
+        assert resolve_mode(False) == "off"
+        assert resolve_mode("observe") == "observe"
+        assert resolve_mode("strict") == "strict"
+        assert resolve_mode("off") == "off"
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError, match="check must be"):
+            resolve_mode("paranoid")
+        with pytest.raises(ValueError, match="observe.*strict"):
+            HazardChecker("off")
+
+    def test_none_consults_process_default(self):
+        assert resolve_mode(None) == default_mode()
+
+    def test_set_default_mode_round_trip(self):
+        try:
+            set_default_mode("strict")
+            assert resolve_mode(None) == "strict"
+            set_default_mode(None)
+            assert default_mode() == "off"
+        finally:
+            set_default_mode(None)
+
+    def test_env_var_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECK", "observe")
+        assert default_mode() == "observe"
+        monkeypatch.setenv("REPRO_CHECK", "bogus")
+        assert default_mode() == "off"
+
+    def test_resolve_checker_off_is_none(self):
+        assert resolve_checker(False) is None
+        assert isinstance(resolve_checker("strict"), HazardChecker)
+
+    def test_runtime_check_off_has_no_checker(self, machine):
+        assert CudaRuntime(machine, check=False).checker is None
+        assert CudaRuntime(machine, check="observe").checker is not None
+
+
+class TestCleanSchedules:
+    """Synchronized programs produce zero hazards."""
+
+    def test_same_stream_fifo(self, rt):
+        a = rt.malloc(1024, label="a")
+        h = rt.malloc_pinned(1024, label="h")
+        s = rt.create_stream()
+        rt.memcpy_async(a, h, s)
+        rt.memcpy_async(h, a, s)  # RAW + WAR, but program-ordered
+        assert rt.checker.hazards == []
+        assert rt.checker.op_count == 2
+
+    def test_after_edge_orders_cross_stream(self, rt):
+        a = rt.malloc(1024, label="a")
+        h = rt.malloc_pinned(1024, label="h")
+        s1, s2 = rt.create_stream(), rt.create_stream()
+        end = rt.memcpy_async(a, h, s1)
+        rt.memcpy_async(h, a, s2, after=end)
+        assert rt.checker.hazards == []
+
+    def test_event_record_wait_orders_cross_stream(self, rt):
+        a = rt.malloc(1024, label="a")
+        h = rt.malloc_pinned(1024, label="h")
+        s1, s2 = rt.create_stream(), rt.create_stream()
+        ev = rt.create_event()
+        rt.memcpy_async(a, h, s1)
+        rt.event_record(ev, s1)
+        rt.stream_wait_event(s2, ev)
+        rt.memcpy_async(h, a, s2)
+        assert rt.checker.hazards == []
+
+    def test_host_stream_sync_orders_everything_after(self, rt):
+        a = rt.malloc(1024, label="a")
+        h = rt.malloc_pinned(1024, label="h")
+        s1, s2 = rt.create_stream(), rt.create_stream()
+        rt.memcpy_async(a, h, s1)
+        rt.stream_synchronize(s1)
+        rt.memcpy_async(h, a, s2)  # issued after the host observed s1 drain
+        assert rt.checker.hazards == []
+
+    def test_device_synchronize_orders_everything_after(self, rt):
+        a = rt.malloc(1024, label="a")
+        h = rt.malloc_pinned(1024, label="h")
+        s1, s2 = rt.create_stream(), rt.create_stream()
+        rt.memcpy_async(a, h, s1)
+        rt.device_synchronize()
+        rt.memcpy_async(h, a, s2)
+        assert rt.checker.hazards == []
+
+    def test_event_synchronize_orders_host(self, rt):
+        a = rt.malloc(1024, label="a")
+        h = rt.malloc_pinned(1024, label="h")
+        s1, s2 = rt.create_stream(), rt.create_stream()
+        ev = rt.create_event()
+        rt.memcpy_async(a, h, s1)
+        rt.event_record(ev, s1)
+        rt.event_synchronize(ev)
+        rt.memcpy_async(h, a, s2)
+        assert rt.checker.hazards == []
+
+    def test_synchronous_memcpy_is_a_host_sync(self, rt):
+        a = rt.malloc(1024, label="a")
+        h = rt.malloc_pinned(1024, label="h")
+        s2 = rt.create_stream()
+        rt.memcpy(a, h)  # blocking: drains the default stream
+        rt.memcpy_async(h, a, s2)
+        assert rt.checker.hazards == []
+
+    def test_disjoint_buffers_never_conflict(self, rt):
+        a, b = rt.malloc(1024, label="a"), rt.malloc(1024, label="b")
+        ha, hb = rt.malloc_pinned(1024, label="ha"), rt.malloc_pinned(1024, label="hb")
+        s1, s2 = rt.create_stream(), rt.create_stream()
+        rt.memcpy_async(a, ha, s1)
+        rt.memcpy_async(b, hb, s2)
+        assert rt.checker.hazards == []
+
+
+class TestRacySchedules:
+    def test_cross_stream_copy_pair_is_racy(self, rt):
+        a = rt.malloc(1024, label="a")
+        h = rt.malloc_pinned(1024, label="h")
+        s1, s2 = rt.create_stream(), rt.create_stream()
+        rt.memcpy_async(a, h, s1)     # writes a, reads h  (H2D engine)
+        rt.memcpy_async(h, a, s2)     # reads a, writes h  (D2H engine)
+        kinds = sorted((hz.severity, hz.kind) for hz in rt.checker.hazards)
+        assert kinds == [("error", "RAW"), ("error", "WAR")]
+
+    def test_hazard_names_buffer_and_ops(self, rt):
+        a = rt.malloc(1024, label="weights")
+        h = rt.malloc_pinned(1024, label="h")
+        s1, s2 = rt.create_stream(), rt.create_stream()
+        rt.memcpy_async(a, h, s1, label="up")
+        rt.memcpy_async(h, a, s2, label="down")
+        raw = next(hz for hz in rt.checker.hazards if hz.kind == "RAW")
+        assert raw.buffer == "weights"
+        assert raw.earlier.label == "up"
+        assert raw.later.label == "down"
+        assert "racy" in raw.describe()
+        assert raw.earlier.op_id < raw.later.op_id
+
+    def test_kernel_raw_against_unordered_upload(self, rt):
+        a = rt.malloc(1024, label="a")
+        b = rt.malloc(1024, label="b")
+        h = rt.malloc_pinned(1024, label="h")
+        s1, s2 = rt.create_stream(), rt.create_stream()
+        rt.memcpy_async(b, h, s1)
+        # writes a, reads b — no edge to the upload of b
+        rt.launch(touch_kernel(("w", "r")), buffers=[a, b], n_cells=128, stream=s2)
+        assert [hz.kind for hz in rt.checker.hazards] == ["RAW"]
+        assert rt.checker.hazards[0].severity == "error"
+        assert rt.checker.hazards[0].buffer == "b"
+
+    def test_counts_and_racy_accessors(self, rt):
+        a = rt.malloc(1024, label="a")
+        h = rt.malloc_pinned(1024, label="h")
+        s1, s2 = rt.create_stream(), rt.create_stream()
+        rt.memcpy_async(a, h, s1)
+        rt.memcpy_async(h, a, s2)
+        assert rt.checker.counts() == {"warning": 0, "error": 2}
+        assert len(rt.checker.racy()) == 2
+
+    def test_metrics_counters(self, rt):
+        a = rt.malloc(1024, label="a")
+        h = rt.malloc_pinned(1024, label="h")
+        s1, s2 = rt.create_stream(), rt.create_stream()
+        rt.memcpy_async(a, h, s1)
+        rt.memcpy_async(h, a, s2)
+        counters = rt.metrics.snapshot()["counters"]
+        assert counters["check.ops"] == 2
+        assert counters["check.hazards"] == 2
+        assert counters["check.hazards.racy"] == 2
+        assert counters["check.raw"] == 1
+        assert counters["check.war"] == 1
+
+    def test_trace_marks(self, rt):
+        a = rt.malloc(1024, label="a")
+        h = rt.malloc_pinned(1024, label="h")
+        s1, s2 = rt.create_stream(), rt.create_stream()
+        rt.memcpy_async(a, h, s1)
+        rt.memcpy_async(h, a, s2)
+        marks = [m for m in rt.trace.marks if m["name"] == "hazard"]
+        assert len(marks) == 2
+        assert {m["args"]["severity"] for m in marks} == {"error"}
+        assert {m["args"]["kind"] for m in marks} == {"RAW", "WAR"}
+
+
+class TestFifoLuck:
+    """Conflicts ordered only by a shared engine FIFO are warnings."""
+
+    def test_same_engine_waw_is_warning(self, rt):
+        a = rt.malloc(1024, label="a")
+        h1 = rt.malloc_pinned(1024, label="h1")
+        h2 = rt.malloc_pinned(1024, label="h2")
+        s1, s2 = rt.create_stream(), rt.create_stream()
+        rt.memcpy_async(a, h1, s1)   # both on the H2D engine: FIFO orders
+        rt.memcpy_async(a, h2, s2)   # them — but no program edge does
+        assert [hz.kind for hz in rt.checker.hazards] == ["WAW"]
+        assert rt.checker.hazards[0].severity == "warning"
+        counters = rt.metrics.snapshot()["counters"]
+        assert counters["check.hazards.fifo_luck"] == 1
+        assert counters.get("check.hazards.racy", 0) == 0
+
+    def test_warning_does_not_raise_in_strict(self, strict_rt):
+        rt = strict_rt
+        a = rt.malloc(1024, label="a")
+        h1 = rt.malloc_pinned(1024, label="h1")
+        h2 = rt.malloc_pinned(1024, label="h2")
+        s1, s2 = rt.create_stream(), rt.create_stream()
+        rt.memcpy_async(a, h1, s1)
+        rt.memcpy_async(a, h2, s2)  # fifo-luck: tolerated, only flagged
+        assert rt.checker.counts() == {"warning": 1, "error": 0}
+
+
+class TestStrictMode:
+    def test_racy_pair_raises(self, strict_rt):
+        rt = strict_rt
+        a = rt.malloc(1024, label="a")
+        h = rt.malloc_pinned(1024, label="h")
+        s1, s2 = rt.create_stream(), rt.create_stream()
+        rt.memcpy_async(a, h, s1)
+        with pytest.raises(HazardError) as exc:
+            rt.memcpy_async(h, a, s2)
+        assert exc.value.hazard.severity == "error"
+        assert exc.value.hazard.kind in ("RAW", "WAR")
+
+    def test_state_folded_before_raising(self, strict_rt):
+        # the op that raises is still recorded: the trace/counters stay
+        # consistent for post-mortem reporting
+        rt = strict_rt
+        a = rt.malloc(1024, label="a")
+        h = rt.malloc_pinned(1024, label="h")
+        s1, s2 = rt.create_stream(), rt.create_stream()
+        rt.memcpy_async(a, h, s1)
+        with pytest.raises(HazardError):
+            rt.memcpy_async(h, a, s2)
+        assert rt.checker.op_count == 2
+        assert len(rt.checker.hazards) == 2
+
+
+class TestAfterResolution:
+    def test_unresolvable_after_counted_not_trusted(self, rt):
+        a = rt.malloc(1024, label="a")
+        h = rt.malloc_pinned(1024, label="h")
+        s1, s2 = rt.create_stream(), rt.create_stream()
+        rt.memcpy_async(a, h, s1)
+        # 123.456 matches no recorded completion: the edge is dropped
+        # (counted) and the conflict is still reported as racy
+        rt.memcpy_async(h, a, s2, after=123.456)
+        counters = rt.metrics.snapshot()["counters"]
+        assert counters["check.after_unresolved"] == 1
+        assert counters["check.hazards.racy"] == 2
+
+    def test_zero_and_negative_components_skipped(self, rt):
+        a = rt.malloc(1024, label="a")
+        h = rt.malloc_pinned(1024, label="h")
+        s = rt.create_stream()
+        rt.memcpy_async(a, h, s, after=(0.0, -1.0))
+        counters = rt.metrics.snapshot()["counters"]
+        assert counters.get("check.after_unresolved", 0) == 0
+
+    def test_tuple_after_resolves_every_component(self, rt):
+        a, b = rt.malloc(1024, label="a"), rt.malloc(1024, label="b")
+        ha, hb = rt.malloc_pinned(1024, label="ha"), rt.malloc_pinned(1024, label="hb")
+        s1, s2, s3 = rt.create_stream(), rt.create_stream(), rt.create_stream()
+        e1 = rt.memcpy_async(a, ha, s1)
+        e2 = rt.memcpy_async(b, hb, s2)
+        # reads both uploads; passing the individual components (not
+        # max(e1, e2)) proves the edge to *each* producer
+        rt.launch(touch_kernel(("r", "r")), buffers=[a, b], n_cells=128,
+                  stream=s3, after=(e1, e2))
+        assert rt.checker.hazards == []
+
+
+class TestAccessDerivation:
+    def test_arg_access_limits_conflicts(self, rt):
+        a, b = rt.malloc(1024, label="a"), rt.malloc(1024, label="b")
+        s1, s2 = rt.create_stream(), rt.create_stream()
+        # two read-only launches of the same buffers never conflict
+        k = touch_kernel(("r", "r"))
+        rt.launch(k, buffers=[a, b], n_cells=128, stream=s1)
+        rt.launch(k, buffers=[a, b], n_cells=128, stream=s2)
+        assert rt.checker.hazards == []
+
+    def test_missing_arg_access_is_conservative_rw(self, rt):
+        a = rt.malloc(1024, label="a")
+        s1, s2 = rt.create_stream(), rt.create_stream()
+        k = touch_kernel(None)
+        rt.launch(k, buffers=[a], n_cells=128, stream=s1)
+        rt.launch(k, buffers=[a], n_cells=128, stream=s2)
+        # rw vs rw on a shared compute engine: flagged (as fifo-luck)
+        assert rt.checker.hazards != []
+        assert all(hz.severity == "warning" for hz in rt.checker.hazards)
+
+    def test_explicit_reads_writes_override(self, rt):
+        a, b = rt.malloc(1024, label="a"), rt.malloc(1024, label="b")
+        s1, s2 = rt.create_stream(), rt.create_stream()
+        k = touch_kernel(None)  # conservative rw…
+        rt.launch(k, buffers=[a, b], n_cells=128, stream=s1, reads=[a, b])
+        rt.launch(k, buffers=[a, b], n_cells=128, stream=s2, reads=[a, b])
+        # …but the launch declared read-only access: no conflict
+        assert rt.checker.hazards == []
+
+
+class TestLifecycle:
+    def test_free_forgets_buffer_state(self, rt):
+        h = rt.malloc_pinned(1024, label="h")
+        s1, s2 = rt.create_stream(), rt.create_stream()
+        a = rt.malloc(1024, label="a")
+        rt.memcpy_async(a, h, s1)
+        rt.free(a)  # id(a) may be recycled: its history must not leak
+        b = rt.malloc(1024, label="b")
+        rt.memcpy_async(b, h, s2)
+        kinds = {hz.kind for hz in rt.checker.hazards}
+        assert "WAW" not in kinds  # no phantom conflict with the freed buffer
+
+    def test_reset_schedule_drops_per_run_state(self, rt):
+        a = rt.malloc(1024, label="a")
+        h = rt.malloc_pinned(1024, label="h")
+        s1, s2 = rt.create_stream(), rt.create_stream()
+        rt.memcpy_async(a, h, s1)
+        rt.reset_schedule()
+        # a fresh repetition re-touches the same buffers: no cross-run
+        # conflicts may be reported
+        rt.memcpy_async(a, h, s2)
+        assert rt.checker.hazards == []
+        assert rt.checker.op_count == 2  # ops keep counting across runs
+
+    def test_hazards_survive_reset(self, rt):
+        a = rt.malloc(1024, label="a")
+        h = rt.malloc_pinned(1024, label="h")
+        s1, s2 = rt.create_stream(), rt.create_stream()
+        rt.memcpy_async(a, h, s1)
+        rt.memcpy_async(h, a, s2)
+        found = len(rt.checker.hazards)
+        rt.reset_schedule()
+        assert len(rt.checker.hazards) == found
+
+    def test_wait_on_unknown_event_is_no_edge(self, rt):
+        # an event recorded before the checker was armed (or reset away)
+        # resolves to no snapshot: the wait adds no edge, and must not blow up
+        ev = rt.create_event()
+        s = rt.create_stream()
+        rt.checker.on_stream_wait_event(rt._runtime_id, s, ev)
+        assert rt.checker.hazards == []

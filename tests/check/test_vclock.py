@@ -1,0 +1,89 @@
+"""Vector-clock primitives behind the hazard detector."""
+
+from repro.check.vclock import VectorClock
+
+S1 = ("stream", 0, 1)
+S2 = ("stream", 0, 2)
+HOST = ("host",)
+
+
+class TestBasics:
+    def test_empty_clock_covers_nothing(self):
+        vc = VectorClock()
+        assert not vc.covers(S1, 1)
+        assert vc.get(S1) == 0
+        assert len(vc) == 0
+
+    def test_set_and_covers(self):
+        vc = VectorClock()
+        vc.set(S1, 3)
+        assert vc.covers(S1, 3)
+        assert vc.covers(S1, 2)
+        assert not vc.covers(S1, 4)
+        assert not vc.covers(S2, 1)
+
+    def test_set_never_rewinds(self):
+        vc = VectorClock()
+        vc.set(S1, 5)
+        vc.set(S1, 2)
+        assert vc.get(S1) == 5
+
+    def test_copy_is_independent(self):
+        vc = VectorClock({S1: 1})
+        cp = vc.copy()
+        cp.set(S1, 9)
+        cp.set(S2, 1)
+        assert vc.get(S1) == 1
+        assert vc.get(S2) == 0
+
+
+class TestJoin:
+    def test_join_is_pointwise_max(self):
+        a = VectorClock({S1: 3, S2: 1})
+        b = VectorClock({S1: 2, S2: 4, HOST: 1})
+        a.join(b)
+        assert a.get(S1) == 3
+        assert a.get(S2) == 4
+        assert a.get(HOST) == 1
+
+    def test_join_returns_self_for_chaining(self):
+        a = VectorClock()
+        assert a.join(VectorClock({S1: 1})) is a
+        assert a.get(S1) == 1
+
+    def test_join_none_is_noop(self):
+        a = VectorClock({S1: 2})
+        a.join(None)
+        assert a.get(S1) == 2
+
+    def test_join_idempotent(self):
+        a = VectorClock({S1: 3})
+        b = a.copy()
+        a.join(b).join(b)
+        assert a == b
+
+
+class TestCoversAny:
+    def test_any_single_epoch(self):
+        vc = VectorClock({S1: 5})
+        assert vc.covers_any([(S1, 4)])
+        assert not vc.covers_any([(S1, 6)])
+        assert not vc.covers_any([])
+
+    def test_multi_timeline_event_seen_on_either_side(self):
+        # a peer copy ticks both devices' streams; observing either
+        # epoch means the whole event happened-before
+        vc = VectorClock({S2: 7})
+        epochs = [(S1, 3), (S2, 7)]
+        assert vc.covers_any(epochs)
+        vc2 = VectorClock({S1: 3})
+        assert vc2.covers_any(epochs)
+        vc3 = VectorClock({S1: 2, S2: 6})
+        assert not vc3.covers_any(epochs)
+
+
+class TestEquality:
+    def test_eq(self):
+        assert VectorClock({S1: 1}) == VectorClock({S1: 1})
+        assert VectorClock({S1: 1}) != VectorClock({S1: 2})
+        assert VectorClock() != object()

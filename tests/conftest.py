@@ -72,3 +72,39 @@ def tiny_runtime(tiny_machine) -> CudaRuntime:
 def rand_array(shape, seed=0):
     rng = np.random.default_rng(seed)
     return rng.random(shape)
+
+
+# -- hypothesis strategies --------------------------------------------------
+# Importable from test modules via ``import conftest`` (this directory is
+# on sys.path once pytest loads the rootdir conftest).
+
+
+def schedule_configs():
+    """Strategy over the scheduling knobs that must never change results.
+
+    Everything here only reorders work — eviction policy, prefetch
+    depth, slot count, tile-visit order — so any draw must produce a
+    byte-identical result.  Used by the differential property tests in
+    ``tests/check/test_differential.py``.
+    """
+    from hypothesis import strategies as st
+
+    return st.fixed_dictionaries(
+        {
+            "eviction": st.sampled_from(["lru", "lookahead", "modulo"]),
+            "prefetch_depth": st.sampled_from([None, 0, 1, 2]),
+            "order_seed": st.one_of(
+                st.none(), st.integers(min_value=0, max_value=2**16)
+            ),
+            "n_slots": st.integers(min_value=2, max_value=4),
+        }
+    )
+
+
+def initial_fields(shape):
+    """Strategy over initial conditions: seeded random scalar fields."""
+    from hypothesis import strategies as st
+
+    return st.integers(min_value=0, max_value=2**16).map(
+        lambda seed: rand_array(shape, seed=seed)
+    )

@@ -1,0 +1,121 @@
+"""Resetting scheduling state between harness repetitions.
+
+The failing-test-first half: repetition drivers used to call
+``FifoEngine.reset()`` on the engines alone.  That rewinds the engine
+FIFOs but leaves the *streams* believing their previous run's operations
+are still in flight — the next repetition's first op is scheduled after
+a stale tail, corrupting per-repetition busy-time and queue-depth
+accounting.  ``CudaRuntime.reset_schedule()`` is the fix: engines,
+stream tails, pending-work deques, and the hazard checker's per-run
+state are cleared together.
+"""
+
+import pytest
+
+from repro.cuda.runtime import CudaRuntime
+
+
+@pytest.fixture
+def rt(tiny_machine):
+    # tiny machine: 1 GB/s pinned link, zero latency — a 1 MB copy is
+    # a hand-checkable ~1 ms
+    return CudaRuntime(tiny_machine, check="observe")
+
+
+def one_rep(rt, stream, nbytes=1_000_000):
+    """One repetition: a single H2D copy; returns its completion time."""
+    h = rt.malloc_pinned(nbytes // 8, label="h")
+    d = rt.malloc(nbytes // 8, label="d")
+    end = rt.memcpy_async(d, h, stream)
+    rt.free(d)
+    rt.free_host(h)
+    return end
+
+
+class TestEngineOnlyResetIsNotEnough:
+    """Documents the trap reset_schedule() exists to fix."""
+
+    def test_stale_stream_tail_delays_the_next_repetition(self, rt):
+        s = rt.create_stream()
+        end1 = one_rep(rt, s)
+        assert s.tail == end1
+
+        rt.h2d_engine.reset()  # the old, engine-only "reset"
+
+        # engine accounting looks fresh…
+        assert rt.h2d_engine.busy_time == 0.0
+        # …but the stream still carries the previous run's tail, so the
+        # next repetition's copy is pushed past it instead of starting now
+        assert s.tail == end1
+        end2 = one_rep(rt, s)
+        assert end2 >= end1 + 0.9e-3  # a full extra copy-time late
+
+    def test_engine_reset_docstring_points_at_reset_schedule(self):
+        from repro.sim.engine import FifoEngine
+
+        assert "reset_schedule" in FifoEngine.reset.__doc__
+
+
+class TestResetSchedule:
+    def test_fresh_repetition_starts_from_now(self, rt):
+        s = rt.create_stream()
+        end1 = one_rep(rt, s)
+        rt.reset_schedule()
+        assert s.tail == 0.0
+        end2 = one_rep(rt, s)
+        # same work, scheduled from the current clock instead of the
+        # previous run's completion: roughly one copy-time, not two
+        assert end2 < end1 + 0.5e-3
+        assert end2 == pytest.approx(rt.now, abs=2e-3)
+
+    def test_busy_time_accounts_per_repetition(self, rt):
+        s = rt.create_stream()
+        one_rep(rt, s)
+        busy1 = rt.h2d_engine.busy_time
+        rt.reset_schedule()
+        one_rep(rt, s)
+        assert rt.h2d_engine.busy_time == pytest.approx(busy1)
+        assert rt.h2d_engine.op_count == 1
+
+    def test_pending_deques_cleared(self, rt):
+        s = rt.create_stream()
+        one_rep(rt, s)
+        assert any(rt._engine_pending.values())
+        rt.reset_schedule()
+        assert not rt._engine_pending
+        assert not rt._stream_pending
+
+    def test_aliased_copy_engine_reset_once(self, machine):
+        # single-copy-engine parts alias d2h onto h2d; resetting twice
+        # would be harmless, but the identity set must not blow up
+        from dataclasses import replace
+
+        single = replace(machine, gpu=replace(machine.gpu, copy_engines=1))
+        rt = CudaRuntime(single)
+        assert rt.d2h_engine is rt.h2d_engine
+        s = rt.create_stream()
+        one_rep(rt, s)
+        rt.reset_schedule()
+        assert rt.h2d_engine.busy_time == 0.0
+
+    def test_checker_state_reset_with_the_schedule(self, rt):
+        # same buffers, conflicting accesses — but in different
+        # repetitions: no cross-run hazard may be reported
+        a = rt.malloc(1024, label="a")
+        h = rt.malloc_pinned(1024, label="h")
+        s1, s2 = rt.create_stream(), rt.create_stream()
+        rt.memcpy_async(a, h, s1)
+        rt.reset_schedule()
+        rt.memcpy_async(h, a, s2)
+        assert rt.checker.hazards == []
+
+    def test_allocations_and_metrics_survive(self, rt):
+        s = rt.create_stream()
+        h = rt.malloc_pinned(1024, label="h")
+        d = rt.malloc(1024, label="d")
+        rt.memcpy_async(d, h, s)
+        copies_before = rt.metrics.snapshot()["counters"]["cuda.h2d_copies"]
+        rt.reset_schedule()
+        # buffers stay allocated, counters keep accumulating
+        rt.memcpy_async(d, h, s)
+        assert rt.metrics.snapshot()["counters"]["cuda.h2d_copies"] == copies_before + 1

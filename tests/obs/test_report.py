@@ -203,3 +203,64 @@ class TestCompareSemantics:
         assert higher_is_better("ghost.hybrid_overlap_seconds")
         assert not higher_is_better("cuda.h2d_bytes")
         assert not higher_is_better("cache.evictions.f")
+
+
+class TestHazardTable:
+    """The hazard checker's findings surface in the profiler report."""
+
+    @pytest.fixture(scope="class")
+    def racy_run(self):
+        """A deliberately unsynchronized pair of copies, checker observing."""
+        from repro.config import k40m_pcie3
+        from repro.cuda.runtime import CudaRuntime
+
+        rt = CudaRuntime(k40m_pcie3(), check="observe")
+        a = rt.malloc(1024, label="a")
+        h = rt.malloc_pinned(1024, label="h")
+        s1, s2 = rt.create_stream(), rt.create_stream()
+        rt.memcpy_async(a, h, s1)
+        rt.memcpy_async(h, a, s2)
+        return rt
+
+    def test_hazard_rows_from_trace_marks(self, racy_run):
+        from repro.obs.report import hazard_table
+
+        table = hazard_table(racy_run.trace, racy_run.metrics.snapshot())
+        assert len(table.rows) == 2
+        kinds = {row[2] for row in table.rows}
+        assert kinds == {"RAW", "WAR"}
+        assert any("racy = 2" in n for n in table.notes)
+
+    def test_clean_checked_run_reports_ops(self, racy_run):
+        from repro.obs.report import hazard_table
+
+        table = hazard_table(None, racy_run.metrics.snapshot())
+        assert table.rows == []
+        assert any("checked ops = 2" in n for n in table.notes)
+
+    def test_build_report_appends_hazards(self, racy_run):
+        tables = build_report(racy_run.trace, racy_run.metrics.snapshot())
+        titles = [t.title for t in tables]
+        assert "happens-before hazards" in titles
+
+    def test_unchecked_run_has_no_hazard_table(self, heat_run):
+        tables = build_report(heat_run.trace, heat_run.metrics)
+        assert "happens-before hazards" not in [t.title for t in tables]
+
+    def test_check_counters_off_generic_metrics_table(self, racy_run):
+        from repro.obs.report import metrics_table
+
+        table = metrics_table(racy_run.metrics.snapshot())
+        assert not any(str(row[0]).startswith("check.") for row in table.rows)
+
+    def test_hazard_marks_survive_chrome_round_trip(self, racy_run, tmp_path):
+        path = tmp_path / "racy.json"
+        path.write_text(json.dumps({
+            "schema": "repro-run-manifest/1",
+            "traceEvents": racy_run.trace.to_chrome_trace(),
+            "metrics": racy_run.metrics.snapshot(),
+        }))
+        trace, metrics = load_run(path)
+        from repro.obs.report import hazard_table
+
+        assert len(hazard_table(trace, metrics).rows) == 2
