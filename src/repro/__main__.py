@@ -84,21 +84,27 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     r = run_tida_heat(
         shape=tuple(args.shape), steps=args.steps, n_regions=args.regions,
         device_memory_limit=args.memory_limit, n_slots=n_slots,
+        check="observe",
     )
     # a run manifest: Chrome/Perfetto traceEvents (with counter tracks and
-    # decision marks) plus the runtime metrics snapshot
+    # decision marks), the runtime metrics snapshot, and the causal DAG
+    # the observing hazard checker recorded (obs.report --critpath input)
+    from .check.dag import dag_to_json
+
     path = Path(args.out)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps({
         "schema": "repro-run-manifest/1",
         "traceEvents": r.trace.to_chrome_trace(),
         "metrics": r.metrics,
+        "dag": dag_to_json(r.dag or ()),
     }))
     n_tracks = len(r.trace.counter_tracks)
-    print(f"{len(r.trace)} events + {n_tracks} counter tracks from a "
+    print(f"{len(r.trace)} events + {n_tracks} counter tracks + "
+          f"{len(r.dag or ())} DAG nodes from a "
           f"{args.steps}-step heat solve -> {path}")
     print("open https://ui.perfetto.dev (or chrome://tracing) and load the file,")
-    print(f"or: python -m repro.obs.report {path}")
+    print(f"or: python -m repro.obs.report {path} --critpath")
     return 0
 
 

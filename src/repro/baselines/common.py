@@ -26,6 +26,7 @@ class BaselineResult:
     result: np.ndarray | None = None    # final interior array (functional mode)
     meta: dict[str, Any] = field(default_factory=dict)
     metrics: dict[str, Any] | None = None  # runtime.metrics snapshot, if taken
+    dag: list[Any] | None = None        # causal DAG (DagNode list) when checked
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"BaselineResult({self.name}, elapsed={self.elapsed:.6f}s)"

@@ -93,6 +93,7 @@ def run_tida_heat(
             "eviction": eviction,
         },
         metrics=lib.metrics.snapshot(),
+        dag=(list(lib.checker.dag) if lib.checker is not None else None),
     )
 
 
@@ -158,4 +159,5 @@ def run_tida_compute(
             "eviction": eviction,
         },
         metrics=lib.metrics.snapshot(),
+        dag=(list(lib.checker.dag) if lib.checker is not None else None),
     )

@@ -31,6 +31,7 @@ def run_all(
     metrics_out: Path | None = None,
     faults_spec: str | None = None,
     check: bool = False,
+    critpath: bool = False,
 ) -> list[Table]:
     """Execute every experiment; returns the tables in paper order.
 
@@ -42,6 +43,10 @@ def run_all(
     experiments create (see :mod:`repro.check`): any racy device-buffer
     access raises :class:`~repro.errors.HazardError` on the spot, and a
     hazard summary is printed at the end — the CI conformance leg.
+
+    ``critpath=True`` additionally runs the critical-path leg
+    (:func:`run_critpath_leg`), writing ``critpath.json`` next to the
+    figures — the manifest ``BENCH_critpath.json`` is gated against.
     """
     if check:
         from ..check import set_default_mode
@@ -50,13 +55,57 @@ def run_all(
     if metrics_out is not None or check:
         obs_metrics.start_collection()
     try:
-        return _run_figures(
+        tables = _run_figures(
             out_dir, quick=quick, echo=echo, metrics_out=metrics_out,
             faults_spec=faults_spec, check=check,
         )
     finally:
         if check:
             set_default_mode(None)
+    if critpath:
+        run_critpath_leg(out_dir, echo=echo)
+    return tables
+
+
+def run_critpath_leg(out_dir: Path, *, echo: bool = True) -> Path:
+    """The critical-path trend leg: analyse the Fig. 3 heat workload.
+
+    Runs the pipelined heat solve under the observing hazard checker
+    (fixed shape/steps regardless of ``--quick``, so the numbers are
+    comparable across runs — virtual time makes them deterministic),
+    computes the full critpath summary, and writes ``critpath.json``:
+    a run manifest whose ``metrics`` are the flat ``critpath.*``
+    counters.  CI gates that file against the committed
+    ``BENCH_critpath.json`` with ``obs.report --compare``, so critical
+    path composition, overlap efficiency, and predicted what-if
+    speedups become a ratcheted trend ledger.
+    """
+    from ..baselines.tida_runners import run_tida_heat
+    from ..check.dag import dag_to_json
+    from ..obs.critpath import RunDag, critpath_metrics, critpath_summary
+    from ..obs.report import build_critpath_report
+
+    r = run_tida_heat(shape=(128, 128, 128), n_regions=8, steps=3,
+                      check="observe")
+    marks = [m["ts"] for m in r.trace.marks if m["name"] == "iteration"]
+    dag = RunDag.from_nodes(r.dag or (), marks=marks)
+    summary = critpath_summary(dag)
+    manifest = {
+        "schema": "repro-run-manifest/1",
+        "traceEvents": r.trace.to_chrome_trace(),
+        "metrics": {"counters": critpath_metrics(summary)},
+        "dag": dag_to_json(r.dag or ()),
+        "critpath": summary,
+    }
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / "critpath.json"
+    path.write_text(json.dumps(manifest, indent=2))
+    if echo:
+        for table in build_critpath_report(None, manifest):
+            print()
+            print(table.format())
+        print(f"\nwrote critical-path manifest to {path}")
+    return path
 
 
 def _run_figures(
@@ -173,6 +222,11 @@ def main(argv: list[str] | None = None) -> int:
         help="run every experiment under the strict hazard checker "
              "(racy device-buffer accesses abort the run; see repro.check)",
     )
+    parser.add_argument(
+        "--critpath", action="store_true",
+        help="also run the critical-path leg and write critpath.json "
+             "(the manifest gated against BENCH_critpath.json)",
+    )
     args = parser.parse_args(argv)
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -182,6 +236,7 @@ def main(argv: list[str] | None = None) -> int:
         metrics_out=Path(args.metrics_out) if args.metrics_out else None,
         faults_spec=args.faults,
         check=args.check,
+        critpath=args.critpath,
     )
     return 0
 

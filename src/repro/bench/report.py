@@ -127,14 +127,17 @@ class Table:
         )
         return table
 
-    def save_json(self, path: str | Path) -> Path:
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {
+    def to_json(self) -> dict[str, Any]:
+        """The JSON payload: title, columns, raw (unformatted) rows, notes."""
+        return {
             "title": self.title,
             "columns": self.columns,
             "rows": self.rows,
             "notes": self.notes,
         }
-        path.write_text(json.dumps(payload, indent=2, default=str))
+
+    def save_json(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_json(), indent=2, default=str))
         return path

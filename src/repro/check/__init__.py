@@ -24,6 +24,7 @@ Enable per runtime with ``CudaRuntime(check="strict")`` (or
 ``python -m repro.bench.harness --check``.
 """
 
+from .dag import DagNode, dag_from_json, dag_to_json
 from .hazards import (
     Hazard,
     HazardChecker,
@@ -35,9 +36,12 @@ from .hazards import (
 from .vclock import VectorClock
 
 __all__ = [
+    "DagNode",
     "Hazard",
     "HazardChecker",
     "VectorClock",
+    "dag_from_json",
+    "dag_to_json",
     "default_mode",
     "resolve_checker",
     "resolve_mode",

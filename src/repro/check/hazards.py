@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
 from ..errors import HazardError
+from .dag import DagNode, dag_to_json
 from .vclock import Timeline, VectorClock
 
 #: Recognized checker modes.
@@ -179,6 +180,16 @@ class HazardChecker:
         # buffer access state keyed by object id + retained
         self._buffers: dict[int, _BufferState] = {}
         self._buffer_refs: dict[int, Any] = {}
+        # -- causal-DAG recording (consumed by repro.obs.critpath) --------
+        # one DagNode per record_op, with explicit predecessor edges
+        self.dag: list[DagNode] = []
+        self._last_stream_op: dict[tuple[int, int], tuple[int, float]] = {}
+        self._last_engine_op: dict[int, tuple[int, float]] = {}
+        self._completion_ops: dict[float, list[int]] = {}
+        self._event_op: dict[int, tuple[int, float] | None] = {}
+        self._pending_event_deps: dict[tuple[int, int], list[tuple[int, float]]] = {}
+        self._host_op: tuple[int, float] | None = None
+        self._last_issue = 0.0
 
     # -- summaries -----------------------------------------------------------
 
@@ -221,6 +232,7 @@ class HazardChecker:
         reads: Sequence[Any] = (),
         writes: Sequence[Any] = (),
         now: float = 0.0,
+        nbytes: int = 0,
     ) -> None:
         """Record one device operation and check its buffer accesses.
 
@@ -234,11 +246,16 @@ class HazardChecker:
         skeys = tuple((rtid, s.stream_id) for rtid, s in streams)
         strong = VectorClock()
         weak = VectorClock()
+        # DAG edges, strongest kind first (a predecessor reachable several
+        # ways keeps the most meaningful kind)
+        dag_deps: dict[int, str] = {}
         for key in skeys:
             st = self._streams.get(key)
             if st is not None:
                 strong.join(st.strong)
                 weak.join(st.weak)
+            for oid, _oend in self._pending_event_deps.pop(key, ()):
+                dag_deps.setdefault(oid, "event")
         strong.join(self._host.strong)
         weak.join(self._host.weak)
         for a in after:
@@ -250,11 +267,20 @@ class HazardChecker:
                 continue
             strong.join(snap[0])
             weak.join(snap[1])
+            for oid in self._completion_ops.get(float(a), ()):
+                dag_deps.setdefault(oid, "after")
+        for key in skeys:
+            prev = self._last_stream_op.get(key)
+            if prev is not None:
+                dag_deps.setdefault(prev[0], "stream")
         weak.join(strong)
         for e in engines:
             ew = self._engine_weak.get(id(e))
             if ew is not None:
                 weak.join(ew)
+            prev = self._last_engine_op.get(id(e))
+            if prev is not None:
+                dag_deps.setdefault(prev[0], "engine")
         epochs = []
         for key in skeys:
             tid: Timeline = ("stream",) + key
@@ -269,6 +295,21 @@ class HazardChecker:
             streams=skeys, engines=tuple(getattr(e, "name", "?") for e in engines),
             epochs=tuple(epochs),
         )
+        # host edge: the op the host last blocked on, plus the host's own
+        # time between that wake-up (or the previous issue) and this issue
+        host_dep = self._host_op[0] if self._host_op is not None else None
+        host_floor = max(
+            self._last_issue,
+            self._host_op[1] if self._host_op is not None else 0.0,
+        )
+        self.dag.append(DagNode(
+            op_id=info.op_id, kind=kind, label=label,
+            start=start, end=end, issue=now, nbytes=int(nbytes),
+            streams=skeys, engines=info.engines,
+            deps=tuple(sorted(dag_deps.items())),
+            host_dep=host_dep, host_gap=max(0.0, now - host_floor),
+        ))
+        self._last_issue = max(self._last_issue, now)
 
         found = self._check_accesses(info, strong, weak, reads, writes)
 
@@ -277,9 +318,12 @@ class HazardChecker:
             st = self._stream_state(key)
             st.strong = strong
             st.weak = weak
+            self._last_stream_op[key] = (info.op_id, end)
         for e in engines:
             self._engine_weak[id(e)] = weak
             self._engine_refs[id(e)] = e
+            self._last_engine_op[id(e)] = (info.op_id, end)
+        self._completion_ops.setdefault(end, []).append(info.op_id)
         snap = self._completions.get(end)
         if snap is None:
             self._completions[end] = (strong, weak)
@@ -370,6 +414,9 @@ class HazardChecker:
         st = self._stream_state((runtime_id, stream.stream_id))
         self._events[id(event)] = (st.strong, st.weak)
         self._event_refs[id(event)] = event
+        self._event_op[id(event)] = self._last_stream_op.get(
+            (runtime_id, stream.stream_id)
+        )
 
     def on_stream_wait_event(self, runtime_id: int, stream: Any, event: Any) -> None:
         """``cudaStreamWaitEvent``: the stream acquires the event's snapshot."""
@@ -379,6 +426,11 @@ class HazardChecker:
         st = self._stream_state((runtime_id, stream.stream_id))
         st.strong = st.strong.copy().join(snap[0])
         st.weak = st.weak.copy().join(snap[1])
+        ev_op = self._event_op.get(id(event))
+        if ev_op is not None:
+            self._pending_event_deps.setdefault(
+                (runtime_id, stream.stream_id), []
+            ).append(ev_op)
 
     def host_sync_stream(self, runtime_id: int, stream: Any) -> None:
         """The host blocked until ``stream`` drained: it now knows its past."""
@@ -386,6 +438,14 @@ class HazardChecker:
         if st is not None:
             self._host.strong = self._host.strong.copy().join(st.strong)
             self._host.weak = self._host.weak.copy().join(st.weak)
+        self._note_host_blocked_on(
+            self._last_stream_op.get((runtime_id, stream.stream_id))
+        )
+
+    def _note_host_blocked_on(self, op: tuple[int, float] | None) -> None:
+        """Keep the latest-completing op the host has blocked on (DAG host edge)."""
+        if op is not None and (self._host_op is None or op[1] > self._host_op[1]):
+            self._host_op = op
 
     def host_sync_streams(self, runtime_id: int, streams: Iterable[Any]) -> None:
         """``cudaDeviceSynchronize``: the host acquires every stream."""
@@ -398,6 +458,7 @@ class HazardChecker:
         if snap is not None:
             self._host.strong = self._host.strong.copy().join(snap[0])
             self._host.weak = self._host.weak.copy().join(snap[1])
+        self._note_host_blocked_on(self._event_op.get(id(event)))
 
     def forget(self, buf: Any) -> None:
         """A buffer was freed: stop tracking it (its id may be recycled)."""
@@ -423,3 +484,15 @@ class HazardChecker:
         self._completions.clear()
         self._buffers.clear()
         self._buffer_refs.clear()
+        # DAG bookkeeping follows the same rule: ``self.dag`` survives
+        # (it is the run's record), per-schedule resolution state resets.
+        self._last_stream_op.clear()
+        self._last_engine_op.clear()
+        self._completion_ops.clear()
+        self._event_op.clear()
+        self._pending_event_deps.clear()
+        self._host_op = None
+
+    def dag_export(self) -> list[dict[str, Any]]:
+        """The recorded causal DAG as manifest-ready plain dicts."""
+        return dag_to_json(self.dag)

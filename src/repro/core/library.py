@@ -368,7 +368,7 @@ class TidaAcc:
                 vector_length=self.vector_length,
                 after=tuple(ready),
                 params={"lo": lo, "hi": hi, **params},
-                label=f"compute:{kernel.name}:r{rid}",
+                label=f"compute:{kernel.name}:{names[0]}.r{rid}",
             ),
         )
         for mgr in managers:
@@ -538,6 +538,10 @@ class TidaAcc:
         Pure renaming: host allocations, device slots, streams and cache
         state all travel with the array."""
         ta_a, ta_b = self.field(name_a), self.field(name_b)
+        # iteration boundary: the time-step loop swaps old/new exactly once
+        # per step, so this mark segments the trace for per-iteration
+        # overlap-efficiency reporting (obs.critpath)
+        self.trace.mark("iteration", self.now, fields=[name_a, name_b])
         self._fields[name_a], self._fields[name_b] = ta_b, ta_a
         self._managers[name_a], self._managers[name_b] = (
             self._managers[name_b],

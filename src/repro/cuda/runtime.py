@@ -536,6 +536,7 @@ class CudaRuntime:
                 streams=((self._runtime_id, stream),), engines=(engine,),
                 start=start, end=end, after=after_deps,
                 reads=(src,), writes=(dst,), now=self.now,
+                nbytes=src.nbytes,
             )
         if not host_buf.pinned and link.pageable_async_is_sync and not _force_sync:
             # async call degraded to synchronous by pageable memory (§II-B)

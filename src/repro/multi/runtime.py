@@ -173,6 +173,7 @@ class MultiGpuRuntime:
                 engines=(src_rt.d2h_engine, dst_rt.h2d_engine),
                 start=start_a, end=end, after=after_deps,
                 reads=(src,), writes=(dst,), now=self.clock.now,
+                nbytes=src.nbytes,
             )
         return end
 

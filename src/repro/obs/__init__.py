@@ -5,11 +5,24 @@
   :class:`~repro.cuda.runtime.CudaRuntime`;
 * :mod:`repro.obs.compare` — metric-snapshot diffing and regression
   flagging;
+* :mod:`repro.obs.critpath` — critical-path / overlap-efficiency /
+  what-if analysis over the causal run DAG;
 * :mod:`repro.obs.report` — the profiler CLI
-  (``python -m repro.obs.report <trace-or-run.json> [--compare base]``).
+  (``python -m repro.obs.report <trace-or-run.json> [--critpath]
+  [--compare base] [--format json]``).
 """
 
 from .compare import compare_snapshots, flatten_snapshot
+from .critpath import (
+    RunDag,
+    Scenario,
+    critical_path,
+    critpath_metrics,
+    critpath_summary,
+    overlap_report,
+    replay,
+    whatif,
+)
 from .metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -34,4 +47,12 @@ __all__ = [
     "collect",
     "compare_snapshots",
     "flatten_snapshot",
+    "RunDag",
+    "Scenario",
+    "critical_path",
+    "critpath_metrics",
+    "critpath_summary",
+    "overlap_report",
+    "replay",
+    "whatif",
 ]

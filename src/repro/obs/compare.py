@@ -25,6 +25,7 @@ GOOD_WHEN_HIGH = (
     "bandwidth",
     "utilization",
     "recovered",
+    "speedup",
 )
 
 
@@ -57,9 +58,10 @@ def compare_snapshots(
     Returns ``(rows, regressions)``: one row per metric seen in either
     snapshot (``metric``, ``baseline``, ``current``, ``delta``,
     ``rel_change``, ``verdict``), and the subset whose verdict is
-    ``"REGRESSED"``.  Metrics absent from one side are reported with
-    verdict ``"new"``/``"gone"`` and never regress (there is nothing to
-    gate against).
+    ``"REGRESSED"``.  Metrics absent from one side — including those
+    whose baseline value is zero, where no relative change exists — are
+    reported with verdict ``"new"``/``"removed"`` and never regress
+    (there is nothing to gate against).
     """
     cur = flatten_snapshot(current)
     base = flatten_snapshot(baseline)
@@ -72,14 +74,18 @@ def compare_snapshots(
             continue
         if name not in cur:
             rows.append({"metric": name, "baseline": base[name], "current": None,
-                         "delta": None, "rel_change": None, "verdict": "gone"})
+                         "delta": None, "rel_change": None, "verdict": "removed"})
             continue
         b, c = base[name], cur[name]
         delta = c - b
-        if b != 0.0:
-            rel = delta / abs(b)
-        else:
-            rel = 0.0 if c == 0.0 else float("inf")
+        if b == 0.0 and c != 0.0:
+            # a counter that first moved off zero: no relative change to
+            # gate on, so surface it as "new" rather than an infinite
+            # regression (or a silent skip)
+            rows.append({"metric": name, "baseline": b, "current": c,
+                         "delta": delta, "rel_change": None, "verdict": "new"})
+            continue
+        rel = delta / abs(b) if b != 0.0 else 0.0
         bad = (-rel if higher_is_better(name) else rel) >= threshold
         verdict = "REGRESSED" if bad else ("ok" if abs(rel) < threshold else "improved")
         row = {"metric": name, "baseline": b, "current": c,

@@ -1,0 +1,554 @@
+"""Critical-path profiling, overlap attribution, and what-if analysis.
+
+The paper's claim (Figs. 3-7) is that tiled pipelining hides PCIe
+transfers behind compute.  Lane utilization says how busy each engine
+was; it cannot say *which* operations bound the run.  This module
+answers that from the causal run DAG the hazard checker records
+(:mod:`repro.check.dag`): every device operation with its strong-order
+edges — stream FIFO, event waits, explicit ``after=`` components — plus
+the engine-FIFO edge that bound its start on *this* machine, the host
+sync it waited for, and the host-only time before its issue.
+
+Three analyses build on the DAG:
+
+* **critical path** (:func:`critical_path`): walk backward from the
+  last-finishing operation, always to the predecessor whose completion
+  bound the start; intervals where no predecessor was running are
+  attributed to the host ("host stall").  The resulting segments
+  partition the wall time exactly, so the per-category attribution sums
+  to the end-to-end time by construction.
+* **overlap efficiency** (:func:`overlap_report`): per iteration (the
+  library marks each ``swap``), compare the achieved wall time with the
+  ideal ``max(compute, transfer)`` lower bound — the Fig. 3/7 metric,
+  computed instead of eyeballed.
+* **what-if** (:func:`whatif`, :func:`replay`): re-schedule the DAG
+  under perturbed machine parameters (PCIe x2, zero launch latency,
+  faster kernels, unlimited slots) keeping the recorded issue order and
+  host behaviour fixed, and report predicted speedups plus the link
+  speed at which the bottleneck flips from transfer- to compute-bound.
+
+When a run carries only a trace (no checker, hence no DAG),
+:meth:`RunDag.from_trace` reconstructs a coarser DAG from stream and
+lane FIFO order alone — good enough for the critical path and the
+attribution, while host stalls absorb what the missing host edges
+cannot explain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from ..check.dag import DagNode, dag_from_json
+from ..config import DEFAULT_MACHINE, MachineSpec
+from ..sim.trace import Trace
+
+__all__ = [
+    "PathSegment",
+    "RunDag",
+    "Scenario",
+    "WHATIF_SCENARIOS",
+    "attribution",
+    "categorize",
+    "critical_path",
+    "critpath_metrics",
+    "critpath_summary",
+    "field_of",
+    "flip_point",
+    "overlap_report",
+    "region_of",
+    "replay",
+    "whatif",
+]
+
+#: DAG node kinds that occupy a copy engine (the "transfer" side of the
+#: overlap bound); everything else is compute.
+TRANSFER_KINDS = ("h2d", "d2h", "peer")
+
+#: Attribution categories, in display order.
+CATEGORIES = ("kernel", "h2d", "d2h", "write-back", "ghost", "peer", "host")
+
+
+def categorize(node: DagNode) -> str:
+    """Attribution category of one DAG node, from its kind and label.
+
+    Labels follow the runtime's conventions: ``evict:`` prefixes mark
+    slot-eviction write-backs (a D2H the pipeline *caused*, as opposed
+    to a requested flush), ``ghost:``/``bc-faces:`` mark the hybrid
+    ghost-exchange work of §IV-B.6 regardless of which engine ran it.
+    """
+    label = node.label
+    if label.startswith("evict:"):
+        return "write-back"
+    if label.startswith(("ghost:", "bc-faces:")):
+        return "ghost"
+    if node.kind == "peer":
+        return "peer"
+    if node.kind in ("h2d", "d2h"):
+        return node.kind
+    return "kernel"
+
+
+def _label_target(label: str) -> str:
+    """The ``field.rN`` token a label acts on (empty when unparseable)."""
+    token = label.rsplit(":", 1)[-1]
+    return token.split("<-", 1)[0]           # ghost:dst<-src: keep the dst
+
+
+def field_of(label: str) -> str:
+    """Field name a label targets (``"-"`` when it names none)."""
+    token = _label_target(label)
+    if ".r" in token:
+        return token.rsplit(".r", 1)[0]
+    return token or "-"
+
+
+def region_of(label: str) -> str:
+    """``field.rN`` region tag of a label (``"-"`` when it names none)."""
+    token = _label_target(label)
+    return token if ".r" in token else "-"
+
+
+@dataclass(frozen=True)
+class PathSegment:
+    """One interval of the critical path: an operation, or a host gap."""
+
+    start: float
+    end: float
+    category: str
+    label: str
+    op_id: int | None = None     # None for host-stall gaps
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class RunDag:
+    """A run's causal DAG plus its iteration boundaries."""
+
+    nodes: tuple[DagNode, ...]
+    iteration_marks: tuple[float, ...] = ()
+
+    @property
+    def t0(self) -> float:
+        return min((n.start for n in self.nodes), default=0.0)
+
+    @property
+    def t_end(self) -> float:
+        return max((n.end for n in self.nodes), default=0.0)
+
+    @property
+    def wall(self) -> float:
+        return self.t_end - self.t0
+
+    @classmethod
+    def from_nodes(
+        cls, nodes: Iterable[DagNode], *, marks: Iterable[float] = ()
+    ) -> "RunDag":
+        return cls(
+            nodes=tuple(sorted(nodes, key=lambda n: n.op_id)),
+            iteration_marks=tuple(sorted(marks)),
+        )
+
+    @classmethod
+    def from_manifest(cls, data: dict[str, Any]) -> "RunDag | None":
+        """Load from a run manifest's ``"dag"`` key (None when absent).
+
+        Iteration marks come from the manifest's trace events when
+        present (``ph: "i"`` instants named ``iteration``).
+        """
+        rows = data.get("dag")
+        if not rows:
+            return None
+        marks = [
+            e.get("ts", 0.0) / 1e6
+            for e in data.get("traceEvents", ())
+            if e.get("ph") == "i" and e.get("name") == "iteration"
+        ]
+        return cls.from_nodes(dag_from_json(rows), marks=marks)
+
+    @classmethod
+    def from_trace(cls, trace: Trace) -> "RunDag":
+        """Coarse DAG from a bare trace: stream FIFO + lane FIFO edges.
+
+        Without the checker there are no event/after/host edges; the
+        critical-path walk charges the unexplained waiting to the host,
+        and :func:`replay` treats every issue as immediate.  Use the
+        checker-recorded DAG when prediction accuracy matters.
+        """
+        events = sorted(
+            (e for e in trace if e.category in ("h2d", "d2h", "kernel")),
+            key=lambda e: (e.start, e.end),
+        )
+        last_stream: dict[Any, tuple[int, float]] = {}
+        last_lane: dict[str, tuple[int, float]] = {}
+        nodes: list[DagNode] = []
+        for op_id, e in enumerate(events):
+            deps: dict[int, str] = {}
+            if e.stream is not None and e.stream in last_stream:
+                deps.setdefault(last_stream[e.stream][0], "stream")
+            if e.lane in last_lane:
+                deps.setdefault(last_lane[e.lane][0], "engine")
+            nodes.append(DagNode(
+                op_id=op_id, kind=e.category, label=e.name,
+                start=e.start, end=e.end, issue=e.start, nbytes=e.nbytes,
+                streams=((0, e.stream),) if e.stream is not None else (),
+                engines=(e.lane,), deps=tuple(sorted(deps.items())),
+            ))
+            if e.stream is not None:
+                last_stream[e.stream] = (op_id, e.end)
+            last_lane[e.lane] = (op_id, e.end)
+        marks = [m["ts"] for m in trace.marks if m["name"] == "iteration"]
+        return cls.from_nodes(nodes, marks=marks)
+
+
+# -- critical path ----------------------------------------------------------
+
+def critical_path(nodes: Sequence[DagNode]) -> list[PathSegment]:
+    """The chain of operations that bound the end-to-end time.
+
+    Walks backward from the last-finishing node, at each step to the
+    predecessor (ordering edge or host sync) whose completion was the
+    latest — by the scheduling rule ``start = max(issue, dep ends)``
+    that predecessor is what the operation actually waited for.  Time
+    between the binding predecessor's end and the operation's start is
+    host-bound (API overhead, host compute, issue latency) and becomes
+    a ``"host"`` segment.  The returned segments tile ``[t0, t_end]``
+    exactly, so their durations sum to the wall time.
+    """
+    if not nodes:
+        return []
+    by_id = {n.op_id: n for n in nodes}
+    t0 = min(n.start for n in nodes)
+    sink = max(nodes, key=lambda n: (n.end, n.op_id))
+    segments: list[PathSegment] = []
+    cur = sink
+    while True:
+        segments.append(PathSegment(
+            start=cur.start, end=cur.end, category=categorize(cur),
+            label=cur.label, op_id=cur.op_id,
+        ))
+        preds = [by_id[d] for d, _kind in cur.deps if d in by_id]
+        if cur.host_dep is not None and cur.host_dep in by_id:
+            preds.append(by_id[cur.host_dep])
+        preds = [p for p in preds if p.op_id < cur.op_id]
+        if not preds:
+            if cur.start > t0:
+                segments.append(PathSegment(
+                    start=t0, end=cur.start, category="host", label="(issue)",
+                ))
+            break
+        binding = max(preds, key=lambda p: (p.end, p.op_id))
+        if cur.start > binding.end:
+            segments.append(PathSegment(
+                start=binding.end, end=cur.start, category="host",
+                label=f"(waiting to issue {cur.label})",
+            ))
+        cur = binding
+    segments.reverse()
+    return segments
+
+
+def attribution(segments: Sequence[PathSegment]) -> dict[str, float]:
+    """Seconds of critical path per category (zero-filled, display order)."""
+    out = {c: 0.0 for c in CATEGORIES}
+    for seg in segments:
+        out[seg.category] = out.get(seg.category, 0.0) + seg.duration
+    return out
+
+
+def _grouped(
+    segments: Sequence[PathSegment], key
+) -> dict[str, dict[str, float]]:
+    out: dict[str, dict[str, float]] = {}
+    for seg in segments:
+        group = key(seg)
+        cats = out.setdefault(group, {})
+        cats[seg.category] = cats.get(seg.category, 0.0) + seg.duration
+    return out
+
+
+def attribution_by_field(
+    segments: Sequence[PathSegment],
+) -> dict[str, dict[str, float]]:
+    """Per-field category seconds on the path (host gaps under ``"-"``)."""
+    return _grouped(
+        segments,
+        lambda s: field_of(s.label) if s.op_id is not None else "-",
+    )
+
+
+def attribution_by_region(
+    segments: Sequence[PathSegment],
+) -> dict[str, dict[str, float]]:
+    """Per-region (``field.rN``) category seconds on the path."""
+    return _grouped(
+        segments,
+        lambda s: region_of(s.label) if s.op_id is not None else "-",
+    )
+
+
+# -- overlap efficiency -----------------------------------------------------
+
+def overlap_report(dag: RunDag) -> list[dict[str, Any]]:
+    """Achieved vs. ideal overlap, per iteration.
+
+    An iteration runs between consecutive ``iteration`` marks (the
+    library emits one per ``swap``); a run without marks is one
+    iteration.  Within each window, ``compute`` is the summed busy time
+    of kernel-kind nodes and ``transfer`` of copy-engine nodes (both
+    clipped to the window); the pipeline cannot finish the window
+    faster than ``ideal = max(compute, transfer)``, and the overlap it
+    *achieved* is ``compute + transfer - wall`` out of an ideal
+    ``min(compute, transfer)``.
+    """
+    if not dag.nodes:
+        return []
+    bounds = [dag.t0]
+    for ts in dag.iteration_marks:
+        if bounds[-1] < ts < dag.t_end:
+            bounds.append(ts)
+    bounds.append(dag.t_end)
+    rows: list[dict[str, Any]] = []
+    for i in range(len(bounds) - 1):
+        lo, hi = bounds[i], bounds[i + 1]
+        if hi <= lo:
+            continue
+        compute = transfer = 0.0
+        for n in dag.nodes:
+            clip = min(n.end, hi) - max(n.start, lo)
+            if clip <= 0:
+                continue
+            if n.kind in TRANSFER_KINDS:
+                transfer += clip
+            else:
+                compute += clip
+        wall = hi - lo
+        ideal = max(compute, transfer)
+        ideal_overlap = min(compute, transfer)
+        achieved = max(0.0, compute + transfer - wall)
+        rows.append({
+            "iteration": i,
+            "wall_s": wall,
+            "compute_s": compute,
+            "transfer_s": transfer,
+            "ideal_s": ideal,
+            "achieved_overlap_s": achieved,
+            "ideal_overlap_s": ideal_overlap,
+            "efficiency": (achieved / ideal_overlap) if ideal_overlap > 0 else 1.0,
+        })
+    return rows
+
+
+# -- what-if replay ---------------------------------------------------------
+
+@dataclass(frozen=True)
+class Scenario:
+    """A machine perturbation to replay the recorded schedule under.
+
+    ``link_factor`` scales PCIe bandwidth (transfer durations keep
+    their fixed latency: ``dur' = latency + (dur - latency)/factor``,
+    matching :meth:`LinkSpec.transfer_time` exactly); ``kernel_factor``
+    scales kernel throughput; ``zero_launch`` removes the per-launch
+    overhead; ``drop_writebacks`` zeroes eviction write-backs — the
+    limit of "enough slots that nothing is ever evicted".
+    """
+
+    name: str
+    link_factor: float = 1.0
+    kernel_factor: float = 1.0
+    zero_launch: bool = False
+    drop_writebacks: bool = False
+
+
+#: The default what-if panel printed by ``obs.report --critpath``.
+WHATIF_SCENARIOS = (
+    Scenario("baseline"),
+    Scenario("pcie x2", link_factor=2.0),
+    Scenario("pcie x4", link_factor=4.0),
+    Scenario("nvlink (x5)", link_factor=5.0),
+    Scenario("kernels x2", kernel_factor=2.0),
+    Scenario("zero launch latency", zero_launch=True),
+    Scenario("unlimited slots", drop_writebacks=True),
+)
+
+
+def _scaled_duration(
+    node: DagNode, scenario: Scenario, machine: MachineSpec
+) -> float:
+    dur = node.duration
+    if scenario.drop_writebacks and node.label.startswith("evict:"):
+        return 0.0
+    if node.kind in TRANSFER_KINDS:
+        if scenario.link_factor != 1.0:
+            lat = min(machine.link.latency, dur)
+            dur = lat + (dur - lat) / scenario.link_factor
+        return dur
+    if scenario.kernel_factor != 1.0:
+        dur = dur / scenario.kernel_factor
+    if scenario.zero_launch:
+        dur = max(0.0, dur - machine.gpu.kernel_launch_overhead)
+    return dur
+
+
+def replay(
+    nodes: Sequence[DagNode],
+    scenario: Scenario,
+    *,
+    machine: MachineSpec = DEFAULT_MACHINE,
+) -> tuple[list[DagNode], float]:
+    """Re-schedule the DAG under ``scenario``; returns (nodes', makespan).
+
+    The replay keeps the recorded structure fixed — issue order, stream
+    assignment, engine FIFO order, host think time (``host_gap``) — and
+    recomputes times with the scheduling rule the simulator itself
+    uses: ``issue' = max(previous issue', end'(host sync)) + host_gap``
+    and ``start' = max(issue', ordering-edge ends')``.  Under the
+    identity scenario this reproduces the recorded schedule exactly;
+    under a perturbation it predicts what the same program would have
+    done, up to schedule decisions (eviction choices, FIFO races) that
+    a re-run might make differently.
+    """
+    ends: dict[int, float] = {}
+    prev_issue = 0.0
+    out: list[DagNode] = []
+    for n in sorted(nodes, key=lambda x: x.op_id):
+        host_end = ends.get(n.host_dep, 0.0) if n.host_dep is not None else 0.0
+        issue = max(prev_issue, host_end) + n.host_gap
+        start = issue
+        for dep, _kind in n.deps:
+            start = max(start, ends.get(dep, 0.0))
+        end = start + _scaled_duration(n, scenario, machine)
+        ends[n.op_id] = end
+        prev_issue = issue
+        out.append(n.shifted(start=start, end=end, issue=issue))
+    if not out:
+        return [], 0.0
+    makespan = max(n.end for n in out) - min(n.start for n in out)
+    return out, makespan
+
+
+def _bound_of(nodes: Sequence[DagNode]) -> str:
+    """``"transfer"``/``"compute"``/``"host"``: what dominates the path."""
+    attr = attribution(critical_path(nodes))
+    transfer = sum(attr[c] for c in ("h2d", "d2h", "write-back", "peer"))
+    compute = sum(attr[c] for c in ("kernel", "ghost"))
+    host = attr["host"]
+    top = max(("transfer", transfer), ("compute", compute), ("host", host),
+              key=lambda kv: kv[1])
+    return top[0]
+
+
+def whatif(
+    dag: RunDag,
+    *,
+    machine: MachineSpec = DEFAULT_MACHINE,
+    scenarios: Sequence[Scenario] = WHATIF_SCENARIOS,
+) -> list[dict[str, Any]]:
+    """Predicted makespan/speedup per scenario, against the identity replay.
+
+    Speedups are measured against the *replayed* baseline, not the raw
+    recorded wall time, so modelling error common to both cancels out.
+    """
+    _, base = replay(dag.nodes, Scenario("baseline"), machine=machine)
+    rows: list[dict[str, Any]] = []
+    for sc in scenarios:
+        nodes, makespan = replay(dag.nodes, sc, machine=machine)
+        rows.append({
+            "scenario": sc.name,
+            "makespan_s": makespan,
+            "speedup": (base / makespan) if makespan > 0 else float("inf"),
+            "bound": _bound_of(nodes) if nodes else "-",
+        })
+    return rows
+
+
+def flip_point(
+    dag: RunDag,
+    *,
+    machine: MachineSpec = DEFAULT_MACHINE,
+    factors: Sequence[float] = (1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0),
+) -> float | None:
+    """Smallest link-speed factor at which the run stops being transfer-bound.
+
+    Returns ``None`` when the baseline is already compute- or host-bound
+    (nothing to flip), or ``inf`` when even the largest swept factor
+    leaves it transfer-bound.
+    """
+    nodes, _ = replay(dag.nodes, Scenario("baseline"), machine=machine)
+    if not nodes or _bound_of(nodes) != "transfer":
+        return None
+    for f in sorted(factors):
+        if f <= 1.0:
+            continue
+        nodes, _ = replay(
+            dag.nodes, Scenario(f"x{f:g}", link_factor=f), machine=machine
+        )
+        if _bound_of(nodes) != "transfer":
+            return f
+    return float("inf")
+
+
+# -- summaries --------------------------------------------------------------
+
+def _slug(name: str) -> str:
+    return "".join(c if c.isalnum() else "_" for c in name).strip("_")
+
+
+def critpath_summary(
+    dag: RunDag, *, machine: MachineSpec = DEFAULT_MACHINE
+) -> dict[str, Any]:
+    """Everything the critpath analyses produce, as one JSON-able dict.
+
+    This is what the harness embeds under a manifest's ``"critpath"``
+    key and what :func:`critpath_metrics` flattens for ``--compare``
+    gating.
+    """
+    segments = critical_path(dag.nodes)
+    attr = attribution(segments)
+    overlap = overlap_report(dag)
+    rows = whatif(dag, machine=machine)
+    flip = flip_point(dag, machine=machine)
+    return {
+        "wall_s": dag.wall,
+        "n_ops": len(dag.nodes),
+        "path": [
+            {
+                "start": s.start, "duration": s.duration,
+                "category": s.category, "label": s.label, "op": s.op_id,
+            }
+            for s in segments
+        ],
+        "attribution": attr,
+        "attribution_by_field": attribution_by_field(segments),
+        "attribution_by_region": attribution_by_region(segments),
+        "overlap": overlap,
+        "whatif": rows,
+        "flip_link_factor": flip,
+    }
+
+
+def critpath_metrics(summary: dict[str, Any]) -> dict[str, float]:
+    """Flat ``critpath.*`` counters for snapshot comparison / CI gating.
+
+    Category seconds and wall time are lower-is-better by the default
+    comparison rule; names carrying ``overlap``/``speedup`` fragments
+    are higher-is-better (see :mod:`repro.obs.compare`).
+    """
+    out: dict[str, float] = {"critpath.wall_s": float(summary["wall_s"])}
+    for cat, secs in summary["attribution"].items():
+        out[f"critpath.path.{_slug(cat)}_s"] = float(secs)
+    overlap = summary.get("overlap") or []
+    if overlap:
+        ideal = sum(r["ideal_overlap_s"] for r in overlap)
+        achieved = sum(r["achieved_overlap_s"] for r in overlap)
+        out["critpath.overlap_efficiency"] = (
+            achieved / ideal if ideal > 0 else 1.0
+        )
+    for row in summary.get("whatif", ()):
+        out[f"critpath.whatif.{_slug(row['scenario'])}.speedup"] = float(
+            row["speedup"]
+        )
+    return out

@@ -14,6 +14,17 @@ carrying ``traceEvents`` and/or a ``metrics`` snapshot (as written by
   with the operation that eventually filled them;
 * counter-track and runtime-metric summaries.
 
+``--critpath`` adds the causal-DAG analyses of
+:mod:`repro.obs.critpath`: the critical path and its per-category /
+per-field attribution, per-iteration overlap efficiency against the
+``max(compute, transfer)`` lower bound, and the what-if panel of
+predicted speedups under perturbed machines.  The DAG comes from the
+manifest's ``"dag"`` key (recorded by the hazard checker) when present,
+else it is reconstructed from the trace's FIFO orders.
+
+``--format json`` emits every table as machine-readable JSON instead of
+aligned text; ``--out FILE`` writes the output there instead of stdout.
+
 ``--compare baseline.json`` instead diffs the two manifests' metric
 snapshots and exits non-zero when any metric regressed by more than
 ``--threshold`` (default 10%) — the seed of bench-trajectory gating.
@@ -35,15 +46,28 @@ from .compare import compare_snapshots
 _ENGINE_CATEGORIES = {"kernel", "h2d", "d2h"}
 
 
-def load_run(path: str | Path) -> tuple[Trace | None, dict[str, Any] | None]:
-    """Load a run manifest or raw Chrome trace; returns (trace, metrics)."""
+def load_manifest(
+    path: str | Path,
+) -> tuple[Trace | None, dict[str, Any] | None, dict[str, Any]]:
+    """Load a run manifest or raw Chrome trace.
+
+    Returns ``(trace, metrics, manifest)`` — the manifest dict gives
+    access to the optional ``"dag"`` and ``"critpath"`` keys (empty
+    for a bare Chrome event array).
+    """
     data = json.loads(Path(path).read_text())
     if isinstance(data, list):  # bare Chrome event array
-        return Trace.from_chrome_trace(data), None
+        return Trace.from_chrome_trace(data), None, {}
     trace = None
     if "traceEvents" in data:
         trace = Trace.from_chrome_trace(data["traceEvents"])
-    return trace, data.get("metrics")
+    return trace, data.get("metrics"), data
+
+
+def load_run(path: str | Path) -> tuple[Trace | None, dict[str, Any] | None]:
+    """Load a run manifest or raw Chrome trace; returns (trace, metrics)."""
+    trace, metrics, _data = load_manifest(path)
+    return trace, metrics
 
 
 # -- trace-derived tables ---------------------------------------------------
@@ -256,6 +280,137 @@ def metrics_table(metrics: dict[str, Any]) -> Table:
     return table
 
 
+# -- critical-path tables ---------------------------------------------------
+
+def critical_path_table(summary: dict[str, Any], *, top: int = 10) -> Table:
+    """The ``top`` longest segments of the critical path, in time order."""
+    table = Table(
+        title="critical path",
+        columns=["t_start_s", "duration_s", "category", "operation"],
+    )
+    path = summary.get("path", [])
+    widest = sorted(path, key=lambda s: -s["duration"])[:top]
+    keep = {id(s) for s in widest}
+    for seg in path:
+        if id(seg) in keep:
+            table.add_row(seg["start"], seg["duration"], seg["category"],
+                          seg["label"])
+    table.add_note(
+        f"wall = {summary['wall_s']:.6g} s over {summary['n_ops']} ops; "
+        f"path has {len(path)} segments (showing the {len(widest)} longest)"
+    )
+    return table
+
+
+def attribution_table(summary: dict[str, Any]) -> Table:
+    """Per-category and per-field critical-path attribution.
+
+    The category rows partition the wall time exactly (the path tiles
+    the run span); field rows re-slice the same seconds by the field
+    each operation targets, host stalls under ``"-"``.
+    """
+    table = Table(
+        title="critical-path attribution",
+        columns=["category", "path_s", "share"],
+    )
+    wall = summary["wall_s"] or 1.0
+    for cat, secs in summary["attribution"].items():
+        if secs > 0.0:
+            table.add_row(cat, secs, secs / wall)
+    by_field = summary.get("attribution_by_field", {})
+    for fname in sorted(by_field):
+        total = sum(by_field[fname].values())
+        parts = ", ".join(
+            f"{c}={s:.3g}s" for c, s in sorted(by_field[fname].items()) if s > 0
+        )
+        table.add_note(f"field {fname}: {total:.3g}s ({parts})")
+    by_region = summary.get("attribution_by_region", {})
+    regions = sorted(
+        ((sum(cats.values()), r) for r, cats in by_region.items() if r != "-"),
+        reverse=True,
+    )
+    if regions:
+        table.add_note(
+            "hottest regions: "
+            + ", ".join(f"{r}={s:.3g}s" for s, r in regions[:5])
+        )
+    return table
+
+
+def overlap_table(summary: dict[str, Any]) -> Table:
+    """Per-iteration achieved vs. ideal overlap (the Fig. 3/7 metric)."""
+    table = Table(
+        title="overlap efficiency",
+        columns=["iteration", "wall_s", "compute_s", "transfer_s",
+                 "ideal_s", "achieved_overlap_s", "ideal_overlap_s",
+                 "efficiency"],
+    )
+    rows = summary.get("overlap", [])
+    for r in rows:
+        table.add_row(r["iteration"], r["wall_s"], r["compute_s"],
+                      r["transfer_s"], r["ideal_s"], r["achieved_overlap_s"],
+                      r["ideal_overlap_s"], r["efficiency"])
+    if rows:
+        wall = sum(r["wall_s"] for r in rows)
+        ideal = sum(r["ideal_s"] for r in rows)
+        table.add_note(
+            f"ideal lower bound sum(max(compute, transfer)) = {ideal:.6g} s "
+            f"vs wall {wall:.6g} s ({wall / ideal if ideal else 0.0:.3g}x)"
+        )
+    return table
+
+
+def whatif_table(summary: dict[str, Any]) -> Table:
+    """Predicted speedups under perturbed machines, from the DAG replay."""
+    table = Table(
+        title="what-if (replayed schedule)",
+        columns=["scenario", "makespan_s", "speedup", "bound"],
+    )
+    for r in summary.get("whatif", ()):
+        table.add_row(r["scenario"], r["makespan_s"], r["speedup"], r["bound"])
+    flip = summary.get("flip_link_factor")
+    if flip is None:
+        table.add_note("baseline is not transfer-bound: no link-speed flip point")
+    elif flip == float("inf"):
+        table.add_note("still transfer-bound at the largest swept link factor")
+    else:
+        table.add_note(
+            f"bottleneck flips from transfer- to compute-bound at link x{flip:g}"
+        )
+    return table
+
+
+def build_critpath_report(
+    trace: Trace | None,
+    manifest: dict[str, Any],
+    *,
+    top: int = 10,
+) -> list[Table]:
+    """The four critpath tables, from the manifest's DAG or the trace.
+
+    Returns an empty list when neither a recorded DAG nor a usable
+    trace is available.
+    """
+    from .critpath import RunDag, critpath_summary
+
+    dag = RunDag.from_manifest(manifest) if manifest else None
+    source = "checker-recorded DAG"
+    if dag is None and trace is not None and len(trace):
+        dag = RunDag.from_trace(trace)
+        source = "trace FIFO reconstruction (no checker DAG in manifest)"
+    if dag is None or not dag.nodes:
+        return []
+    summary = manifest.get("critpath") or critpath_summary(dag)
+    tables = [
+        critical_path_table(summary, top=top),
+        attribution_table(summary),
+        overlap_table(summary),
+        whatif_table(summary),
+    ]
+    tables[0].add_note(f"DAG source: {source}")
+    return tables
+
+
 def build_report(
     trace: Trace | None, metrics: dict[str, Any] | None, *, top: int = 10
 ) -> list[Table]:
@@ -298,6 +453,29 @@ def compare_table(rows: list[dict[str, Any]], *, show_ok: bool = False) -> Table
     return table
 
 
+def _emit(
+    tables: list[Table],
+    *,
+    fmt: str,
+    out: str | None,
+    extra: dict[str, Any] | None = None,
+) -> None:
+    """Render tables as text or JSON, to stdout or ``out``."""
+    if fmt == "json":
+        payload: dict[str, Any] = {"tables": [t.to_json() for t in tables]}
+        if extra:
+            payload.update(extra)
+        text = json.dumps(payload, indent=2, default=str) + "\n"
+    else:
+        text = "\n\n".join(t.format() for t in tables) + "\n"
+    if out is not None:
+        path = Path(out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+    else:
+        sys.stdout.write(text)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.report", description=__doc__,
@@ -306,6 +484,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("run", help="trace or run-manifest JSON file")
     parser.add_argument("--top", type=int, default=10,
                         help="number of widest stalls to show (default 10)")
+    parser.add_argument("--critpath", action="store_true",
+                        help="add critical-path, attribution, overlap-efficiency "
+                             "and what-if tables (from the manifest's DAG, or "
+                             "reconstructed from the trace)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="output format (default text)")
+    parser.add_argument("--out", metavar="FILE", default=None,
+                        help="write the report there instead of stdout")
     parser.add_argument("--compare", metavar="BASELINE",
                         help="diff metric snapshots against a baseline manifest; "
                              "exit 1 when any metric regresses past --threshold")
@@ -316,7 +502,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     try:
-        trace, metrics = load_run(args.run)
+        trace, metrics, manifest = load_manifest(args.run)
     except (OSError, json.JSONDecodeError) as exc:
         print(f"error: cannot load {args.run}: {exc}", file=sys.stderr)
         return 2
@@ -334,8 +520,11 @@ def main(argv: list[str] | None = None) -> int:
         rows, regressions = compare_snapshots(
             metrics, base_metrics, threshold=args.threshold
         )
-        print(compare_table(rows, show_ok=args.show_ok).format())
-        print()
+        _emit(
+            [compare_table(rows, show_ok=args.show_ok)],
+            fmt=args.format, out=args.out,
+            extra={"rows": rows, "regressions": regressions},
+        )
         if regressions:
             print(f"{len(regressions)} metric(s) regressed beyond "
                   f"{args.threshold:.0%}:")
@@ -350,9 +539,15 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {args.run} carries neither traceEvents nor metrics",
               file=sys.stderr)
         return 2
-    for table in build_report(trace, metrics, top=args.top):
-        print(table.format())
-        print()
+    tables = build_report(trace, metrics, top=args.top)
+    if args.critpath:
+        crit = build_critpath_report(trace, manifest, top=args.top)
+        if not crit:
+            print(f"error: {args.run} carries neither a DAG nor trace events "
+                  "to build the critical path from", file=sys.stderr)
+            return 2
+        tables.extend(crit)
+    _emit(tables, fmt=args.format, out=args.out)
     return 0
 
 

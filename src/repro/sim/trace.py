@@ -244,6 +244,17 @@ class Trace:
             for e in self._events
         ]
 
+    @staticmethod
+    def _us(seconds: float) -> float:
+        """Microseconds quantized to a picosecond grid.
+
+        ``round(·, 6)`` pins emitted timestamps to exact multiples of
+        1e-6 µs, so ``from_chrome_trace``'s ÷1e6 followed by a re-save's
+        ×1e6 lands back on the same grid point: save → load → save is
+        byte-stable instead of drifting by an ulp per cycle.
+        """
+        return round(seconds * 1e6, 6)
+
     def to_chrome_trace(self) -> list[dict[str, Any]]:
         """Chrome/Perfetto trace-event format (``chrome://tracing``).
 
@@ -259,8 +270,8 @@ class Trace:
                     "name": e.name,
                     "cat": e.category,
                     "ph": "X",
-                    "ts": e.start * 1e6,
-                    "dur": e.duration * 1e6,
+                    "ts": self._us(e.start),
+                    "dur": self._us(e.duration),
                     "pid": 0,
                     "tid": lane_tids[e.lane],
                     "args": {
@@ -289,7 +300,7 @@ class Trace:
                     {
                         "name": track,
                         "ph": "C",
-                        "ts": ts * 1e6,
+                        "ts": self._us(ts),
                         "pid": 0,
                         "args": {"value": value},
                     }
@@ -313,7 +324,7 @@ class Trace:
                         "cat": "decision",
                         "ph": "i",
                         "s": "t",
-                        "ts": m["ts"] * 1e6,
+                        "ts": self._us(m["ts"]),
                         "pid": 0,
                         "tid": mark_tid,
                         "args": dict(m["args"]),

@@ -1,0 +1,193 @@
+"""The causal run DAG the hazard checker records alongside its clocks.
+
+Each test issues a tiny schedule through the real runtime under
+``check="observe"`` and asserts the shape of ``checker.dag``: which edge
+kinds appear, what the host edge captured, and that serialization is
+lossless.  The critical-path analyses built *on* the DAG live in
+``tests/obs/test_critpath.py``.
+"""
+
+import pytest
+
+from repro.check import DagNode, dag_from_json, dag_to_json
+from repro.cuda.runtime import CudaRuntime
+
+
+@pytest.fixture
+def rt(machine):
+    return CudaRuntime(machine, check="observe")
+
+
+def deps_of(node, kind):
+    return [d for d, k in node.deps if k == kind]
+
+
+class TestEdgeKinds:
+    def test_stream_fifo_edge(self, rt):
+        a = rt.malloc(1024, label="a")
+        h = rt.malloc_pinned(1024, label="h")
+        s = rt.create_stream()
+        rt.memcpy_async(a, h, s)
+        rt.memcpy_async(h, a, s)
+        first, second = rt.checker.dag
+        assert deps_of(second, "stream") == [first.op_id]
+        assert first.deps == ()
+
+    def test_event_edge(self, rt):
+        a = rt.malloc(1024, label="a")
+        h = rt.malloc_pinned(1024, label="h")
+        s1, s2 = rt.create_stream(), rt.create_stream()
+        ev = rt.create_event()
+        rt.memcpy_async(a, h, s1)
+        rt.event_record(ev, s1)
+        rt.stream_wait_event(s2, ev)
+        rt.memcpy_async(h, a, s2)
+        first, second = rt.checker.dag
+        assert deps_of(second, "event") == [first.op_id]
+
+    def test_after_edge(self, rt):
+        a = rt.malloc(1024, label="a")
+        h = rt.malloc_pinned(1024, label="h")
+        s1, s2 = rt.create_stream(), rt.create_stream()
+        end = rt.memcpy_async(a, h, s1)
+        rt.memcpy_async(h, a, s2, after=end)
+        first, second = rt.checker.dag
+        assert deps_of(second, "after") == [first.op_id]
+
+    def test_engine_fifo_edge(self, rt):
+        # two H2D copies of *different* buffers on different streams: no
+        # program-order edge, but they share the H2D DMA engine
+        a1, a2 = rt.malloc(1024, label="a1"), rt.malloc(1024, label="a2")
+        h1 = rt.malloc_pinned(1024, label="h1")
+        h2 = rt.malloc_pinned(1024, label="h2")
+        s1, s2 = rt.create_stream(), rt.create_stream()
+        rt.memcpy_async(a1, h1, s1)
+        rt.memcpy_async(a2, h2, s2)
+        first, second = rt.checker.dag
+        assert deps_of(second, "stream") == []
+        assert deps_of(second, "engine") == [first.op_id]
+
+    def test_strongest_kind_wins_for_shared_predecessor(self, rt):
+        # same stream *and* same engine: the edge is reported as the
+        # strong program-order kind, not the weak engine FIFO
+        a = rt.malloc(1024, label="a")
+        b = rt.malloc(1024, label="b")
+        h1 = rt.malloc_pinned(1024, label="h1")
+        h2 = rt.malloc_pinned(1024, label="h2")
+        s = rt.create_stream()
+        rt.memcpy_async(a, h1, s)
+        rt.memcpy_async(b, h2, s)
+        _, second = rt.checker.dag
+        assert second.deps == ((1, "stream"),)
+
+
+class TestNodeContents:
+    def test_transfers_record_nbytes(self, rt):
+        a = rt.malloc(4096, label="a")
+        h = rt.malloc_pinned(4096, label="h")
+        rt.memcpy_async(a, h, rt.create_stream())
+        (node,) = rt.checker.dag
+        assert node.kind == "h2d"
+        assert node.nbytes == h.nbytes > 0
+
+    def test_times_are_causal(self, rt):
+        a = rt.malloc(1024, label="a")
+        h = rt.malloc_pinned(1024, label="h")
+        s = rt.create_stream()
+        rt.memcpy_async(a, h, s)
+        rt.memcpy_async(h, a, s)
+        for node in rt.checker.dag:
+            assert node.issue <= node.start < node.end
+        assert rt.checker.dag[0].end <= rt.checker.dag[1].start
+
+    def test_host_dep_after_blocking_sync(self, rt):
+        a = rt.malloc(1024, label="a")
+        h = rt.malloc_pinned(1024, label="h")
+        s1, s2 = rt.create_stream(), rt.create_stream()
+        rt.memcpy_async(a, h, s1)
+        rt.stream_synchronize(s1)
+        rt.memcpy_async(h, a, s2)
+        first, second = rt.checker.dag
+        assert first.host_dep is None
+        assert second.host_dep == first.op_id
+        assert second.host_gap >= 0.0
+
+    def test_host_dep_after_event_sync(self, rt):
+        a = rt.malloc(1024, label="a")
+        h = rt.malloc_pinned(1024, label="h")
+        s1, s2 = rt.create_stream(), rt.create_stream()
+        ev = rt.create_event()
+        rt.memcpy_async(a, h, s1)
+        rt.event_record(ev, s1)
+        rt.event_synchronize(ev)
+        rt.memcpy_async(h, a, s2)
+        first, second = rt.checker.dag
+        assert second.host_dep == first.op_id
+
+
+class TestResetSchedule:
+    def test_dag_survives_but_resolution_state_clears(self, rt):
+        a = rt.malloc(1024, label="a")
+        h = rt.malloc_pinned(1024, label="h")
+        s = rt.create_stream()
+        rt.memcpy_async(a, h, s)
+        rt.stream_synchronize(s)
+        rt.checker.reset_schedule()
+        assert len(rt.checker.dag) == 1  # history kept for the profiler
+        # ...but a new op on the same stream starts a fresh schedule:
+        # no stale stream edge, no stale host edge
+        rt.memcpy_async(h, a, s)
+        node = rt.checker.dag[-1]
+        assert node.deps == ()
+        assert node.host_dep is None
+
+
+class TestSerialization:
+    def make_dag(self, rt):
+        a = rt.malloc(2048, label="a")
+        h = rt.malloc_pinned(2048, label="h")
+        s1, s2 = rt.create_stream(), rt.create_stream()
+        end = rt.memcpy_async(a, h, s1)
+        rt.stream_synchronize(s1)
+        rt.memcpy_async(h, a, s2, after=end)
+        return list(rt.checker.dag)
+
+    def test_json_round_trip_is_lossless(self, rt):
+        dag = self.make_dag(rt)
+        assert dag_from_json(dag_to_json(dag)) == dag
+
+    def test_from_json_sorts_and_tolerates_missing_optionals(self):
+        rows = [
+            {"op": 2, "start": 1.0, "end": 2.0},
+            {"op": 1, "kind": "h2d", "label": "up", "start": 0.0, "end": 1.0,
+             "issue": 0.0, "nbytes": 64, "streams": [[0, 1]],
+             "engines": ["h2d"], "deps": [], "host_dep": None,
+             "host_gap": 0.0},
+        ]
+        n1, n2 = dag_from_json(rows)
+        assert (n1.op_id, n2.op_id) == (1, 2)
+        assert n2.kind == "?" and n2.deps == () and n2.issue == n2.start
+
+    def test_checker_dag_export_matches_to_json(self, rt):
+        dag = self.make_dag(rt)
+        assert rt.checker.dag_export() == dag_to_json(dag)
+
+    def test_json_is_plain_data(self, rt):
+        import json
+
+        rows = rt.checker.dag_export()
+        assert json.loads(json.dumps(rows)) == rows
+
+
+class TestDagNode:
+    def test_duration_and_shifted(self):
+        n = DagNode(op_id=1, kind="h2d", label="up", start=1.0, end=3.0,
+                    issue=0.5, nbytes=8, streams=((0, 1),), engines=("h2d",),
+                    deps=(), host_dep=None, host_gap=0.25)
+        assert n.duration == 2.0
+        m = n.shifted(10.0, 12.0, 9.5)
+        assert (m.start, m.end, m.issue) == (10.0, 12.0, 9.5)
+        assert m.duration == 2.0
+        # everything else is carried over
+        assert (m.op_id, m.kind, m.label, m.nbytes) == (1, "h2d", "up", 8)
+        assert m.deps == () and m.host_gap == 0.25

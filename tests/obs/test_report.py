@@ -52,8 +52,22 @@ class TestChromeExportStructure:
         assert all(e["cat"] == "decision" for e in marks)
         names = {e["name"] for e in marks}
         assert "cache-miss" in names
-        # every mark names the field, region, and slot it decided about
-        assert all({"field", "region", "slot"} <= set(e["args"]) for e in marks)
+        # every cache-decision mark names the field, region, and slot it
+        # decided about
+        cache_marks = [e for e in marks if e["name"] != "iteration"]
+        assert cache_marks
+        assert all(
+            {"field", "region", "slot"} <= set(e["args"]) for e in cache_marks
+        )
+
+    def test_iteration_marks_segment_the_run(self, heat_run, manifest):
+        marks = [
+            e for e in manifest["traceEvents"]
+            if e.get("ph") == "i" and e["name"] == "iteration"
+        ]
+        # one swap per time step
+        assert len(marks) == heat_run.steps
+        assert all("fields" in e["args"] for e in marks)
 
     def test_round_trip_preserves_timing_and_sidechannels(self, heat_run, manifest):
         rebuilt = Trace.from_chrome_trace(manifest["traceEvents"])
@@ -181,12 +195,29 @@ class TestCompareSemantics:
         assert regressions == []
         assert {r["verdict"] for r in rows} == {"improved"}
 
-    def test_new_and_gone_metrics_never_gate(self):
-        base = {"counters": {"gone_metric": 5.0}}
+    def test_new_and_removed_metrics_never_gate(self):
+        base = {"counters": {"removed_metric": 5.0}}
         cur = {"counters": {"new_metric": 5.0}}
         rows, regressions = compare_snapshots(cur, base)
         assert regressions == []
-        assert {r["verdict"] for r in rows} == {"new", "gone"}
+        assert {r["verdict"] for r in rows} == {"new", "removed"}
+
+    def test_zero_baseline_reports_new_not_infinite_regression(self):
+        base = {"counters": {"cuda.stall_seconds": 0.0}}
+        cur = {"counters": {"cuda.stall_seconds": 3.0}}
+        rows, regressions = compare_snapshots(cur, base)
+        assert regressions == []
+        (row,) = rows
+        assert row["verdict"] == "new"
+        assert row["rel_change"] is None
+        assert row["baseline"] == 0.0 and row["current"] == 3.0
+
+    def test_zero_baseline_zero_current_is_ok(self):
+        base = {"counters": {"cuda.stall_seconds": 0.0}}
+        cur = {"counters": {"cuda.stall_seconds": 0.0}}
+        rows, regressions = compare_snapshots(cur, base)
+        assert regressions == []
+        assert rows[0]["verdict"] == "ok"
 
     def test_flatten_covers_all_instrument_kinds(self):
         from repro.obs import MetricsRegistry

@@ -48,6 +48,66 @@ class TestChromeTrace:
         assert json.loads(open(path).read()) == {"traceEvents": []}
 
 
+class TestRoundTrip:
+    """save -> load -> save must reproduce the file byte-for-byte."""
+
+    def make_full_trace(self):
+        """Spans + counter tracks + decision marks, with awkward times."""
+        t = Trace()
+        # times deliberately not representable exactly in binary floating
+        # point: the quantized-microsecond emit has to absorb the *1e6 /
+        # /1e6 round-trip error
+        t.record("k1", "kernel", "compute", 0.1, 0.1 + 1e-3 / 3, stream=1, n_cells=7)
+        t.record("up", "h2d", "h2d", 1 / 3, 1 / 3 + 5e-4, stream=2, nbytes=4096)
+        t.record("down", "d2h", "d2h", 0.7000000001, 0.9, stream=2, nbytes=128)
+        t.record_counter("queue.h2d", 0.1, 1.0)
+        t.record_counter("queue.h2d", 0.2 + 1e-7, 0.0)
+        t.mark("evict", 1 / 7, field="u_old", slot=3)
+        t.mark("iteration", 0.5, fields=["u_old", "u_new"])
+        return t
+
+    def test_save_load_save_is_byte_stable(self, tmp_path):
+        t = self.make_full_trace()
+        p1 = t.save_chrome_trace(str(tmp_path / "a.json"))
+        loaded = Trace.from_chrome_trace(json.loads(open(p1).read())["traceEvents"])
+        p2 = loaded.save_chrome_trace(str(tmp_path / "b.json"))
+        reloaded = Trace.from_chrome_trace(json.loads(open(p2).read())["traceEvents"])
+        p3 = reloaded.save_chrome_trace(str(tmp_path / "c.json"))
+        assert open(p1, "rb").read() == open(p2, "rb").read()
+        assert open(p2, "rb").read() == open(p3, "rb").read()
+
+    def test_round_trip_preserves_counters_and_marks(self):
+        t = self.make_full_trace()
+        loaded = Trace.from_chrome_trace(t.to_chrome_trace())
+        assert set(loaded.counter_tracks) == {"queue.h2d"}
+        samples = loaded.counter_tracks["queue.h2d"]
+        assert [v for _ts, v in samples] == [1.0, 0.0]
+        assert [m["name"] for m in loaded.marks] == ["evict", "iteration"]
+        assert loaded.marks[0]["args"] == {"field": "u_old", "slot": 3}
+        assert loaded.marks[1]["args"] == {"fields": ["u_old", "u_new"]}
+
+    def test_round_trip_preserves_spans(self):
+        t = self.make_full_trace()
+        loaded = Trace.from_chrome_trace(t.to_chrome_trace())
+        assert len(loaded) == len(t)
+        for a, b in zip(t, loaded):
+            assert a.name == b.name and a.category == b.category
+            assert a.lane == b.lane and a.stream == b.stream
+            assert a.nbytes == b.nbytes
+            # quantization grid is a picosecond: virtual times agree to
+            # far better than any simulated duration
+            assert abs(a.start - b.start) < 1e-12
+            assert abs(a.end - b.end) < 1e-11
+
+    def test_quantization_grid_is_picoseconds(self):
+        t = Trace()
+        t.record("k", "kernel", "compute", 1e-9 / 3, 2e-9 / 3)
+        (e,) = [x for x in t.to_chrome_trace() if x["ph"] == "X"]
+        # emitted microseconds sit on the 1e-6-us grid exactly
+        assert e["ts"] == round(e["ts"], 6)
+        assert e["dur"] == round(e["dur"], 6)
+
+
 class TestCli:
     def test_machine_subcommand(self, capsys):
         from repro.__main__ import main

@@ -17,6 +17,7 @@ CASES = [
     ("autotune_regions.py", ["--size", "128", "--steps", "1"]),
     ("conjugate_gradient.py", ["--size", "10", "--regions", "2"]),
     ("multi_gpu_heat.py", ["--size", "64", "--steps", "2"]),
+    ("profile_run.py", ["--size", "128", "--regions", "4", "--steps", "2"]),
 ]
 
 
