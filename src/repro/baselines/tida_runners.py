@@ -40,6 +40,7 @@ def run_tida_heat(
     faults: FaultPlan | None = None,
     retry: RetryPolicy | None = None,
     check: str | bool | None = None,
+    telemetry=None,
     order: str = "sequential",
     order_seed: int | None = None,
 ) -> BaselineResult:
@@ -56,7 +57,7 @@ def run_tida_heat(
     bc = bc if bc is not None else Neumann()
     lib = TidaAcc(machine, functional=functional, device_memory_limit=device_memory_limit,
                   prefetch_depth=prefetch_depth, eviction=eviction,
-                  faults=faults, retry=retry, check=check)
+                  faults=faults, retry=retry, check=check, telemetry=telemetry)
     kernel = heat_kernel(len(shape))
     lib.add_array("u_old", shape, n_regions=n_regions, ghost=1, n_slots=n_slots)
     lib.add_array("u_new", shape, n_regions=n_regions, ghost=1, n_slots=n_slots)
@@ -114,6 +115,7 @@ def run_tida_compute(
     faults: FaultPlan | None = None,
     retry: RetryPolicy | None = None,
     check: str | bool | None = None,
+    telemetry=None,
     order: str = "sequential",
     order_seed: int | None = None,
 ) -> BaselineResult:
@@ -128,7 +130,7 @@ def run_tida_compute(
     machine = machine if machine is not None else DEFAULT_MACHINE
     lib = TidaAcc(machine, functional=functional, device_memory_limit=device_memory_limit,
                   prefetch_depth=prefetch_depth, eviction=eviction,
-                  faults=faults, retry=retry, check=check)
+                  faults=faults, retry=retry, check=check, telemetry=telemetry)
     kernel = compute_intensive_kernel(kernel_iteration)
     lib.add_array("data", shape, n_regions=n_regions, ghost=0, n_slots=n_slots)
     if functional:

@@ -227,6 +227,13 @@ def main(argv: list[str] | None = None) -> int:
         help="also run the critical-path leg and write critpath.json "
              "(the manifest gated against BENCH_critpath.json)",
     )
+    parser.add_argument(
+        "--live", action="store_true",
+        help="also run the live-telemetry watchdog legs (see "
+             "repro.bench.live): nominal runs must stay alert-free, seeded "
+             "degradations must alert; writes live.json / live_nominal.json "
+             "and the per-leg telemetry_*.jsonl sessions",
+    )
     args = parser.parse_args(argv)
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -238,6 +245,10 @@ def main(argv: list[str] | None = None) -> int:
         check=args.check,
         critpath=args.critpath,
     )
+    if args.live:
+        from .live import run_live
+
+        return run_live(out_dir)
     return 0
 
 

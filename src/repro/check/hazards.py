@@ -163,6 +163,9 @@ class HazardChecker:
         self.mode = mode
         self.trace = trace
         self.metrics = metrics
+        # set by CudaRuntime.attach_telemetry so a strict-mode raise can
+        # trigger a flight-recorder incident dump before unwinding
+        self.telemetry = None
         self.hazards: list[Hazard] = []
         self._op_seq = 0
         self._ticks: dict[Timeline, int] = {}
@@ -339,7 +342,10 @@ class HazardChecker:
         if self.mode == "strict":
             for hazard in found:
                 if hazard.severity == "error":
-                    raise HazardError(hazard.describe(), hazard=hazard)
+                    err = HazardError(hazard.describe(), hazard=hazard)
+                    if self.telemetry is not None:
+                        self.telemetry.notify_incident("hazard", error=err, now=now)
+                    raise err
 
     def _check_accesses(
         self,

@@ -65,17 +65,22 @@ class TidaAcc:
         retry: RetryPolicy | None = None,
         faults: FaultPlan | None = None,
         check: str | bool | None = None,
+        telemetry=None,
     ) -> None:
         if runtime is None:
             runtime = CudaRuntime(
                 machine, functional=functional,
                 device_memory_limit=device_memory_limit, check=check,
+                telemetry=telemetry,
             )
-        elif check is not None:
-            from ..check.hazards import resolve_checker
-            runtime.checker = resolve_checker(
-                check, trace=runtime.trace, metrics=runtime.metrics
-            )
+        else:
+            if check is not None:
+                from ..check.hazards import resolve_checker
+                runtime.checker = resolve_checker(
+                    check, trace=runtime.trace, metrics=runtime.metrics
+                )
+            if telemetry is not None:
+                runtime.attach_telemetry(telemetry)
         self.runtime = runtime
         if faults is not None:
             self.runtime.set_fault_plan(faults)
@@ -100,6 +105,15 @@ class TidaAcc:
     def checker(self):
         """The runtime's :class:`~repro.check.hazards.HazardChecker` (or None)."""
         return self.runtime.checker
+
+    @property
+    def telemetry(self):
+        """The runtime's attached :class:`~repro.obs.live.TelemetryBus` (or None)."""
+        return self.runtime.telemetry
+
+    def health(self) -> dict:
+        """Live health snapshot (see :meth:`CudaRuntime.health`)."""
+        return self.runtime.health()
 
     # -- field management -----------------------------------------------------
 
@@ -252,12 +266,14 @@ class TidaAcc:
                         mgr.flush_to_host()
                 except ReproError:
                     continue
-        raise FaultError(
+        err = FaultError(
             f"launch of kernel {kernel_name!r} on region {rid} failed after "
             f"{policy.max_attempts} attempts",
             op="launch", field=kernel_name, region=rid,
             attempts=policy.max_attempts,
-        ) from last
+        )
+        self.runtime.notify_incident("fault", err)
+        raise err from last
 
     # -- the compute method (§V) ---------------------------------------------------
 

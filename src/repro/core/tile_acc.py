@@ -342,12 +342,14 @@ class TileAcc:
                 )
             return result
         self._flush_surviving()
-        raise FaultError(
+        err = FaultError(
             f"{op} of region {rid} on field {self._obs_field!r} failed after "
             f"{policy.max_attempts} attempts",
             op=op, field=self._obs_field, region=rid,
             attempts=policy.max_attempts,
-        ) from last
+        )
+        self.runtime.notify_incident("fault", err)
+        raise err from last
 
     def _flush_surviving(self) -> None:
         """Emergency download of every device-resident region.
@@ -444,13 +446,15 @@ class TileAcc:
                 m.inc(f"faults.recovered.{self._obs_field}")
             return
         self._flush_surviving()
-        raise FaultError(
+        err = FaultError(
             f"device allocation for field {self._obs_field!r} failed after "
             f"{policy.max_attempts} attempts (pool already shrunk to "
             f"{len(self.slots)} slots)",
             op="malloc", field=self._obs_field, region=region.rid,
             attempts=policy.max_attempts,
-        ) from last
+        )
+        self.runtime.notify_incident("fault", err)
+        raise err from last
 
     def _upload(self, slot: DeviceSlot, rid: int, region: Region, *, label: str) -> float:
         """Evict-if-needed + upload ``rid`` into ``slot`` (shared miss path)."""

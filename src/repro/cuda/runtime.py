@@ -50,6 +50,7 @@ from .uvm import DEVICE, HOST, ManagedBuffer
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..check.hazards import HazardChecker
+    from ..obs.live.bus import TelemetryBus
 
 _runtime_ids = itertools.count(1)
 
@@ -87,6 +88,11 @@ class CudaRuntime:
         An existing :class:`~repro.check.hazards.HazardChecker` to share
         (the multi-GPU group gives all devices one checker so peer
         copies are checked across devices); overrides ``check``.
+    telemetry:
+        Optional :class:`~repro.obs.live.TelemetryBus` to attach — the
+        bus samples this runtime's registry on a virtual-clock cadence
+        and receives fault/hazard incident notifications; the runtime
+        then answers :meth:`health` from it.
     """
 
     def __init__(
@@ -102,6 +108,7 @@ class CudaRuntime:
         faults: FaultPlan | None = None,
         check: str | bool | None = None,
         checker: "HazardChecker | None" = None,
+        telemetry: "TelemetryBus | None" = None,
     ) -> None:
         self.machine = machine if machine is not None else DEFAULT_MACHINE
         self.functional = bool(functional)
@@ -154,6 +161,48 @@ class CudaRuntime:
             from ..check.hazards import resolve_checker
 
             self.checker = resolve_checker(check, trace=self.trace, metrics=self.metrics)
+        self.telemetry = None
+        if telemetry is not None:
+            self.attach_telemetry(telemetry)
+
+    # -- live telemetry -----------------------------------------------------
+
+    def attach_telemetry(self, bus) -> None:
+        """Attach a :class:`~repro.obs.live.TelemetryBus` to this runtime.
+
+        The bus starts sampling from the current clock position; the
+        hazard checker (if any) is given the bus so strict-mode raises
+        trigger flight-recorder dumps.
+        """
+        bus.attach(self)
+        self.telemetry = bus
+        if self.checker is not None:
+            self.checker.telemetry = bus
+
+    def health(self) -> dict:
+        """A poll-friendly health snapshot (see ``TelemetryBus.health``).
+
+        Without an attached bus this still answers — with
+        ``monitored: False`` and the clock position — so a service layer
+        can poll every runtime uniformly.
+        """
+        if self.telemetry is not None:
+            return self.telemetry.health()
+        return {
+            "status": "unmonitored",
+            "monitored": False,
+            "now": self.clock.now,
+            "samples": 0,
+            "alerts": {"info": 0, "warning": 0, "critical": 0},
+            "incidents": 0,
+        }
+
+    def notify_incident(self, kind: str, error: Exception | None = None, **info) -> None:
+        """Report a hard failure to the telemetry bus (no-op unmonitored)."""
+        if self.telemetry is not None:
+            self.telemetry.notify_incident(
+                kind, error=error, now=self.clock.now, **info
+            )
 
     # -- fault injection ----------------------------------------------------
 

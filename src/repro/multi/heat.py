@@ -85,6 +85,7 @@ class MultiGpuHeat:
         bc: BoundaryCondition | None = None,
         coef: float = 0.1,
         check: str | bool | None = None,
+        telemetry=None,
     ) -> None:
         if len(shape) < 1:
             raise TidaError("shape must have at least one dimension")
@@ -97,7 +98,8 @@ class MultiGpuHeat:
         self.bc = bc if bc is not None else Neumann()
         self.coef = coef
         self.mgr = MultiGpuRuntime(
-            self.machine, n_devices, functional=functional, check=check
+            self.machine, n_devices, functional=functional, check=check,
+            telemetry=telemetry,
         )
         self.kernel = heat_kernel(len(shape))
         self.ghost = 1
@@ -264,12 +266,13 @@ def run_multi_gpu_heat(
     coef: float = 0.1,
     initial: np.ndarray | None = None,
     check: str | bool | None = None,
+    telemetry=None,
 ) -> BaselineResult:
     """Run the multi-GPU heat solver; timing starts after initialization."""
     solver = MultiGpuHeat(
         machine, shape=shape, n_devices=n_devices,
         regions_per_device=regions_per_device, functional=functional,
-        bc=bc, coef=coef, check=check,
+        bc=bc, coef=coef, check=check, telemetry=telemetry,
     )
     if functional:
         init = initial if initial is not None else default_init(shape, 0)

@@ -36,6 +36,7 @@ class MultiGpuRuntime:
         functional: bool = True,
         device_memory_limit: int | None = None,
         check: str | bool | None = None,
+        telemetry=None,
     ) -> None:
         if n_devices < 1:
             raise CudaInvalidValueError(f"n_devices must be >= 1, got {n_devices}")
@@ -66,10 +67,32 @@ class MultiGpuRuntime:
             )
             for i in range(n_devices)
         ]
+        # one bus for the whole group: clock/trace/metrics are shared, so
+        # attach once and let each device answer health()/notify through it
+        self.telemetry = telemetry
+        if telemetry is not None:
+            telemetry.attach(self)
+            if self.checker is not None:
+                self.checker.telemetry = telemetry
+            for dev in self.devices:
+                dev.telemetry = telemetry
 
     @property
     def n_devices(self) -> int:
         return len(self.devices)
+
+    def health(self) -> dict:
+        """Group-wide health snapshot (see :meth:`CudaRuntime.health`)."""
+        if self.telemetry is not None:
+            return self.telemetry.health()
+        return {
+            "status": "unmonitored",
+            "monitored": False,
+            "now": self.clock.now,
+            "samples": 0,
+            "alerts": {"info": 0, "warning": 0, "critical": 0},
+            "incidents": 0,
+        }
 
     @property
     def now(self) -> float:

@@ -9,10 +9,25 @@
   what-if analysis over the causal run DAG;
 * :mod:`repro.obs.report` — the profiler CLI
   (``python -m repro.obs.report <trace-or-run.json> [--critpath]
-  [--compare base] [--format json]``).
+  [--compare base] [--alerts] [--health] [--fail-on-alerts]
+  [--format json]``);
+* :mod:`repro.obs.live` — the live telemetry bus, flight recorder, and
+  online anomaly watchdog (``CudaRuntime(telemetry=TelemetryBus(...))``);
+* :mod:`repro.obs.watch` — the live session viewer CLI
+  (``python -m repro.obs.watch session.jsonl [--follow]``).
 """
 
-from .compare import compare_snapshots, flatten_snapshot
+from .compare import compare_snapshots, failing_alerts, flatten_snapshot
+from .live import (
+    Alert,
+    FlightRecorder,
+    TelemetryBus,
+    TelemetrySample,
+    TelemetrySubscriber,
+    Watchdog,
+    default_detectors,
+    severity_at_least,
+)
 from .critpath import (
     RunDag,
     Scenario,
@@ -46,7 +61,16 @@ __all__ = [
     "start_collection",
     "collect",
     "compare_snapshots",
+    "failing_alerts",
     "flatten_snapshot",
+    "TelemetryBus",
+    "TelemetrySample",
+    "TelemetrySubscriber",
+    "FlightRecorder",
+    "Watchdog",
+    "Alert",
+    "default_detectors",
+    "severity_at_least",
     "RunDag",
     "Scenario",
     "critical_path",

@@ -47,6 +47,29 @@ def higher_is_better(name: str) -> bool:
     return any(frag in name for frag in GOOD_WHEN_HIGH)
 
 
+def failing_alerts(
+    alerts: list[dict[str, Any]],
+    min_severity: str = "warning",
+) -> list[dict[str, Any]]:
+    """The subset of watchdog ``alerts`` at or above ``min_severity``.
+
+    ``alerts`` is a list of :meth:`~repro.obs.live.watchdog.Alert.to_dict`
+    payloads, as stored under a run manifest's ``"alerts"`` key by the
+    ``repro.bench.live`` leg.  This is the predicate behind the profiler
+    CLI's ``--fail-on-alerts`` gate: any returned alert fails the run.
+    Alerts without a recognised severity count as failing (an unknown
+    severity should never slip through a gate).
+    """
+    from .live.watchdog import SEVERITIES, severity_at_least
+
+    failing = []
+    for alert in alerts:
+        severity = alert.get("severity", "")
+        if severity not in SEVERITIES or severity_at_least(severity, min_severity):
+            failing.append(alert)
+    return failing
+
+
 def compare_snapshots(
     current: dict[str, Any],
     baseline: dict[str, Any],

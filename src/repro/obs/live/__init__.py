@@ -1,0 +1,41 @@
+"""Live observability: telemetry bus, flight recorder, online watchdog.
+
+The offline layers (:mod:`repro.obs.metrics`, :mod:`repro.sim.trace`,
+:mod:`repro.obs.critpath`) explain a run after it finishes.  This package
+watches a run *while it executes* — entirely in virtual time, so every
+sample, alert, and incident dump is byte-reproducible under a seed:
+
+* :class:`~repro.obs.live.bus.TelemetryBus` — samples the runtime's
+  metrics registry on a virtual-clock cadence into typed
+  :class:`~repro.obs.live.bus.TelemetrySample` snapshots with derived
+  rates, fans them out to subscribers, and persists a JSONL session log;
+* :class:`~repro.obs.live.watchdog.Watchdog` — rolling-window EWMA /
+  z-score detectors over the sampled series, emitting structured
+  :class:`~repro.obs.live.watchdog.Alert` records;
+* :class:`~repro.obs.live.recorder.FlightRecorder` — a bounded ring
+  buffer of recent samples/alerts that dumps a self-contained
+  ``incident.json`` when a fault, strict-mode hazard, or alert fires.
+
+Wire it in with ``CudaRuntime(telemetry=bus)`` / ``TidaAcc(telemetry=)``
+/ ``MultiGpuRuntime(telemetry=)`` and poll ``runtime.health()``.
+"""
+
+from .bus import TelemetryBus, TelemetrySample, TelemetrySubscriber
+from .recorder import FlightRecorder
+from .watchdog import (
+    Alert,
+    Watchdog,
+    default_detectors,
+    severity_at_least,
+)
+
+__all__ = [
+    "Alert",
+    "FlightRecorder",
+    "TelemetryBus",
+    "TelemetrySample",
+    "TelemetrySubscriber",
+    "Watchdog",
+    "default_detectors",
+    "severity_at_least",
+]

@@ -104,12 +104,65 @@ class Histogram:
                 return
         self.counts[-1] += 1
 
+    @property
+    def mean(self) -> float | None:
+        """Arithmetic mean of the observations (None for an empty series)."""
+        return self.sum / self.count if self.count else None
+
+    def percentile(self, q: float) -> float | None:
+        """Estimate the ``q``-quantile (``0 <= q <= 1``) by linear
+        interpolation inside the covering bucket.
+
+        The empty series returns ``None`` (never NaN), a single-sample
+        series returns that sample exactly for every ``q``, and results
+        are always clamped to the observed ``[min, max]`` range.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ObsError(f"percentile q must be in [0, 1], got {q!r}")
+        if self.count == 0:
+            return None
+        if self.count == 1 or self.min == self.max:
+            return self.min
+        target = q * self.count
+        cum = 0.0
+        lower = self.min
+        for i, ub in enumerate(self.buckets):
+            c = self.counts[i]
+            if c:
+                upper = min(ub, self.max)
+                lo = max(lower, self.min)
+                if upper < lo:
+                    upper = lo
+                if cum + c >= target:
+                    frac = (target - cum) / c
+                    return min(max(lo + (upper - lo) * frac, self.min), self.max)
+                cum += c
+                lower = upper
+            elif ub > lower:
+                lower = ub
+        return self.max  # remaining mass sits in the +Inf overflow bucket
+
+    def summary(self) -> dict[str, Any]:
+        """Count/sum/mean/min/max plus p50/p90/p99, safe on any series."""
+        empty = self.count == 0
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": None if empty else self.min,
+            "max": None if empty else self.max,
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
+        }
+
     def snapshot(self) -> dict[str, Any]:
         return {
             "buckets": list(self.buckets),
             "counts": list(self.counts),
             "sum": self.sum,
             "count": self.count,
+            "mean": self.mean,
             "min": self.min if self.count else None,
             "max": self.max if self.count else None,
         }
@@ -158,7 +211,12 @@ def collect() -> dict[str, Any]:
 
 
 def merge_snapshots(snaps: Iterable[dict[str, Any]]) -> dict[str, Any]:
-    """Sum counters, max gauges, and bucket-wise-add histograms."""
+    """Sum counters, max gauges, and bucket-wise-add histograms.
+
+    The merged dicts are returned in sorted name order regardless of the
+    order registries were created in, so serialized snapshots (JSONL
+    session logs, ledger files) diff stably across runs.
+    """
     out: dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
     for snap in snaps:
         for name, v in snap.get("counters", {}).items():
@@ -182,11 +240,17 @@ def merge_snapshots(snaps: Iterable[dict[str, Any]]) -> dict[str, Any]:
                 for k, fold in (("min", min), ("max", max)):
                     vals = [v for v in (prev[k], h[k]) if v is not None]
                     prev[k] = fold(vals) if vals else None
+                if "mean" in prev:
+                    prev["mean"] = prev["sum"] / prev["count"] if prev["count"] else None
             else:  # incompatible buckets: keep the first, count the clash
                 out["counters"]["obs.merge_bucket_mismatch"] = (
                     out["counters"].get("obs.merge_bucket_mismatch", 0.0) + 1
                 )
-    return out
+    return {
+        "counters": dict(sorted(out["counters"].items())),
+        "gauges": dict(sorted(out["gauges"].items())),
+        "histograms": dict(sorted(out["histograms"].items())),
+    }
 
 
 class MetricsRegistry:
@@ -249,6 +313,24 @@ class MetricsRegistry:
         """Current value of counter ``name`` (0 when never incremented)."""
         c = self._counters.get(name)
         return c.value if c is not None else default
+
+    def sum_counters(self, prefix: str) -> float:
+        """Sum of every counter whose name starts with ``prefix``.
+
+        The telemetry bus uses this to fold per-field instrument families
+        (``cache.hits.<field>``, ...) into one sampled series.
+        """
+        return sum(c.value for n, c in self._counters.items() if n.startswith(prefix))
+
+    def max_gauge(self, prefix: str, suffix: str = "") -> float:
+        """Largest *current* value among gauges whose name starts with
+        ``prefix`` (and, when given, ends with ``suffix``); 0.0 when none
+        exist."""
+        vals = [
+            g.value for n, g in self._gauges.items()
+            if n.startswith(prefix) and n.endswith(suffix)
+        ]
+        return max(vals) if vals else 0.0
 
     # -- snapshots ----------------------------------------------------------
 

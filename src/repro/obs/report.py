@@ -26,8 +26,19 @@ else it is reconstructed from the trace's FIFO orders.
 aligned text; ``--out FILE`` writes the output there instead of stdout.
 
 ``--compare baseline.json`` instead diffs the two manifests' metric
-snapshots and exits non-zero when any metric regressed by more than
+snapshots and fails when any metric regressed by more than
 ``--threshold`` (default 10%) — the seed of bench-trajectory gating.
+
+``--alerts`` / ``--health`` add the live-telemetry tables (watchdog
+alerts and the health rollup recorded under the manifest's ``"alerts"``
+and ``"health"`` keys by the ``repro.bench.live`` leg);
+``--fail-on-alerts [SEVERITY]`` gates on them, failing when any alert
+at or above SEVERITY (default ``warning``) is present.
+
+Every gate failure — a ``--compare`` regression, a ``--fail-on-alerts``
+hit, or an unreadable/contentless input — exits with code **2**, so CI
+jobs can treat the exit code uniformly across compare/critpath/alert
+gates.
 """
 
 from __future__ import annotations
@@ -434,6 +445,45 @@ def build_report(
     return tables
 
 
+def alerts_table(alerts: list[dict[str, Any]]) -> Table:
+    """Watchdog alerts recorded under the manifest's ``"alerts"`` key."""
+    table = Table(
+        title="watchdog alerts",
+        columns=["t_s", "leg", "detector", "severity", "message"],
+    )
+    for a in alerts:
+        table.add_row(
+            a.get("t", 0.0), a.get("leg", "-"), a.get("detector", "?"),
+            a.get("severity", "?"), a.get("message", ""),
+        )
+    if not alerts:
+        table.add_note("no alerts recorded")
+    return table
+
+
+def health_table(health: dict[str, Any]) -> Table:
+    """Health rollups recorded under the manifest's ``"health"`` key.
+
+    Accepts either one health dict (``TelemetryBus.health()``) or a
+    mapping of leg name to health dict, as ``repro.bench.live`` writes.
+    """
+    table = Table(
+        title="telemetry health",
+        columns=["leg", "status", "samples", "warnings", "criticals",
+                 "incidents", "t_s"],
+    )
+    legs = health if health and "status" not in health else {"-": health}
+    for name in sorted(legs):
+        h = legs[name] or {}
+        alerts = h.get("alerts", {})
+        table.add_row(
+            name, h.get("status", "?"), h.get("samples", 0),
+            alerts.get("warning", 0), alerts.get("critical", 0),
+            h.get("incidents", 0), h.get("now", 0.0),
+        )
+    return table
+
+
 def compare_table(rows: list[dict[str, Any]], *, show_ok: bool = False) -> Table:
     table = Table(
         title="metric comparison vs baseline",
@@ -460,7 +510,12 @@ def _emit(
     out: str | None,
     extra: dict[str, Any] | None = None,
 ) -> None:
-    """Render tables as text or JSON, to stdout or ``out``."""
+    """Render tables as text or JSON, to stdout or ``out``.
+
+    Missing parent directories of ``out`` are created.  Callers must
+    validate ``out`` with :func:`check_out_path` first — this function
+    overwrites unconditionally.
+    """
     if fmt == "json":
         payload: dict[str, Any] = {"tables": [t.to_json() for t in tables]}
         if extra:
@@ -474,6 +529,29 @@ def _emit(
         path.write_text(text)
     else:
         sys.stdout.write(text)
+
+
+def check_out_path(out: str | None) -> str | None:
+    """Refuse ``--out`` targets that would silently clobber foreign files.
+
+    Reports, in either format, belong in ``.json`` or ``.txt`` files;
+    overwriting those on a re-run is expected.  An *existing* file with
+    any other suffix (a source file, a manifest the user meant as input,
+    ...) is almost certainly a mistyped path, so it is an error rather
+    than a silent overwrite.  Returns an error message, or None when the
+    target is acceptable.
+    """
+    if out is None:
+        return None
+    path = Path(out)
+    if path.exists() and path.suffix not in (".json", ".txt"):
+        return (
+            f"refusing to overwrite existing non-report file {out!r} "
+            "(reports go to .json or .txt; pick a new path or delete it first)"
+        )
+    if path.exists() and path.is_dir():
+        return f"--out target {out!r} is a directory"
+    return None
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -494,12 +572,28 @@ def main(argv: list[str] | None = None) -> int:
                         help="write the report there instead of stdout")
     parser.add_argument("--compare", metavar="BASELINE",
                         help="diff metric snapshots against a baseline manifest; "
-                             "exit 1 when any metric regresses past --threshold")
+                             "exit 2 when any metric regresses past --threshold")
     parser.add_argument("--threshold", type=float, default=0.10,
                         help="relative regression threshold for --compare (default 0.10)")
     parser.add_argument("--show-ok", action="store_true",
                         help="with --compare, list unchanged metrics too")
+    parser.add_argument("--alerts", action="store_true",
+                        help="add the watchdog-alert table (from the manifest's "
+                             "'alerts' key, as written by repro.bench.live)")
+    parser.add_argument("--health", action="store_true",
+                        help="add the telemetry health table (from the manifest's "
+                             "'health' key)")
+    parser.add_argument("--fail-on-alerts", nargs="?", const="warning",
+                        default=None, choices=("info", "warning", "critical"),
+                        metavar="SEVERITY",
+                        help="exit 2 when the manifest carries any alert at or "
+                             "above SEVERITY (default warning when given bare)")
     args = parser.parse_args(argv)
+
+    out_error = check_out_path(args.out)
+    if out_error is not None:
+        print(f"error: {out_error}", file=sys.stderr)
+        return 2
 
     try:
         trace, metrics, manifest = load_manifest(args.run)
@@ -531,15 +625,21 @@ def main(argv: list[str] | None = None) -> int:
             for row in regressions:
                 print(f"  {row['metric']}: {row['baseline']:g} -> "
                       f"{row['current']:g} ({row['rel_change']:+.1%})")
-            return 1
+            return 2
         print(f"no regressions beyond {args.threshold:.0%}")
         return 0
 
-    if trace is None and metrics is None:
+    manifest_alerts = list(manifest.get("alerts", ()))
+    wants_live = args.alerts or args.health or args.fail_on_alerts is not None
+    if trace is None and metrics is None and not (wants_live and manifest):
         print(f"error: {args.run} carries neither traceEvents nor metrics",
               file=sys.stderr)
         return 2
     tables = build_report(trace, metrics, top=args.top)
+    if args.alerts:
+        tables.append(alerts_table(manifest_alerts))
+    if args.health:
+        tables.append(health_table(manifest.get("health", {})))
     if args.critpath:
         crit = build_critpath_report(trace, manifest, top=args.top)
         if not crit:
@@ -548,6 +648,18 @@ def main(argv: list[str] | None = None) -> int:
             return 2
         tables.extend(crit)
     _emit(tables, fmt=args.format, out=args.out)
+    if args.fail_on_alerts is not None:
+        from .compare import failing_alerts
+
+        failing = failing_alerts(manifest_alerts, args.fail_on_alerts)
+        if failing:
+            print(f"{len(failing)} alert(s) at or above "
+                  f"{args.fail_on_alerts!r}:")
+            for a in failing:
+                print(f"  [{a.get('severity', '?')}] {a.get('detector', '?')} "
+                      f"t={a.get('t', 0.0):.6g}: {a.get('message', '')}")
+            return 2
+        print(f"no alerts at or above {args.fail_on_alerts!r}")
     return 0
 
 

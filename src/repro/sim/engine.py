@@ -27,30 +27,51 @@ from ..errors import SimulationError
 
 
 class HostClock:
-    """The host thread's position in virtual time."""
+    """The host thread's position in virtual time.
 
-    __slots__ = ("_now",)
+    Observers (the telemetry bus) may subscribe to time movement; the
+    listener list is usually empty, so the hot path pays one truthiness
+    check per advancement and nothing else.
+    """
+
+    __slots__ = ("_now", "_listeners")
 
     def __init__(self, start: float = 0.0) -> None:
         if start < 0:
             raise SimulationError(f"clock cannot start at negative time {start!r}")
         self._now = float(start)
+        self._listeners: list = []
 
     @property
     def now(self) -> float:
         return self._now
+
+    def subscribe(self, listener) -> None:
+        """Register ``listener(now)`` to be called after time moves forward."""
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+
+    def unsubscribe(self, listener) -> None:
+        if listener in self._listeners:
+            self._listeners.remove(listener)
 
     def advance(self, dt: float) -> float:
         """Spend ``dt`` seconds of host time (API call, host compute)."""
         if dt < 0:
             raise SimulationError(f"cannot advance clock by negative dt {dt!r}")
         self._now += dt
+        if self._listeners and dt > 0:
+            for listener in self._listeners:
+                listener(self._now)
         return self._now
 
     def advance_to(self, t: float) -> float:
         """Block the host until virtual time ``t`` (no-op if already past)."""
         if t > self._now:
             self._now = t
+            if self._listeners:
+                for listener in self._listeners:
+                    listener(self._now)
         return self._now
 
 

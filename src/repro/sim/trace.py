@@ -122,6 +122,20 @@ class Trace:
         return tuple(self._marks)
 
     @property
+    def n_marks(self) -> int:
+        return len(self._marks)
+
+    def marks_since(self, start: int) -> list[dict[str, Any]]:
+        """Marks recorded at index ``start`` or later (incremental reads).
+
+        Lets a periodic sampler consume new marks in O(new) instead of
+        copying the whole mark list via :attr:`marks` every sample.
+        """
+        if start < 0:
+            start = 0
+        return self._marks[start:]
+
+    @property
     def last_event(self) -> TraceEvent | None:
         """The most recently recorded span event (None for an empty trace)."""
         return self._events[-1] if self._events else None

@@ -170,3 +170,92 @@ class TestCollection:
         assert merged["counters"]["x"] == 3.0  # `before` not included
         # collection stops: new registries are no longer retained
         assert obs_metrics._collection is None
+
+
+class TestHistogramStatistics:
+    """Percentile/summary estimators, safe on degenerate series."""
+
+    def test_empty_series(self):
+        h = Histogram("h")
+        assert h.mean is None
+        assert h.percentile(0.5) is None
+        s = h.summary()
+        assert s == {"count": 0, "sum": 0.0, "mean": None, "min": None,
+                     "max": None, "p50": None, "p90": None, "p99": None}
+
+    def test_single_sample_series(self):
+        h = Histogram("h", buckets=(1.0, 10.0))
+        h.observe(3.0)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert h.percentile(q) == 3.0
+        s = h.summary()
+        assert s["mean"] == 3.0 and s["min"] == s["max"] == 3.0
+        assert s["p50"] == s["p99"] == 3.0
+
+    def test_constant_series_has_no_spread(self):
+        h = Histogram("h", buckets=(1.0, 10.0))
+        for _ in range(5):
+            h.observe(4.0)
+        assert h.percentile(0.1) == 4.0
+        assert h.percentile(0.9) == 4.0
+
+    def test_percentiles_are_monotone_and_clamped(self):
+        h = Histogram("h", buckets=(1.0, 2.0, 4.0, 8.0, 16.0))
+        for v in (0.5, 1.5, 1.7, 3.0, 3.5, 5.0, 7.0, 9.0, 12.0, 15.0):
+            h.observe(v)
+        qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0]
+        ps = [h.percentile(q) for q in qs]
+        assert all(a <= b + 1e-12 for a, b in zip(ps, ps[1:]))
+        assert all(h.min <= p <= h.max for p in ps)
+
+    def test_overflow_mass_returns_observed_max(self):
+        h = Histogram("h", buckets=(1.0,))
+        h.observe(0.5)
+        for v in (100.0, 200.0, 300.0):
+            h.observe(v)
+        assert h.percentile(0.99) == 300.0
+
+    def test_out_of_range_q_rejected(self):
+        h = Histogram("h")
+        with pytest.raises(ObsError):
+            h.percentile(1.5)
+        with pytest.raises(ObsError):
+            h.percentile(-0.1)
+
+    def test_snapshot_carries_mean(self):
+        h = Histogram("h", buckets=(10.0,))
+        h.observe(2.0)
+        h.observe(4.0)
+        assert h.snapshot()["mean"] == pytest.approx(3.0)
+
+
+class TestSnapshotDeterminism:
+    """Snapshots must be key-ordered so JSONL streams diff bytewise."""
+
+    def test_registry_snapshot_is_sorted(self):
+        r = MetricsRegistry()
+        for name in ("zeta", "alpha", "mid"):
+            r.inc(name)
+            r.gauge(f"g.{name}").set(1.0)
+            r.observe(f"h.{name}", 1.0)
+        snap = r.snapshot()
+        assert list(snap["counters"]) == sorted(snap["counters"])
+        assert list(snap["gauges"]) == sorted(snap["gauges"])
+        assert list(snap["histograms"]) == sorted(snap["histograms"])
+
+    def test_merged_snapshot_is_sorted(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("zebra")
+        b.inc("ant")
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert list(merged["counters"]) == ["ant", "zebra"]
+
+    def test_identical_registries_snapshot_identically(self):
+        def build():
+            r = MetricsRegistry()
+            r.inc("b", 2.0)
+            r.inc("a", 1.0)
+            r.observe("h", 3.0)
+            return json.dumps(r.snapshot(), sort_keys=False)
+
+        assert build() == build()

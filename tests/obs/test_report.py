@@ -153,7 +153,8 @@ class TestCompareGate:
         cur_path.write_text(json.dumps(manifest))
         base_path.write_text(json.dumps(baseline))
         rc = main([str(cur_path), "--compare", str(base_path)])
-        assert rc == 1
+        # gate failures share exit code 2 with the other report gates
+        assert rc == 2
         out = capsys.readouterr().out
         assert "cuda.h2d_bytes" in out
         assert "REGRESSED" in out

@@ -1,0 +1,123 @@
+"""Tests for the profiler CLI's live-telemetry surfaces: --alerts,
+--health, --fail-on-alerts, --out safety, and the unified exit codes."""
+
+import json
+
+import pytest
+
+from repro.obs.compare import failing_alerts
+from repro.obs.report import check_out_path, main
+
+
+def alert(detector, severity, t=1.0, leg="legA"):
+    return {"detector": detector, "severity": severity, "t": t,
+            "window": [0.0, t], "message": f"{detector} fired",
+            "evidence": {}, "leg": leg}
+
+
+@pytest.fixture
+def live_manifest(tmp_path):
+    manifest = {
+        "schema": "repro-run-manifest/1",
+        "alerts": [alert("overlap_collapse", "critical"),
+                   alert("retry_storm", "warning"),
+                   alert("stall_spike", "info")],
+        "health": {
+            "legA": {"status": "critical", "samples": 10,
+                     "alerts": {"info": 1, "warning": 1, "critical": 1},
+                     "incidents": 0, "now": 2.5},
+        },
+    }
+    path = tmp_path / "live.json"
+    path.write_text(json.dumps(manifest))
+    return path
+
+
+@pytest.fixture
+def clean_manifest(tmp_path):
+    path = tmp_path / "clean.json"
+    path.write_text(json.dumps({
+        "schema": "repro-run-manifest/1", "alerts": [],
+        "health": {"legA": {"status": "ok", "samples": 5,
+                            "alerts": {"info": 0, "warning": 0, "critical": 0},
+                            "incidents": 0, "now": 1.0}},
+    }))
+    return path
+
+
+class TestFailingAlerts:
+    def test_severity_threshold(self):
+        alerts = [alert("a", "info"), alert("b", "warning"),
+                  alert("c", "critical")]
+        assert len(failing_alerts(alerts, "info")) == 3
+        assert len(failing_alerts(alerts, "warning")) == 2
+        assert len(failing_alerts(alerts, "critical")) == 1
+
+    def test_unknown_severity_fails_closed(self):
+        assert failing_alerts([alert("x", "bogus")], "critical")
+
+
+class TestAlertsAndHealthTables:
+    def test_tables_render(self, live_manifest, capsys):
+        assert main([str(live_manifest), "--alerts", "--health"]) == 0
+        out = capsys.readouterr().out
+        assert "watchdog alerts" in out
+        assert "overlap_collapse" in out
+        assert "telemetry health" in out
+        assert "critical" in out
+
+    def test_empty_alerts_note(self, clean_manifest, capsys):
+        assert main([str(clean_manifest), "--alerts"]) == 0
+        assert "no alerts recorded" in capsys.readouterr().out
+
+    def test_json_format(self, live_manifest, capsys):
+        assert main([str(live_manifest), "--alerts", "--health",
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        titles = [t["title"] for t in payload["tables"]]
+        assert "watchdog alerts" in titles and "telemetry health" in titles
+
+
+class TestFailOnAlerts:
+    def test_clean_manifest_passes(self, clean_manifest, capsys):
+        assert main([str(clean_manifest), "--fail-on-alerts"]) == 0
+        assert "no alerts at or above" in capsys.readouterr().out
+
+    def test_warning_gate_fails(self, live_manifest, capsys):
+        assert main([str(live_manifest), "--fail-on-alerts"]) == 2
+        out = capsys.readouterr().out
+        assert "2 alert(s) at or above 'warning'" in out
+
+    def test_critical_gate_ignores_warnings(self, live_manifest):
+        rc_crit = main([str(live_manifest), "--fail-on-alerts", "critical"])
+        assert rc_crit == 2  # one critical alert present
+        # info gate catches everything
+        assert main([str(live_manifest), "--fail-on-alerts", "info"]) == 2
+
+
+class TestOutSafety:
+    def test_refuses_existing_non_report_file(self, live_manifest, tmp_path,
+                                              capsys):
+        target = tmp_path / "precious.py"
+        target.write_text("print('do not clobber me')\n")
+        rc = main([str(live_manifest), "--alerts", "--out", str(target)])
+        assert rc == 2
+        assert "refusing to overwrite" in capsys.readouterr().err
+        assert target.read_text() == "print('do not clobber me')\n"
+
+    def test_creates_missing_parents(self, live_manifest, tmp_path):
+        target = tmp_path / "deep" / "nested" / "report.json"
+        rc = main([str(live_manifest), "--alerts", "--format", "json",
+                   "--out", str(target)])
+        assert rc == 0
+        assert json.loads(target.read_text())["tables"]
+
+    def test_overwriting_previous_report_is_fine(self, live_manifest, tmp_path):
+        target = tmp_path / "report.txt"
+        target.write_text("old report\n")
+        assert main([str(live_manifest), "--alerts", "--out", str(target)]) == 0
+        assert "watchdog alerts" in target.read_text()
+
+    def test_check_out_path_accepts_new_paths(self, tmp_path):
+        assert check_out_path(None) is None
+        assert check_out_path(str(tmp_path / "fresh.anything")) is None

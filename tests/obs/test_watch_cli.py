@@ -1,0 +1,85 @@
+"""Tests for the live session viewer CLI (repro.obs.watch)."""
+
+import io
+import json
+
+from repro.cuda.runtime import CudaRuntime
+from repro.obs.live import TelemetryBus
+from repro.obs.watch import main, parse_session, render, watch
+
+
+def make_session(tmp_path, tiny_machine, *, alerts=False):
+    path = tmp_path / "session.jsonl"
+    bus = TelemetryBus(sample_interval=1e-3, jsonl=path)
+    rt = CudaRuntime(tiny_machine, telemetry=bus)
+    host = rt.malloc_pinned((256, 256))
+    dev = rt.malloc((256, 256))
+    for _ in range(4):
+        rt.memcpy_async(dev, host, rt.default_stream)
+        rt.device_synchronize()
+    if alerts:
+        from repro.obs.live.watchdog import Alert
+
+        bus.publish_alert(Alert(detector="stub", severity="warning", t=rt.now,
+                                window=(0.0, rt.now), message="stub"))
+        bus.notify_incident("fault", error=RuntimeError("boom"))
+    bus.close()
+    return path
+
+
+class TestOneShot:
+    def test_renders_panels(self, tmp_path, tiny_machine, capsys):
+        path = make_session(tmp_path, tiny_machine)
+        assert main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "health=ok" in out
+        assert "recent samples" in out
+        assert "alerts (0)" in out
+
+    def test_alerts_and_incidents_shown(self, tmp_path, tiny_machine, capsys):
+        path = make_session(tmp_path, tiny_machine, alerts=True)
+        assert main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "health=CRITICAL" in out
+        assert "stub" in out
+        assert "incident: kind=fault" in out
+
+    def test_last_bounds_sample_rows(self, tmp_path, tiny_machine, capsys):
+        path = make_session(tmp_path, tiny_machine)
+        assert main([str(path), "--last", "2"]) == 0
+        assert "last 2 of" in capsys.readouterr().out
+
+
+class TestErrors:
+    def test_missing_file_is_exit_2(self, tmp_path, capsys):
+        assert main([str(tmp_path / "absent.jsonl")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_non_telemetry_file_is_exit_2(self, tmp_path, capsys):
+        path = tmp_path / "junk.jsonl"
+        path.write_text(json.dumps({"kind": "other"}) + "\nnot json\n")
+        assert main([str(path)]) == 2
+        assert "not a telemetry session" in capsys.readouterr().err
+
+
+class TestFollow:
+    def test_redraws_as_file_grows(self, tmp_path, tiny_machine):
+        path = make_session(tmp_path, tiny_machine)
+        stream = io.StringIO()
+        rc = watch(path, follow=True, poll=0.0, last=4, stream=stream,
+                   max_redraws=2)
+        assert rc == 0
+        # ANSI clear between redraws marks the follow mode
+        assert "\x1b[2J" in stream.getvalue()
+
+
+class TestParseSession:
+    def test_tolerates_torn_writes(self):
+        records = parse_session([
+            json.dumps({"kind": "session", "sample_interval": 1e-3, "t0": 0.0}),
+            '{"kind": "sample", "t": 0.001',  # torn mid-write
+            "",
+        ])
+        assert len(records["session"]) == 1
+        assert len(records["invalid"]) == 1
+        assert "invalid_lines=1" in render(records)
