@@ -33,7 +33,7 @@ from .acc_heat import run_acc_heat
 from .hybrid_heat import run_hybrid_heat
 from .cuda_compute import run_cuda_compute
 from .acc_compute import run_acc_compute
-from .tida_runners import run_tida_heat, run_tida_compute
+from .tida_runners import run_tida_heat, run_tida_compute, run_tida_wave
 
 __all__ = [
     "BaselineResult",
@@ -48,4 +48,5 @@ __all__ = [
     "run_acc_compute",
     "run_tida_heat",
     "run_tida_compute",
+    "run_tida_wave",
 ]

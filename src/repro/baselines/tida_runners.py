@@ -17,7 +17,8 @@ from ..faults.plan import FaultPlan
 from ..faults.retry import RetryPolicy
 from ..kernels.compute_intensive import DEFAULT_KERNEL_ITERATION, compute_intensive_kernel
 from ..kernels.heat import heat_kernel
-from ..tida.boundary import BoundaryCondition, Neumann
+from ..kernels.wave import wave_kernel
+from ..tida.boundary import BoundaryCondition, Dirichlet, Neumann
 from .common import BaselineResult, default_init
 
 
@@ -30,6 +31,7 @@ def run_tida_heat(
     coef: float = 0.1,
     bc: BoundaryCondition | None = None,
     functional: bool = False,
+    mode: str | None = None,
     device_memory_limit: int | None = None,
     n_slots: int | None = None,
     tile_shape: tuple[int, ...] | None = None,
@@ -55,9 +57,11 @@ def run_tida_heat(
     """
     machine = machine if machine is not None else DEFAULT_MACHINE
     bc = bc if bc is not None else Neumann()
-    lib = TidaAcc(machine, functional=functional, device_memory_limit=device_memory_limit,
+    lib = TidaAcc(machine, functional=functional, mode=mode,
+                  device_memory_limit=device_memory_limit,
                   prefetch_depth=prefetch_depth, eviction=eviction,
                   faults=faults, retry=retry, check=check, telemetry=telemetry)
+    functional = lib.runtime.functional
     kernel = heat_kernel(len(shape))
     lib.add_array("u_old", shape, n_regions=n_regions, ghost=1, n_slots=n_slots)
     lib.add_array("u_new", shape, n_regions=n_regions, ghost=1, n_slots=n_slots)
@@ -92,6 +96,7 @@ def run_tida_heat(
             "gpu": gpu,
             "prefetch_depth": prefetch_depth,
             "eviction": eviction,
+            "mode": lib.mode,
         },
         metrics=lib.metrics.snapshot(),
         dag=(list(lib.checker.dag) if lib.checker is not None else None),
@@ -106,6 +111,7 @@ def run_tida_compute(
     n_regions: int = 16,
     kernel_iteration: int = DEFAULT_KERNEL_ITERATION,
     functional: bool = False,
+    mode: str | None = None,
     device_memory_limit: int | None = None,
     n_slots: int | None = None,
     gpu: bool = True,
@@ -128,9 +134,11 @@ def run_tida_compute(
     tile-visit order (the schedule-exploration harness shuffles it).
     """
     machine = machine if machine is not None else DEFAULT_MACHINE
-    lib = TidaAcc(machine, functional=functional, device_memory_limit=device_memory_limit,
+    lib = TidaAcc(machine, functional=functional, mode=mode,
+                  device_memory_limit=device_memory_limit,
                   prefetch_depth=prefetch_depth, eviction=eviction,
                   faults=faults, retry=retry, check=check, telemetry=telemetry)
+    functional = lib.runtime.functional
     kernel = compute_intensive_kernel(kernel_iteration)
     lib.add_array("data", shape, n_regions=n_regions, ghost=0, n_slots=n_slots)
     if functional:
@@ -159,6 +167,89 @@ def run_tida_compute(
             "gpu": gpu,
             "prefetch_depth": prefetch_depth,
             "eviction": eviction,
+            "mode": lib.mode,
+        },
+        metrics=lib.metrics.snapshot(),
+        dag=(list(lib.checker.dag) if lib.checker is not None else None),
+    )
+
+
+def run_tida_wave(
+    machine: MachineSpec | None = None,
+    *,
+    shape: tuple[int, ...] = (512, 512),
+    steps: int = 100,
+    n_regions: int = 16,
+    c2: float = 0.25,
+    bc: BoundaryCondition | None = None,
+    functional: bool = False,
+    mode: str | None = None,
+    device_memory_limit: int | None = None,
+    n_slots: int | None = None,
+    tile_shape: tuple[int, ...] | None = None,
+    gpu: bool = True,
+    initial: np.ndarray | None = None,
+    prefetch_depth: int | None = None,
+    eviction: str = "lru",
+    faults: FaultPlan | None = None,
+    retry: RetryPolicy | None = None,
+    check: str | bool | None = None,
+    telemetry=None,
+    order: str = "sequential",
+    order_seed: int | None = None,
+) -> BaselineResult:
+    """TiDA-acc wave solver: three fields, three-way rotation per step.
+
+    The second-order wave step reads two time levels (``u``, ``u_prev``)
+    and writes a third (``u_next``) — the widest compute signature the
+    §V API supports — so its schedule stresses multi-field slot pressure
+    in a way heat (two fields) and compute-intensive (one) do not.
+    Options mirror :func:`run_tida_heat`.
+    """
+    machine = machine if machine is not None else DEFAULT_MACHINE
+    bc = bc if bc is not None else Dirichlet(0.0)
+    lib = TidaAcc(machine, functional=functional, mode=mode,
+                  device_memory_limit=device_memory_limit,
+                  prefetch_depth=prefetch_depth, eviction=eviction,
+                  faults=faults, retry=retry, check=check, telemetry=telemetry)
+    functional = lib.runtime.functional
+    kernel = wave_kernel(len(shape))
+    for name in ("u_next", "u", "u_prev"):
+        lib.add_array(name, shape, n_regions=n_regions, ghost=1, n_slots=n_slots)
+    if functional:
+        init = initial if initial is not None else default_init(shape, 0)
+        lib.field("u").from_global(init)
+        lib.field("u_prev").from_global(init)
+
+    t0 = lib.now
+    for _ in range(steps):
+        lib.fill_boundary("u", bc)
+        it = lib.iterator(
+            "u_next", "u", "u_prev", tile_shape=tile_shape, order=order,
+            seed=order_seed,
+        ).reset(gpu=gpu)
+        while it.is_valid():
+            lib.compute(it, kernel, params={"c2": c2})
+            it.next()
+        lib.swap("u_prev", "u")
+        lib.swap("u", "u_next")
+    result = lib.gather("u") if functional else None
+    if not functional:
+        lib.manager("u").flush_to_host()
+    lib.synchronize()
+    elapsed = lib.now - t0
+    return BaselineResult(
+        name="tida-acc-wave", elapsed=elapsed, shape=shape, steps=steps,
+        trace=lib.trace, result=result,
+        meta={
+            "n_regions": n_regions,
+            "n_slots": lib.manager("u").n_slots,
+            "device_memory_limit": device_memory_limit,
+            "tile_shape": tile_shape,
+            "gpu": gpu,
+            "prefetch_depth": prefetch_depth,
+            "eviction": eviction,
+            "mode": lib.mode,
         },
         metrics=lib.metrics.snapshot(),
         dag=(list(lib.checker.dag) if lib.checker is not None else None),

@@ -47,6 +47,10 @@ def run_all(
     ``critpath=True`` additionally runs the critical-path leg
     (:func:`run_critpath_leg`), writing ``critpath.json`` next to the
     figures — the manifest ``BENCH_critpath.json`` is gated against.
+
+    ``check=True`` also runs the conformance-matrix leg
+    (:func:`run_conformance_leg`) after the figures: the schedule sweep
+    must stay byte-identical and race-free or the harness exits loudly.
     """
     if check:
         from ..check import set_default_mode
@@ -62,9 +66,73 @@ def run_all(
     finally:
         if check:
             set_default_mode(None)
+    if check:
+        run_conformance_leg(out_dir, quick=quick, echo=echo)
     if critpath:
         run_critpath_leg(out_dir, echo=echo)
     return tables
+
+
+def run_conformance_leg(
+    out_dir: Path, *, quick: bool = False, echo: bool = True
+) -> Path:
+    """The conformance-matrix leg: schedule sweeps over all workloads.
+
+    Sweeps eviction policy × prefetch depth × visit order × timing seed
+    for heat, compute-intensive, and wave with the replay surrogate
+    (perturbed-seed legs are DAG replays of the base leg — see
+    :func:`~repro.check.explore.conformance_matrix`), asserts
+    byte-identity and zero racy hazards, and writes ``conformance.json``.
+
+    Under ``--quick`` the shuffled-visit-order variants — the slowest
+    functional legs: shuffling defeats the slot cache, so they re-upload
+    and write back far more regions — run timing-only.  Their hazard
+    stream is still fully checked; byte-identity is carried by the
+    sequential legs.  Raises :class:`AssertionError` on any conformance
+    failure, so a gating CI run cannot silently pass.
+    """
+    from ..check.explore import conformance_matrix
+
+    timing_only = (
+        (lambda v: v.get("order") == "shuffled") if quick else None
+    )
+    configs = {
+        "heat": dict(shape=(48, 24, 24), steps=2, n_regions=8, n_slots=3,
+                     device_memory_limit=310_000),
+        "compute": dict(shape=(64, 16, 16), steps=2, n_regions=8, n_slots=3,
+                        device_memory_limit=70_000),
+        "wave": dict(shape=(48, 48), steps=3, n_regions=8),
+    }
+    summary: dict[str, dict] = {}
+    failures: list[str] = []
+    for workload, kw in configs.items():
+        report = conformance_matrix(
+            workload, surrogate="replay", timing_only=timing_only,
+            timing_seeds=(0, 1, 2), **kw,
+        )
+        summary[workload] = {
+            "legs": len(report.runs),
+            "digests": len(report.digests),
+            "racy": report.racy,
+            "ok": report.ok,
+            "failures": report.failures(),
+        }
+        failures.extend(f"{workload}: {f}" for f in report.failures())
+        if echo:
+            verdict = "ok" if report.ok else "FAIL"
+            print(f"conformance {workload:<8} {len(report.runs):3d} legs, "
+                  f"{len(report.digests)} digest(s), {report.racy} racy "
+                  f"-> {verdict}")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / "conformance.json"
+    path.write_text(json.dumps(summary, indent=2))
+    if echo:
+        print(f"wrote conformance summary to {path}")
+    if failures:
+        raise AssertionError(
+            "conformance sweep failed: " + "; ".join(failures)
+        )
+    return path
 
 
 def run_critpath_leg(out_dir: Path, *, echo: bool = True) -> Path:

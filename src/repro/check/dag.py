@@ -55,6 +55,11 @@ class DagNode:
     deps: tuple[tuple[int, str], ...]      # (predecessor op id, edge kind)
     host_dep: int | None = None            # op the host last blocked on
     host_gap: float = 0.0                  # host-only time before issue
+    #: Kernel roofline legs ``(mem_time, flop_time)`` on the recording
+    #: machine (launch overhead and hang excluded; ``max`` = body time).
+    #: Lets the replay surrogate rescale each leg under a candidate
+    #: machine exactly — None on transfers and on pre-cost recordings.
+    cost: tuple[float, float] | None = None
 
     @property
     def duration(self) -> float:
@@ -66,7 +71,7 @@ class DagNode:
             op_id=self.op_id, kind=self.kind, label=self.label,
             start=start, end=end, issue=issue, nbytes=self.nbytes,
             streams=self.streams, engines=self.engines, deps=self.deps,
-            host_dep=self.host_dep, host_gap=self.host_gap,
+            host_dep=self.host_dep, host_gap=self.host_gap, cost=self.cost,
         )
 
 
@@ -87,6 +92,7 @@ def dag_to_json(nodes: Iterable[DagNode]) -> list[dict[str, Any]]:
             "deps": [[d, k] for d, k in n.deps],
             "host_dep": n.host_dep,
             "host_gap": n.host_gap,
+            "cost": (None if n.cost is None else list(n.cost)),
         })
     return out
 
@@ -108,6 +114,8 @@ def dag_from_json(rows: Sequence[dict[str, Any]]) -> list[DagNode]:
             deps=tuple((int(d), str(k)) for d, k in r.get("deps", ())),
             host_dep=(None if r.get("host_dep") is None else int(r["host_dep"])),
             host_gap=float(r.get("host_gap", 0.0)),
+            cost=(None if r.get("cost") is None
+                  else (float(r["cost"][0]), float(r["cost"][1]))),
         ))
     nodes.sort(key=lambda n: n.op_id)
     return nodes

@@ -121,7 +121,9 @@ class ExploreReport:
 
     @property
     def digests(self) -> set[str]:
-        return {r.digest for r in self.runs}
+        """Distinct result digests (timing-only legs, ``digest == ""``, are
+        excluded: they carry no numerics to compare)."""
+        return {r.digest for r in self.runs if r.digest}
 
     @property
     def byte_identical(self) -> bool:
@@ -211,25 +213,56 @@ def conformance_matrix(
     timing_seeds: Sequence[int] = (0, 1),
     jitter: float = 0.25,
     faults_spec: str | None = None,
+    surrogate: str = "full",
+    timing_only: Callable[[dict], bool] | None = None,
     **workload_kwargs: Any,
 ) -> ExploreReport:
     """The canonical sweep: eviction × prefetch depth × visit order × timing.
 
-    Runs the named baseline workload (``"heat"`` or ``"compute"``) in
-    functional mode with the hazard checker observing, over every
-    combination, and reports digests + hazard counts.  ``faults_spec``
-    additionally arms a :class:`~repro.faults.plan.FaultPlan`
-    (``FaultPlan.from_spec``) with a retry policy, folding transfer-fault
-    re-issues into the explored schedules.
+    Runs the named baseline workload (``"heat"``, ``"wave"``, or
+    ``"compute"``) in functional mode with the hazard checker observing,
+    over every combination, and reports digests + hazard counts.
+    ``faults_spec`` additionally arms a
+    :class:`~repro.faults.plan.FaultPlan` (``FaultPlan.from_spec``) with a
+    retry policy, folding transfer-fault re-issues into the explored
+    schedules.
+
+    ``surrogate`` picks how the timing-seed axis is swept.  ``"full"``
+    re-simulates every (variant, seed) combination.  ``"replay"`` runs
+    each *variant* once on the unperturbed machine — that leg asserts
+    byte-identity and records the causal DAG — then predicts every
+    perturbed-seed leg by rescheduling that DAG under the jittered
+    machine (:func:`~repro.obs.critpath.replay_machine`).  Replayed legs
+    carry the base leg's digest and hazard counts (a replay moves times,
+    never data) and ``meta={"surrogate": "replay"}``; the report shape
+    (run count, labels) matches a full sweep.
+
+    ``timing_only`` (a predicate over the variant dict) marks variants to
+    run in timing mode — no numerics, no digest (``""``; excluded from
+    :attr:`ExploreReport.digests`), hazard stream still checked.  The
+    ``--quick`` harness path uses it to keep slow legs cheap.
     """
     # late imports: baselines import the library, which imports this package
-    from ..baselines.tida_runners import run_tida_compute, run_tida_heat
+    from ..baselines.tida_runners import (
+        run_tida_compute,
+        run_tida_heat,
+        run_tida_wave,
+    )
     from ..config import DEFAULT_MACHINE
     from ..faults.retry import RetryPolicy
+    from ..obs.critpath import replay_machine
 
     if machine is None:
         machine = DEFAULT_MACHINE
-    runners = {"heat": run_tida_heat, "compute": run_tida_compute}
+    if surrogate not in ("full", "replay"):
+        raise ValueError(
+            f'surrogate must be "full" or "replay", got {surrogate!r}'
+        )
+    runners = {
+        "heat": run_tida_heat,
+        "compute": run_tida_compute,
+        "wave": run_tida_wave,
+    }
     try:
         runner = runners[workload]
     except KeyError:
@@ -237,7 +270,7 @@ def conformance_matrix(
             f"workload must be one of {sorted(runners)}, got {workload!r}"
         ) from None
 
-    def run(machine: MachineSpec | None, **variant: Any):
+    def run(machine: MachineSpec | None, *, functional: bool, **variant: Any):
         kwargs = dict(workload_kwargs)
         kwargs.update(variant)
         if faults_spec is not None:
@@ -245,7 +278,7 @@ def conformance_matrix(
 
             kwargs.setdefault("faults", FaultPlan.from_spec(faults_spec))
             kwargs.setdefault("retry", RetryPolicy(max_attempts=8))
-        return runner(machine, functional=True, check="observe", **kwargs)
+        return runner(machine, functional=functional, check="observe", **kwargs)
 
     variants = []
     for ev in evictions:
@@ -260,6 +293,54 @@ def conformance_matrix(
                         "label": f"{ev}/d{depth}/o{oseed}",
                     }
                 )
-    return explore(
-        run, variants, machine=machine, timing_seeds=timing_seeds, jitter=jitter
-    )
+
+    def hazard_counts(res: Any) -> dict[str, int]:
+        metrics = getattr(res, "metrics", None) or {}
+        counters = metrics.get("counters", metrics)
+        return {
+            "warning": int(counters.get("check.hazards.fifo_luck", 0)),
+            "error": int(counters.get("check.hazards.racy", 0)),
+        }
+
+    runs: list[ScheduleRun] = []
+    for variant in variants:
+        v = dict(variant)
+        label = v.pop("label")
+        functional = not (timing_only is not None and timing_only(variant))
+        # the base leg: unperturbed machine, full simulation — the one
+        # place byte-identity is asserted and (replay mode) the DAG source
+        base = run(machine, functional=functional, **v)
+        base_digest = digest(base.result) if functional else ""
+        base_hazards = hazard_counts(base)
+        for seed in timing_seeds:
+            if seed == 0:
+                runs.append(ScheduleRun(
+                    label=f"t0/{label}", digest=base_digest,
+                    hazards=dict(base_hazards), elapsed=float(base.elapsed),
+                    meta=getattr(base, "meta", None),
+                ))
+                continue
+            perturbed = perturb_machine(machine, seed, jitter=jitter)
+            if surrogate == "replay":
+                if not base.dag:
+                    raise ValueError(
+                        "replay surrogate needs the base leg's DAG; the "
+                        "runner returned none (checker disarmed?)"
+                    )
+                _, makespan = replay_machine(
+                    base.dag, machine=machine, perturbed=perturbed
+                )
+                runs.append(ScheduleRun(
+                    label=f"t{seed}/{label}", digest=base_digest,
+                    hazards=dict(base_hazards), elapsed=float(makespan),
+                    meta={"surrogate": "replay"},
+                ))
+            else:
+                res = run(perturbed, functional=functional, **v)
+                runs.append(ScheduleRun(
+                    label=f"t{seed}/{label}",
+                    digest=digest(res.result) if functional else "",
+                    hazards=hazard_counts(res), elapsed=float(res.elapsed),
+                    meta=getattr(res, "meta", None),
+                ))
+    return ExploreReport(runs)

@@ -168,6 +168,11 @@ class HazardChecker:
         self.telemetry = None
         self.hazards: list[Hazard] = []
         self._op_seq = 0
+        # runtime ids are a process-global counter; alias them to dense
+        # per-checker ids (first appearance order) so recorded stream keys
+        # — and therefore the exported DAG — are identical across runs in
+        # one process.  Stable for the checker's lifetime (not reset).
+        self._rt_ids: dict[int, int] = {}
         self._ticks: dict[Timeline, int] = {}
         self._streams: dict[tuple[int, int], _StreamState] = {}
         self._host = _StreamState()
@@ -211,6 +216,13 @@ class HazardChecker:
 
     # -- state transitions ---------------------------------------------------
 
+    def _rt(self, runtime_id: int) -> int:
+        """Dense per-checker alias for a process-global runtime id."""
+        rid = self._rt_ids.get(runtime_id)
+        if rid is None:
+            rid = self._rt_ids[runtime_id] = len(self._rt_ids) + 1
+        return rid
+
     def _stream_state(self, key: tuple[int, int]) -> _StreamState:
         st = self._streams.get(key)
         if st is None:
@@ -236,6 +248,7 @@ class HazardChecker:
         writes: Sequence[Any] = (),
         now: float = 0.0,
         nbytes: int = 0,
+        cost: tuple[float, float] | None = None,
     ) -> None:
         """Record one device operation and check its buffer accesses.
 
@@ -246,7 +259,7 @@ class HazardChecker:
         racy conflict raises :class:`HazardError` *after* the op's state
         is folded in (the trace and counters stay consistent).
         """
-        skeys = tuple((rtid, s.stream_id) for rtid, s in streams)
+        skeys = tuple((self._rt(rtid), s.stream_id) for rtid, s in streams)
         strong = VectorClock()
         weak = VectorClock()
         # DAG edges, strongest kind first (a predecessor reachable several
@@ -311,6 +324,7 @@ class HazardChecker:
             streams=skeys, engines=info.engines,
             deps=tuple(sorted(dag_deps.items())),
             host_dep=host_dep, host_gap=max(0.0, now - host_floor),
+            cost=cost,
         ))
         self._last_issue = max(self._last_issue, now)
 
@@ -417,36 +431,33 @@ class HazardChecker:
 
     def on_event_record(self, event: Any, runtime_id: int, stream: Any) -> None:
         """``cudaEventRecord``: snapshot the stream's knowledge."""
-        st = self._stream_state((runtime_id, stream.stream_id))
+        key = (self._rt(runtime_id), stream.stream_id)
+        st = self._stream_state(key)
         self._events[id(event)] = (st.strong, st.weak)
         self._event_refs[id(event)] = event
-        self._event_op[id(event)] = self._last_stream_op.get(
-            (runtime_id, stream.stream_id)
-        )
+        self._event_op[id(event)] = self._last_stream_op.get(key)
 
     def on_stream_wait_event(self, runtime_id: int, stream: Any, event: Any) -> None:
         """``cudaStreamWaitEvent``: the stream acquires the event's snapshot."""
         snap = self._events.get(id(event))
         if snap is None:
             return  # recorded before the checker existed (or never): no edge
-        st = self._stream_state((runtime_id, stream.stream_id))
+        key = (self._rt(runtime_id), stream.stream_id)
+        st = self._stream_state(key)
         st.strong = st.strong.copy().join(snap[0])
         st.weak = st.weak.copy().join(snap[1])
         ev_op = self._event_op.get(id(event))
         if ev_op is not None:
-            self._pending_event_deps.setdefault(
-                (runtime_id, stream.stream_id), []
-            ).append(ev_op)
+            self._pending_event_deps.setdefault(key, []).append(ev_op)
 
     def host_sync_stream(self, runtime_id: int, stream: Any) -> None:
         """The host blocked until ``stream`` drained: it now knows its past."""
-        st = self._streams.get((runtime_id, stream.stream_id))
+        key = (self._rt(runtime_id), stream.stream_id)
+        st = self._streams.get(key)
         if st is not None:
             self._host.strong = self._host.strong.copy().join(st.strong)
             self._host.weak = self._host.weak.copy().join(st.weak)
-        self._note_host_blocked_on(
-            self._last_stream_op.get((runtime_id, stream.stream_id))
-        )
+        self._note_host_blocked_on(self._last_stream_op.get(key))
 
     def _note_host_blocked_on(self, op: tuple[int, float] | None) -> None:
         """Keep the latest-completing op the host has blocked on (DAG host edge)."""

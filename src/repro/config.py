@@ -170,12 +170,35 @@ class GpuSpec:
         arithmetic dominates; untuned (compiler-chosen) geometry scales the
         whole body down by ``untuned_geometry_efficiency``.
         """
+        mem_time, flop_time = self.kernel_time_components(
+            bytes_moved=bytes_moved, flops=flops, tuned_geometry=tuned_geometry,
+        )
+        return max(mem_time, flop_time)
+
+    def kernel_time_components(
+        self,
+        *,
+        bytes_moved: float,
+        flops: float,
+        tuned_geometry: bool = True,
+    ) -> tuple[float, float]:
+        """The two roofline legs ``(mem_time, flop_time)`` of one kernel body.
+
+        ``kernel_time`` is their max.  Exposing the legs separately lets
+        the DAG replayer (:mod:`repro.obs.critpath`) rescale each leg by
+        the perturbed machine's bandwidth/flops ratio and re-take the max
+        — reproducing the exact duration a re-simulation would compute,
+        including roofline crossovers.  Geometry efficiency is folded
+        into *both* legs so the max still equals the body duration.
+        """
         if bytes_moved < 0 or flops < 0:
             raise ConfigError("bytes_moved and flops must be >= 0")
-        body = max(bytes_moved / self.mem_bandwidth, flops / self.dp_flops)
+        mem_time = bytes_moved / self.mem_bandwidth
+        flop_time = flops / self.dp_flops
         if not tuned_geometry:
-            body /= self.untuned_geometry_efficiency
-        return body
+            mem_time /= self.untuned_geometry_efficiency
+            flop_time /= self.untuned_geometry_efficiency
+        return mem_time, flop_time
 
 
 @dataclass(frozen=True)

@@ -27,7 +27,7 @@ import numpy as np
 from ..config import MachineSpec
 from ..cuda.kernel import KernelSpec
 from ..cuda.runtime import CudaRuntime
-from ..errors import FaultError, ReproError, TidaError, TileAccError
+from ..errors import FaultError, ReproError, TidaError, TileAccError, TimingModeError
 from ..faults import TRANSIENT_ERRORS
 from ..faults.plan import FaultPlan
 from ..faults.retry import RetryPolicy
@@ -56,6 +56,7 @@ class TidaAcc:
         machine: MachineSpec | None = None,
         *,
         functional: bool = True,
+        mode: str | None = None,
         device_memory_limit: int | None = None,
         runtime: CudaRuntime | None = None,
         acc: AccRuntime | None = None,
@@ -69,7 +70,7 @@ class TidaAcc:
     ) -> None:
         if runtime is None:
             runtime = CudaRuntime(
-                machine, functional=functional,
+                machine, functional=functional, mode=mode,
                 device_memory_limit=device_memory_limit, check=check,
                 telemetry=telemetry,
             )
@@ -100,6 +101,11 @@ class TidaAcc:
         self._fields: dict[str, TileArray] = {}
         self._managers: dict[str, TileAcc] = {}
         self._names_by_array: dict[int, str] = {}
+
+    @property
+    def mode(self) -> str:
+        """``"functional"`` or ``"timing"`` (see :class:`~repro.cuda.runtime.CudaRuntime`)."""
+        return self.runtime.mode
 
     @property
     def checker(self):
@@ -572,8 +578,21 @@ class TidaAcc:
 
     # -- results --------------------------------------------------------------------
 
+    def _require_functional(self, what: str) -> None:
+        if not self.runtime.functional:
+            raise TimingModeError(
+                f'{what} needs numeric field data, but this is a timing-only '
+                f'run (mode="timing"): buffers carry no arrays.  Re-run with '
+                f'mode="functional" (functional=True) to read results back.'
+            )
+
     def gather(self, name: str) -> np.ndarray:
-        """Download field ``name`` and assemble the global interior array."""
+        """Download field ``name`` and assemble the global interior array.
+
+        Functional mode only: a timing-only run has no values to gather
+        (use :meth:`~repro.core.tile_acc.TileAcc.flush_to_host` to account
+        the downloads without touching data)."""
+        self._require_functional(f"gather({name!r})")
         mgr = self.manager(name)
         mgr.flush_to_host()
         return self.field(name).to_global()
@@ -582,7 +601,8 @@ class TidaAcc:
         """Overwrite field ``name`` from a global array (host side).
 
         Regions currently device-resident are downloaded first so the
-        last-location cache stays truthful."""
+        last-location cache stays truthful.  Functional mode only."""
+        self._require_functional(f"scatter({name!r})")
         mgr = self.manager(name)
         mgr.flush_to_host()
         self.field(name).from_global(arr)

@@ -156,6 +156,30 @@ class KernelSpec:
             tuned_geometry=tuned_geometry,
         )
 
+    def cost_components(
+        self,
+        machine: MachineSpec,
+        n_cells: int,
+        *,
+        tuned_geometry: bool = True,
+        math: MathModel | None = None,
+    ) -> tuple[float, float]:
+        """The ``(mem_time, flop_time)`` roofline legs of the kernel body.
+
+        ``duration_on_gpu`` equals ``max(*cost_components(...))`` — the
+        legs are what the run DAG records per kernel node so the replay
+        surrogate can rescale each under a candidate machine and re-take
+        the max (see :meth:`repro.config.GpuSpec.kernel_time_components`).
+        """
+        if n_cells < 0:
+            raise CudaInvalidValueError(f"n_cells must be >= 0, got {n_cells}")
+        math = math if math is not None else machine.math
+        return machine.gpu.kernel_time_components(
+            bytes_moved=self.bytes_moved(n_cells),
+            flops=self.flop_equivalents(math, n_cells),
+            tuned_geometry=tuned_geometry,
+        )
+
     def duration_on_cpu(
         self,
         machine: MachineSpec,

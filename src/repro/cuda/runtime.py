@@ -26,7 +26,6 @@ from __future__ import annotations
 
 import itertools
 import warnings
-from collections import deque
 from typing import TYPE_CHECKING, Any, Sequence
 
 import numpy as np
@@ -40,7 +39,7 @@ from ..errors import (
 from ..faults.plan import FaultPlan
 from ..obs.metrics import MetricsRegistry
 from ..sim.device import DeviceBuffer, DeviceMemoryPool
-from ..sim.engine import FifoEngine, HostClock
+from ..sim.engine import EventCalendar, FifoEngine, HostClock
 from ..sim.hostmem import HostBuffer
 from ..sim.trace import Trace
 from .event import Event
@@ -54,6 +53,27 @@ if TYPE_CHECKING:  # pragma: no cover
 
 _runtime_ids = itertools.count(1)
 
+#: The execution modes a runtime (or any layer that forwards ``mode=``)
+#: accepts.  ``"replay"`` is *not* a runtime mode — replay happens in
+#: :mod:`repro.obs.critpath` on a recorded DAG, with no runtime at all.
+EXECUTION_MODES = ("functional", "timing")
+
+
+def _resolve_mode(functional: bool, mode: str | None) -> bool:
+    """Collapse the (functional, mode) pair to the functional flag.
+
+    ``mode`` names the switch explicitly ("functional"/"timing") and wins
+    over the boolean when both are given; ``None`` defers to the boolean.
+    """
+    if mode is None:
+        return bool(functional)
+    if mode not in EXECUTION_MODES:
+        raise CudaInvalidValueError(
+            f"unknown execution mode {mode!r}: expected one of {EXECUTION_MODES} "
+            "(replay mode operates on recorded DAGs, see repro.obs.critpath)"
+        )
+    return mode == "functional"
+
 
 class CudaRuntime:
     """One simulated device context.
@@ -66,6 +86,13 @@ class CudaRuntime:
         If True, allocations carry numpy arrays and kernel bodies really
         execute (use for correctness tests at small sizes).  If False,
         only virtual time flows (use for paper-sized benches).
+    mode:
+        The same switch, by name: ``"functional"`` or ``"timing"``.
+        Timing-only runs produce byte-identical traces, DAGs, metrics,
+        and hazard streams to functional runs — only the array math and
+        host/device payload copies are skipped (reading values back
+        raises :class:`~repro.errors.TimingModeError`).  ``None`` (the
+        default) defers to ``functional``; when given, it overrides it.
     device_memory_limit:
         Optional cap (bytes) on allocatable device memory, below the
         hardware size — how the paper emulates the limited-memory case
@@ -100,6 +127,7 @@ class CudaRuntime:
         machine: MachineSpec | None = None,
         *,
         functional: bool = True,
+        mode: str | None = None,
         device_memory_limit: int | None = None,
         clock: HostClock | None = None,
         trace: Trace | None = None,
@@ -111,7 +139,7 @@ class CudaRuntime:
         telemetry: "TelemetryBus | None" = None,
     ) -> None:
         self.machine = machine if machine is not None else DEFAULT_MACHINE
-        self.functional = bool(functional)
+        self.functional = _resolve_mode(functional, mode)
         capacity = self.machine.gpu.allocatable_bytes
         if device_memory_limit is not None:
             if device_memory_limit <= 0:
@@ -136,10 +164,10 @@ class CudaRuntime:
         self._m_launches = m.counter("cuda.kernel_launches")
         self._m_copy_nbytes = m.histogram("cuda.copy_nbytes")
         self._m_kernel_cells = m.histogram("cuda.kernel_cells")
-        # outstanding-work backlogs: per engine (drives the Perfetto
-        # queue-depth counter tracks) and per stream (drives gauges)
-        self._engine_pending: dict[str, deque[float]] = {}
-        self._stream_pending: dict[int, deque[float]] = {}
+        # outstanding-work backlog: one calendar covering every engine
+        # (drives the Perfetto queue-depth counter tracks) and stream
+        # (drives gauges) — O(log n) per op instead of per-key scans
+        self._pending = EventCalendar()
         self.compute_engine = FifoEngine(f"{lane_prefix}compute")
         self.h2d_engine = FifoEngine(f"{lane_prefix}h2d")
         if self.machine.gpu.copy_engines == 2:
@@ -238,6 +266,11 @@ class CudaRuntime:
     # -- host clock -------------------------------------------------------
 
     @property
+    def mode(self) -> str:
+        """``"functional"`` or ``"timing"`` (see the constructor)."""
+        return "functional" if self.functional else "timing"
+
+    @property
     def now(self) -> float:
         """Current host virtual time, seconds."""
         return self.clock.now
@@ -264,27 +297,23 @@ class CudaRuntime:
         """Track issued-but-incomplete work per engine and per stream.
 
         The engine backlog is sampled into a Perfetto counter track; the
-        per-stream depth feeds a gauge with a high-water mark.  Both
-        deques hold completion times, monotone within one engine/stream
-        (FIFO), so pruning from the left is exact.
+        per-stream depth feeds a gauge with a high-water mark.  One
+        :class:`~repro.sim.engine.EventCalendar` holds both kinds of
+        completion event: a single heap prune retires everything done by
+        ``now``, and the per-key depths it maintains equal what the old
+        per-engine/per-stream deque scans reported (completion times are
+        monotone within one FIFO engine/stream), so the recorded samples
+        are unchanged.
         """
         now = self.clock.now
-        dq = self._engine_pending.get(engine.name)
-        if dq is None:
-            dq = self._engine_pending[engine.name] = deque()
-        while dq and dq[0] <= now:
-            dq.popleft()
-        dq.append(end)
-        self.trace.record_counter(f"queue_depth:{engine.name}", now, len(dq))
-        sdq = self._stream_pending.get(stream.stream_id)
-        if sdq is None:
-            sdq = self._stream_pending[stream.stream_id] = deque()
-        while sdq and sdq[0] <= now:
-            sdq.popleft()
-        sdq.append(end)
+        pending = self._pending
+        pending.prune(now)
+        depth = pending.push(("e", engine.name), end)
+        self.trace.record_counter(f"queue_depth:{engine.name}", now, depth)
+        sdepth = pending.push(("s", stream.stream_id), end)
         self.metrics.gauge(
             f"cuda.{self.lane_prefix}stream.{stream.stream_id}.queue_depth"
-        ).set(len(sdq))
+        ).set(sdepth)
 
     @staticmethod
     def _after_deps(after: "float | Sequence[float]") -> tuple[tuple[float, ...], float]:
@@ -466,11 +495,11 @@ class CudaRuntime:
 
         Repetition drivers used to reset only the engines
         (:meth:`~repro.sim.engine.FifoEngine.reset`), which left stream
-        tails and the pending-work deques stale: the next repetition's
+        tails and the pending-work calendar stale: the next repetition's
         operations were scheduled after completion times of the previous
         run, corrupting per-repetition ``busy_time`` and queue-depth
         accounting.  This clears engines, stream tails, the backlog
-        deques, and the hazard checker's per-run state together.
+        calendar, and the hazard checker's per-run state together.
         Allocations, metrics, and the trace are kept (repetitions
         accumulate there by design); the host clock keeps advancing.
         """
@@ -481,8 +510,7 @@ class CudaRuntime:
             engine.reset()
         for stream in self._streams.values():
             stream._reset()
-        self._engine_pending.clear()
-        self._stream_pending.clear()
+        self._pending.clear()
         if self.checker is not None:
             self.checker.reset_schedule()
 
@@ -735,9 +763,10 @@ class CudaRuntime:
                 ready = max(ready, self._migrate_managed_to_device(buf, stream))
             ready = max(ready, self.now)
 
-        body = kernel.duration_on_gpu(
+        cost = kernel.cost_components(
             self.machine, n_cells, tuned_geometry=tuned_geometry, math=math
         )
+        body = max(cost)  # == kernel.duration_on_gpu(...)
         duration = self.machine.gpu.kernel_launch_overhead + body + hang
         start, end = self.compute_engine.submit(ready, duration)
         stream._push(end)
@@ -761,6 +790,7 @@ class CudaRuntime:
                 engines=(self.compute_engine,),
                 start=start, end=end, after=after_deps,
                 reads=k_reads, writes=k_writes, now=self.now,
+                cost=cost,
             )
         if self.functional and kernel.body is not None:
             arrays = [b.array for b in buffers]

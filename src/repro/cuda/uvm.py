@@ -14,11 +14,12 @@ location changes into copy-engine time.
 
 from __future__ import annotations
 
+import math
 from typing import Any
 
 import numpy as np
 
-from ..errors import CudaInvalidValueError
+from ..errors import CudaInvalidValueError, TimingModeError
 from ..sim.hostmem import _normalize_shape
 
 HOST = "host"
@@ -28,7 +29,8 @@ DEVICE = "device"
 class ManagedBuffer:
     """A ``cudaMallocManaged`` allocation."""
 
-    __slots__ = ("shape", "dtype", "functional", "label", "location", "_array", "_freed")
+    __slots__ = ("shape", "dtype", "functional", "nbytes", "label", "location",
+                 "_array", "_freed")
 
     def __init__(
         self,
@@ -43,6 +45,8 @@ class ManagedBuffer:
         self.dtype = np.dtype(dtype)
         self.functional = bool(functional)
         self.label = label
+        # cached: read on every migration-time estimate
+        self.nbytes = self.dtype.itemsize * math.prod(self.shape)
         self.location = HOST
         self._freed = False
         if self.functional:
@@ -51,13 +55,6 @@ class ManagedBuffer:
                 self._array.fill(fill)
         else:
             self._array = None
-
-    @property
-    def nbytes(self) -> int:
-        n = self.dtype.itemsize
-        for s in self.shape:
-            n *= s
-        return n
 
     @property
     def freed(self) -> bool:
@@ -70,8 +67,9 @@ class ManagedBuffer:
         if self._freed:
             raise CudaInvalidValueError("managed buffer used after free")
         if self._array is None:
-            raise CudaInvalidValueError(
-                "managed buffer has no backing array (timing-only mode)"
+            raise TimingModeError(
+                'managed buffer has no backing array (timing-only run, '
+                'mode="timing"); re-run with mode="functional" for data access'
             )
         return self._array
 

@@ -44,6 +44,16 @@ class CudaInvalidResourceHandleError(CudaError):
     """cudaErrorInvalidResourceHandle: stream/event/buffer not owned or destroyed."""
 
 
+class TimingModeError(CudaInvalidValueError):
+    """Numeric payload requested from a timing-only (``mode="timing"``) run.
+
+    Timing-only buffers carry no backing arrays: every schedule decision,
+    trace event, and hazard edge is produced, but reading values back
+    (``gather``/``scatter``, ``buffer.array``) is meaningless.  Re-run
+    with ``mode="functional"`` (or ``functional=True``) for numerics.
+    """
+
+
 class CudaIllegalAddressError(CudaError):
     """cudaErrorIllegalAddress: kernel touched freed or foreign memory."""
 

@@ -9,12 +9,19 @@ driver that can either consult the model or measure the simulator
 """
 
 from .analytic import PipelineEstimate, estimate_resident, estimate_streaming
-from .autotune import autotune_region_count, sweep_region_counts
+from .autotune import (
+    autotune_machine,
+    autotune_region_count,
+    sweep_machines,
+    sweep_region_counts,
+)
 
 __all__ = [
     "PipelineEstimate",
     "estimate_streaming",
     "estimate_resident",
+    "autotune_machine",
     "autotune_region_count",
+    "sweep_machines",
     "sweep_region_counts",
 ]

@@ -1,6 +1,7 @@
-"""Region-count autotuning (the knob Fig. 5's caption fixes at 16).
+"""Autotuning sweeps: region counts, prefetch depths, machine candidates.
 
-Two strategies:
+Region counts (the knob Fig. 5's caption fixes at 16) offer two
+strategies:
 
 * ``strategy="model"`` — evaluate the closed-form estimate for each
   candidate count (microseconds per candidate);
@@ -10,12 +11,21 @@ Two strategies:
 Both return the full sweep so ablation A1 can print the U-shaped curve:
 too few regions ⇒ coarse pipelining (poor overlap), too many ⇒ launch
 overhead and ghost-face volume dominate.
+
+Machine candidates (:func:`sweep_machines` — which link/GPU should this
+workload buy?) add a third strategy: ``"replay"`` simulates the workload
+*once*, records its causal DAG, and reschedules that DAG under each
+candidate machine (:func:`~repro.obs.critpath.replay_machine`) —
+microseconds per candidate instead of a full simulation — then re-runs
+the winner in the simulator to verify the pick with a real measurement.
+Replay is only sound on the machine axis: region/prefetch knobs change
+the *program*, so their sweeps always re-simulate.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Any, Callable, Sequence
 
 from ..config import DEFAULT_MACHINE, MachineSpec
 from ..cuda.kernel import KernelSpec
@@ -123,3 +133,92 @@ def autotune_prefetch_depth(**kwargs) -> int:
     shallowest depth, i.e. the least speculation)."""
     sweep = sweep_prefetch_depth(**kwargs)
     return min(sweep, key=lambda p: (p.seconds, p.prefetch_depth)).prefetch_depth
+
+
+@dataclass(frozen=True)
+class MachineSweepPoint:
+    """One candidate machine's predicted (or measured) workload time."""
+
+    name: str
+    seconds: float
+    surrogate: str          # "replay" (DAG prediction) | "measure" (simulated)
+
+
+def _dag_span(result: Any) -> float:
+    """Device-op makespan of a run — the quantity a replay predicts.
+
+    ``elapsed`` starts after initialization while the DAG includes the
+    initial uploads, so sweeps must rank both surrogate kinds on the
+    same clock: the span of the recorded device ops.
+    """
+    dag = getattr(result, "dag", None)
+    if dag:
+        return max(n.end for n in dag) - min(n.start for n in dag)
+    return float(result.elapsed)
+
+
+def sweep_machines(
+    candidates: Sequence[MachineSpec],
+    *,
+    measure_result_fn: Callable[[MachineSpec], Any],
+    strategy: str = "replay",
+    base: MachineSpec | None = None,
+) -> list[MachineSweepPoint]:
+    """Evaluate the workload on every candidate machine; full sweep back.
+
+    ``measure_result_fn(machine)`` runs the workload and returns a
+    :class:`~repro.baselines.common.BaselineResult`-shaped object; for
+    ``strategy="replay"`` it must have been run with the hazard checker
+    armed (``check="observe"``) so ``.dag`` is populated.
+
+    ``strategy="replay"`` measures once on ``base`` (default: the first
+    candidate), replays the recorded DAG under every candidate, then
+    re-measures the *winner* in the full simulator — so the returned
+    winning number is always a real measurement, and a surrogate
+    mis-ranking is bounded by the replay error, not compounded by it.
+    ``strategy="measure"`` simulates every candidate.
+    """
+    from ..obs.critpath import replay_machine
+
+    if strategy not in ("measure", "replay"):
+        raise ReproError(
+            f"strategy must be 'measure' or 'replay', got {strategy!r}"
+        )
+    if not candidates:
+        raise ReproError("candidates must be non-empty")
+    if strategy == "measure":
+        return [
+            MachineSweepPoint(
+                name=m.name, seconds=_dag_span(measure_result_fn(m)),
+                surrogate="measure",
+            )
+            for m in candidates
+        ]
+    base = base if base is not None else candidates[0]
+    recording = measure_result_fn(base)
+    if not getattr(recording, "dag", None):
+        raise ReproError(
+            "strategy='replay' needs the base run's DAG; pass check='observe' "
+            "through measure_result_fn"
+        )
+    points: list[MachineSweepPoint] = []
+    for m in candidates:
+        _, makespan = replay_machine(recording.dag, machine=base, perturbed=m)
+        points.append(
+            MachineSweepPoint(name=m.name, seconds=makespan, surrogate="replay")
+        )
+    win = min(range(len(points)), key=lambda i: points[i].seconds)
+    verified = _dag_span(measure_result_fn(candidates[win]))
+    points[win] = MachineSweepPoint(
+        name=points[win].name, seconds=verified, surrogate="measure"
+    )
+    return points
+
+
+def autotune_machine(
+    candidates: Sequence[MachineSpec], **kwargs
+) -> MachineSpec:
+    """The candidate machine with the smallest predicted/measured time."""
+    sweep = sweep_machines(candidates, **kwargs)
+    win = min(range(len(sweep)), key=lambda i: sweep[i].seconds)
+    return candidates[win]

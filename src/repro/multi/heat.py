@@ -82,6 +82,7 @@ class MultiGpuHeat:
         n_devices: int = 2,
         regions_per_device: int = 4,
         functional: bool = False,
+        mode: str | None = None,
         bc: BoundaryCondition | None = None,
         coef: float = 0.1,
         check: str | bool | None = None,
@@ -98,8 +99,8 @@ class MultiGpuHeat:
         self.bc = bc if bc is not None else Neumann()
         self.coef = coef
         self.mgr = MultiGpuRuntime(
-            self.machine, n_devices, functional=functional, check=check,
-            telemetry=telemetry,
+            self.machine, n_devices, functional=functional, mode=mode,
+            check=check, telemetry=telemetry,
         )
         self.kernel = heat_kernel(len(shape))
         self.ghost = 1
@@ -262,6 +263,7 @@ def run_multi_gpu_heat(
     n_devices: int = 2,
     regions_per_device: int = 8,
     functional: bool = False,
+    mode: str | None = None,
     bc: BoundaryCondition | None = None,
     coef: float = 0.1,
     initial: np.ndarray | None = None,
@@ -272,8 +274,9 @@ def run_multi_gpu_heat(
     solver = MultiGpuHeat(
         machine, shape=shape, n_devices=n_devices,
         regions_per_device=regions_per_device, functional=functional,
-        bc=bc, coef=coef, check=check, telemetry=telemetry,
+        mode=mode, bc=bc, coef=coef, check=check, telemetry=telemetry,
     )
+    functional = solver.mgr.functional
     if functional:
         init = initial if initial is not None else default_init(shape, 0)
         solver.set_initial(init)
@@ -288,6 +291,8 @@ def run_multi_gpu_heat(
     return BaselineResult(
         name=f"tida-acc-{n_devices}gpu", elapsed=elapsed, shape=shape, steps=steps,
         trace=solver.trace, result=result,
-        meta={"n_devices": n_devices, "regions_per_device": regions_per_device},
+        meta={"n_devices": n_devices, "regions_per_device": regions_per_device,
+              "mode": solver.mgr.mode},
         metrics=solver.mgr.metrics.snapshot(),
+        dag=(list(solver.mgr.checker.dag) if solver.mgr.checker is not None else None),
     )

@@ -34,6 +34,7 @@ class MultiGpuRuntime:
         n_devices: int = 2,
         *,
         functional: bool = True,
+        mode: str | None = None,
         device_memory_limit: int | None = None,
         check: str | bool | None = None,
         telemetry=None,
@@ -55,6 +56,7 @@ class MultiGpuRuntime:
             CudaRuntime(
                 self.machine,
                 functional=functional,
+                mode=mode,
                 device_memory_limit=device_memory_limit,
                 clock=self.clock,
                 trace=self.trace,
@@ -80,6 +82,15 @@ class MultiGpuRuntime:
     @property
     def n_devices(self) -> int:
         return len(self.devices)
+
+    @property
+    def functional(self) -> bool:
+        return self.devices[0].functional
+
+    @property
+    def mode(self) -> str:
+        """``"functional"`` or ``"timing"`` (uniform across the group)."""
+        return self.devices[0].mode
 
     def health(self) -> dict:
         """Group-wide health snapshot (see :meth:`CudaRuntime.health`)."""

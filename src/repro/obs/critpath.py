@@ -58,6 +58,7 @@ __all__ = [
     "overlap_report",
     "region_of",
     "replay",
+    "replay_machine",
     "whatif",
 ]
 
@@ -421,6 +422,88 @@ def replay(
         for dep, _kind in n.deps:
             start = max(start, ends.get(dep, 0.0))
         end = start + _scaled_duration(n, scenario, machine)
+        ends[n.op_id] = end
+        prev_issue = issue
+        out.append(n.shifted(start=start, end=end, issue=issue))
+    if not out:
+        return [], 0.0
+    makespan = max(n.end for n in out) - min(n.start for n in out)
+    return out, makespan
+
+
+def _machine_duration(
+    node: DagNode, machine: MachineSpec, perturbed: MachineSpec
+) -> float:
+    """Duration of one recorded op under ``perturbed``, from first principles.
+
+    Transfers are recomputed exactly the way the runtime computes them —
+    ``link.transfer_time(nbytes, direction, pinned=True)`` (peer copies
+    price at D2H rate, matching :meth:`MultiGpuRuntime.peer_copy`) — plus
+    the *residual* between the recorded duration and what the recording
+    machine's formula predicts.  The residual carries everything the
+    formula does not see (fault hang time, pageable staging, managed
+    migration) unchanged into the replay, so perturbing the link never
+    erases a fault injection and the identity replay is exact.
+
+    Kernels rescale each recorded roofline leg (:attr:`DagNode.cost`) by
+    the bandwidth/throughput ratio and re-take the max — reproducing
+    roofline crossovers a re-simulation would find — then swap the launch
+    overhead.  Nodes recorded without cost legs (older manifests, copy
+    kernels from bare traces) keep their body time and only swap the
+    overhead.  Geometry-efficiency and math-model perturbations are not
+    modelled here; legs that change those must fall back to simulation.
+    """
+    dur = node.duration
+    if node.kind in TRANSFER_KINDS:
+        direction = "h2d" if node.kind == "h2d" else "d2h"
+        base = machine.link.transfer_time(
+            node.nbytes, direction=direction, pinned=True
+        )
+        new = perturbed.link.transfer_time(
+            node.nbytes, direction=direction, pinned=True
+        )
+        return new + max(0.0, dur - base)
+    old_oh = machine.gpu.kernel_launch_overhead
+    new_oh = perturbed.gpu.kernel_launch_overhead
+    if node.cost is None:
+        return new_oh + max(0.0, dur - old_oh)
+    mem, flop = node.cost
+    body = mem * (machine.gpu.mem_bandwidth / perturbed.gpu.mem_bandwidth)
+    body = max(body, flop * (machine.gpu.dp_flops / perturbed.gpu.dp_flops))
+    residual = max(0.0, dur - old_oh - max(node.cost))
+    return new_oh + body + residual
+
+
+def replay_machine(
+    nodes: Sequence[DagNode],
+    *,
+    machine: MachineSpec,
+    perturbed: MachineSpec,
+) -> tuple[list[DagNode], float]:
+    """Re-schedule a recorded DAG on a different machine; (nodes', makespan).
+
+    The sweep surrogate: :func:`~repro.check.explore.conformance_matrix`
+    and replay-strategy autotuning record one DAG per (workload, shape)
+    and call this for every candidate machine instead of re-simulating.
+    Same scheduling rule as :func:`replay` — recorded issue order, stream
+    and engine structure, and host think time are kept; only per-op
+    durations (see :func:`_machine_duration`) and the host gaps (scaled
+    by the API-call-overhead ratio) change.  ``replay_machine(nodes,
+    machine=m, perturbed=m)`` reproduces the recording byte-exactly.
+    """
+    gap_scale = (
+        perturbed.cpu.api_call_overhead / machine.cpu.api_call_overhead
+    )
+    ends: dict[int, float] = {}
+    prev_issue = 0.0
+    out: list[DagNode] = []
+    for n in sorted(nodes, key=lambda x: x.op_id):
+        host_end = ends.get(n.host_dep, 0.0) if n.host_dep is not None else 0.0
+        issue = max(prev_issue, host_end) + n.host_gap * gap_scale
+        start = issue
+        for dep, _kind in n.deps:
+            start = max(start, ends.get(dep, 0.0))
+        end = start + _machine_duration(n, machine, perturbed)
         ends[n.op_id] = end
         prev_issue = issue
         out.append(n.shifted(start=start, end=end, issue=issue))

@@ -10,6 +10,7 @@ experiments (Figs. 7 and 8).
 
 from __future__ import annotations
 
+import math
 from typing import Any
 
 import numpy as np
@@ -17,6 +18,7 @@ import numpy as np
 from ..errors import (
     CudaInvalidValueError,
     CudaMemoryAllocationError,
+    TimingModeError,
 )
 from .hostmem import _normalize_shape
 
@@ -29,7 +31,8 @@ class DeviceBuffer:
     numerics can be checked against a CPU reference.
     """
 
-    __slots__ = ("shape", "dtype", "functional", "_array", "_freed", "label", "pool")
+    __slots__ = ("shape", "dtype", "functional", "nbytes", "_array", "_freed",
+                 "label", "pool")
 
     def __init__(
         self,
@@ -45,15 +48,10 @@ class DeviceBuffer:
         self.dtype = np.dtype(dtype)
         self.functional = bool(functional)
         self.label = label
+        # cached: read on every transfer-time estimate and pool accounting op
+        self.nbytes = self.dtype.itemsize * math.prod(self.shape)
         self._freed = False
         self._array = np.zeros(self.shape, dtype=self.dtype) if self.functional else None
-
-    @property
-    def nbytes(self) -> int:
-        n = self.dtype.itemsize
-        for s in self.shape:
-            n *= s
-        return n
 
     @property
     def freed(self) -> bool:
@@ -64,8 +62,10 @@ class DeviceBuffer:
         if self._freed:
             raise CudaInvalidValueError(f"device buffer {self.label or id(self)} used after free")
         if self._array is None:
-            raise CudaInvalidValueError(
-                "device buffer has no backing array (timing-only mode)"
+            raise TimingModeError(
+                f"device buffer {self.label or id(self)} has no backing array "
+                '(timing-only run, mode="timing"); re-run with '
+                'mode="functional" to read values back'
             )
         return self._array
 

@@ -16,12 +16,18 @@ that is issued early but not yet ready blocks later commands on the same
 engine (the classic false-serialization pitfall the paper's one-stream-
 per-slot design avoids).
 
-The model is deterministic and needs no event calendar: because engines
-are FIFO in issue order, each operation's start/end can be computed
-greedily at submission time.
+The model is deterministic: because engines are FIFO in issue order,
+each operation's start/end can be computed greedily at submission time.
+What *does* need a calendar is the backlog accounting (how many issued
+operations are still in flight per engine and per stream, sampled into
+Perfetto counter tracks on every issue): the :class:`EventCalendar` is a
+single binary heap of pending completion events with stable sequence
+tie-breaks, giving O(log n) per operation instead of per-key scans.
 """
 
 from __future__ import annotations
+
+import heapq
 
 from ..errors import SimulationError
 
@@ -61,7 +67,10 @@ class HostClock:
             raise SimulationError(f"cannot advance clock by negative dt {dt!r}")
         self._now += dt
         if self._listeners and dt > 0:
-            for listener in self._listeners:
+            # snapshot: a listener may subscribe/unsubscribe during fan-out
+            # (a telemetry subscriber detaching itself on an alert) and must
+            # not mutate the list we are iterating
+            for listener in tuple(self._listeners):
                 listener(self._now)
         return self._now
 
@@ -70,7 +79,7 @@ class HostClock:
         if t > self._now:
             self._now = t
             if self._listeners:
-                for listener in self._listeners:
+                for listener in tuple(self._listeners):
                     listener(self._now)
         return self._now
 
@@ -125,10 +134,81 @@ class FifoEngine:
 
         Resetting an engine in isolation is almost never what a harness
         repetition wants: stream tails and the runtime's pending-work
-        deques would still reference the previous run's completion times.
+        calendar would still reference the previous run's completion times.
         Use :meth:`repro.cuda.runtime.CudaRuntime.reset_schedule`, which
         resets engines, streams, and backlog accounting together.
         """
         self._tail = 0.0
         self._busy_time = 0.0
         self._op_count = 0
+
+
+class EventCalendar:
+    """Heap-driven calendar of pending completion events.
+
+    One heap serves every key (engine name, stream id, ...): entries are
+    ``(time, seq, key)`` tuples where ``seq`` is a monotone issue counter,
+    so ties at equal times pop in issue order — deterministic, and keys
+    themselves are never compared (they may be of mixed types).
+
+    :meth:`push` registers a completion event and returns the key's new
+    in-flight depth; :meth:`prune` retires every event due at or before
+    ``now``.  Because completion times are monotone within one FIFO
+    engine/stream, the per-key depth after a global prune equals what a
+    per-key scan of that key's own pending list would report — which is
+    how this replaces the runtime's per-op deque bookkeeping without
+    changing a single recorded queue-depth sample.
+    """
+
+    __slots__ = ("_heap", "_depths", "_seq")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, object]] = []
+        self._depths: dict = {}
+        self._seq = 0
+
+    def __len__(self) -> int:
+        """Number of pending (not yet pruned) events."""
+        return len(self._heap)
+
+    def depth(self, key) -> int:
+        """In-flight events for ``key`` as of the last :meth:`prune`."""
+        return self._depths.get(key, 0)
+
+    def next_time(self) -> float | None:
+        """Earliest pending completion time (None when idle)."""
+        return self._heap[0][0] if self._heap else None
+
+    def prune(self, now: float) -> int:
+        """Retire every event with ``time <= now``; returns how many."""
+        heap = self._heap
+        depths = self._depths
+        retired = 0
+        while heap and heap[0][0] <= now:
+            _, _, key = heapq.heappop(heap)
+            depths[key] -= 1
+            retired += 1
+        return retired
+
+    def push(self, key, time: float) -> int:
+        """Register a completion event; returns ``key``'s new depth.
+
+        Call :meth:`prune` first when the depth must reflect ``now``.
+        """
+        if time < 0:
+            raise SimulationError(f"completion time must be >= 0, got {time!r}")
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (time, seq, key))
+        depth = self._depths.get(key, 0) + 1
+        self._depths[key] = depth
+        return depth
+
+    def clear(self) -> None:
+        """Forget all pending events (schedule reset between repetitions).
+
+        The sequence counter is *not* rewound: tie-breaks stay globally
+        monotone across resets, matching engine/stream reset semantics.
+        """
+        self._heap.clear()
+        self._depths.clear()

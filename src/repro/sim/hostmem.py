@@ -19,11 +19,12 @@ laptop RAM.
 
 from __future__ import annotations
 
+import math
 from typing import Any
 
 import numpy as np
 
-from ..errors import CudaInvalidValueError
+from ..errors import CudaInvalidValueError, TimingModeError
 
 
 def _normalize_shape(shape: int | tuple[int, ...]) -> tuple[int, ...]:
@@ -46,7 +47,8 @@ class HostBuffer:
         Whether a real numpy array backs the buffer.
     """
 
-    __slots__ = ("shape", "dtype", "pinned", "functional", "_array", "_freed", "label")
+    __slots__ = ("shape", "dtype", "pinned", "functional", "size", "nbytes",
+                 "_array", "_freed", "label")
 
     def __init__(
         self,
@@ -63,6 +65,9 @@ class HostBuffer:
         self.pinned = bool(pinned)
         self.functional = bool(functional)
         self.label = label
+        # cached: read on every transfer-time estimate
+        self.size = math.prod(self.shape)
+        self.nbytes = self.dtype.itemsize * self.size
         self._freed = False
         if self.functional:
             self._array = np.zeros(self.shape, dtype=self.dtype)
@@ -70,20 +75,6 @@ class HostBuffer:
                 self._array.fill(fill)
         else:
             self._array = None
-
-    @property
-    def nbytes(self) -> int:
-        n = self.dtype.itemsize
-        for s in self.shape:
-            n *= s
-        return n
-
-    @property
-    def size(self) -> int:
-        n = 1
-        for s in self.shape:
-            n *= s
-        return n
 
     @property
     def freed(self) -> bool:
@@ -95,9 +86,10 @@ class HostBuffer:
         if self._freed:
             raise CudaInvalidValueError(f"host buffer {self.label or id(self)} used after free")
         if self._array is None:
-            raise CudaInvalidValueError(
-                "host buffer has no backing array (timing-only mode); "
-                "construct the runtime with functional=True for data access"
+            raise TimingModeError(
+                f"host buffer {self.label or id(self)} has no backing array "
+                '(timing-only run, mode="timing"); construct the runtime with '
+                'mode="functional" (functional=True) for data access'
             )
         return self._array
 

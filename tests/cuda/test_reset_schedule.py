@@ -77,13 +77,14 @@ class TestResetSchedule:
         assert rt.h2d_engine.busy_time == pytest.approx(busy1)
         assert rt.h2d_engine.op_count == 1
 
-    def test_pending_deques_cleared(self, rt):
+    def test_pending_calendar_cleared(self, rt):
         s = rt.create_stream()
         one_rep(rt, s)
-        assert any(rt._engine_pending.values())
+        assert len(rt._pending) > 0
         rt.reset_schedule()
-        assert not rt._engine_pending
-        assert not rt._stream_pending
+        assert len(rt._pending) == 0
+        assert rt._pending.depth(("e", rt.h2d_engine.name)) == 0
+        assert rt._pending.depth(("s", s.stream_id)) == 0
 
     def test_aliased_copy_engine_reset_once(self, machine):
         # single-copy-engine parts alias d2h onto h2d; resetting twice

@@ -1,0 +1,166 @@
+"""EventCalendar heap semantics, clock-listener snapshots, cached nbytes.
+
+The heap-driven event core replaces the runtime's per-op deque
+bookkeeping; its contract is that per-key depths after a global prune
+match what per-key deques would have reported, with deterministic
+tie-breaks, so every recorded queue-depth sample stays byte-identical.
+"""
+
+import heapq
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import EventCalendar, HostClock
+
+
+class TestEventCalendar:
+    def test_push_returns_growing_depth(self):
+        cal = EventCalendar()
+        assert cal.push("e", 1.0) == 1
+        assert cal.push("e", 2.0) == 2
+        assert cal.push("s", 1.5) == 1
+        assert len(cal) == 3
+
+    def test_prune_retires_due_events(self):
+        cal = EventCalendar()
+        for t in (1.0, 2.0, 3.0):
+            cal.push("e", t)
+        assert cal.prune(2.0) == 2          # 1.0 and 2.0 are due (<= now)
+        assert cal.depth("e") == 1
+        assert cal.next_time() == 3.0
+
+    def test_depth_is_per_key_after_global_prune(self):
+        # the deque-equivalence property: one global prune, per-key counts
+        cal = EventCalendar()
+        cal.push("a", 1.0)
+        cal.push("b", 5.0)
+        cal.push("a", 6.0)
+        cal.push("b", 7.0)
+        cal.prune(5.0)
+        assert cal.depth("a") == 1
+        assert cal.depth("b") == 1
+
+    def test_equal_times_pop_in_issue_order_with_mixed_keys(self):
+        # keys are never compared: tuples and strings coexist at one time
+        cal = EventCalendar()
+        cal.push(("e", "h2d"), 2.0)
+        cal.push("stream-3", 2.0)
+        cal.push(("s", 1), 2.0)
+        assert cal.prune(2.0) == 3
+        assert len(cal) == 0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError, match="completion time"):
+            EventCalendar().push("e", -1.0)
+
+    def test_clear_empties_but_keeps_seq_monotone(self):
+        cal = EventCalendar()
+        cal.push("e", 1.0)
+        cal.clear()
+        assert len(cal) == 0 and cal.depth("e") == 0
+        # events pushed after a clear still order after pre-clear ones
+        # (seq never rewinds, so stale heap snapshots cannot collide)
+        cal.push("e", 1.0)
+        assert cal._heap[0][1] >= 1
+
+    def test_next_time_none_when_idle(self):
+        cal = EventCalendar()
+        assert cal.next_time() is None
+        cal.push("e", 4.0)
+        cal.prune(4.0)
+        assert cal.next_time() is None
+
+    def test_matches_reference_deque_depths(self):
+        # differential against the retired implementation: per-key deques
+        # pruned per observation must agree with the global heap
+        import collections
+        import random
+
+        rng = random.Random(7)
+        cal = EventCalendar()
+        deques: dict[str, collections.deque] = collections.defaultdict(
+            collections.deque
+        )
+        tails: dict[str, float] = collections.defaultdict(float)
+        now = 0.0
+        for _ in range(300):
+            now += rng.random() * 0.1
+            key = rng.choice("abc")
+            # FIFO precondition: completion times are monotone per key
+            # (each op starts no earlier than the key's current tail)
+            end = max(tails[key], now) + rng.random()
+            tails[key] = end
+            cal.prune(now)
+            for q in deques.values():
+                while q and q[0] <= now:
+                    q.popleft()
+            got = cal.push(key, end)
+            deques[key].append(end)
+            assert got == len(deques[key])
+
+
+class TestClockListenerSnapshot:
+    """Listeners may detach (or attach) during fan-out without corruption."""
+
+    def test_listener_unsubscribing_itself_mid_fanout(self):
+        clock = HostClock()
+        seen = []
+
+        def flaky(now):
+            seen.append(("flaky", now))
+            clock.unsubscribe(flaky)
+
+        def steady(now):
+            seen.append(("steady", now))
+
+        clock.subscribe(flaky)
+        clock.subscribe(steady)
+        clock.advance(1.0)
+        # both listeners of the snapshot ran, despite the mid-loop removal
+        assert ("flaky", 1.0) in seen and ("steady", 1.0) in seen
+        clock.advance(1.0)
+        assert ("flaky", 2.0) not in seen and ("steady", 2.0) in seen
+
+    def test_listener_subscribing_another_mid_advance_to(self):
+        clock = HostClock()
+        calls = []
+
+        def late(now):
+            calls.append("late")
+
+        def early(now):
+            calls.append("early")
+            clock.subscribe(late)
+
+        clock.subscribe(early)
+        clock.advance_to(2.0)      # late joins during fan-out: not called yet
+        assert calls == ["early"]
+        clock.advance_to(3.0)
+        assert calls == ["early", "late", "early"] or calls == [
+            "early", "early", "late"]
+
+
+class TestCachedNbytes:
+    """Buffer sizes are computed once at construction, not per access."""
+
+    def test_device_buffer_nbytes_is_plain_attribute(self, tiny_runtime):
+        buf = tiny_runtime.malloc((8, 4), label="d")
+        assert buf.nbytes == 8 * 4 * buf.dtype.itemsize
+        # a slot set at construction, not a property recomputed per access
+        assert not isinstance(vars(type(buf)).get("nbytes"), property)
+
+    def test_host_buffer_size_and_nbytes_cached(self, tiny_runtime):
+        buf = tiny_runtime.malloc_pinned((3, 5, 7), label="h")
+        assert buf.size == math.prod((3, 5, 7))
+        assert buf.nbytes == buf.size * buf.dtype.itemsize
+        assert not isinstance(vars(type(buf)).get("nbytes"), property)
+        assert not isinstance(vars(type(buf)).get("size"), property)
+
+    def test_timing_mode_buffers_still_know_their_size(self, tiny_machine):
+        from repro.cuda.runtime import CudaRuntime
+
+        rt = CudaRuntime(tiny_machine, mode="timing")
+        buf = rt.malloc((16, 16), label="d")
+        assert buf.nbytes == 16 * 16 * 8   # no array needed for accounting
