@@ -43,8 +43,8 @@ def main() -> None:
     img = synthetic_image(args.size)
     region = args.size // args.grid
     lib = TidaAcc()
-    lib.add_array("img", img.shape, region_shape=(region, region), ghost=1)
-    lib.add_array("tmp", img.shape, region_shape=(region, region), ghost=1)
+    lib.add_array("img", img.shape, region_shape=(region, region), halo=1)
+    lib.add_array("tmp", img.shape, region_shape=(region, region), halo=1)
     lib.scatter("img", img)
 
     kernel = blur_kernel()

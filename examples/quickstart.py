@@ -22,8 +22,8 @@ COEF = 0.1
 
 def main() -> None:
     lib = TidaAcc()  # simulated K40m testbed, functional mode
-    lib.add_array("u_old", SHAPE, n_regions=4, ghost=1)
-    lib.add_array("u_new", SHAPE, n_regions=4, ghost=1)
+    lib.add_array("u_old", SHAPE, n_regions=4, halo=1)
+    lib.add_array("u_new", SHAPE, n_regions=4, halo=1)
 
     init = default_init(SHAPE, ghost=1)
     lib.scatter("u_old", init[1:-1, 1:-1, 1:-1])

@@ -44,7 +44,7 @@ def main() -> None:
 
     lib = TidaAcc()
     for name in ("u_next", "u", "u_prev"):
-        lib.add_array(name, shape, n_regions=args.regions, ghost=1)
+        lib.add_array(name, shape, n_regions=args.regions, halo=1)
     lib.scatter("u", u0)
     lib.scatter("u_prev", u0)
 

@@ -7,8 +7,8 @@ Public API tour
 
 >>> from repro import TidaAcc, heat_kernel, Neumann
 >>> lib = TidaAcc()                                  # simulated K40m testbed
->>> lib.add_array("u_old", (32, 32, 32), n_regions=4, ghost=1, fill=1.0)
->>> lib.add_array("u_new", (32, 32, 32), n_regions=4, ghost=1)
+>>> lib.add_array("u_old", (32, 32, 32), n_regions=4, halo=1, fill=1.0)
+>>> lib.add_array("u_new", (32, 32, 32), n_regions=4, halo=1)
 >>> kernel = heat_kernel(ndim=3)
 >>> for _step in range(10):
 ...     lib.fill_boundary("u_old", Neumann())
@@ -20,6 +20,19 @@ Public API tour
 >>> result = lib.gather("u_old")                      # numpy array
 >>> elapsed = lib.now                                 # virtual seconds
 
+Or declaratively — describe the program, let the planner derive the
+decomposition (ghost widths, region/slot counts, eviction, prefetch)
+from the kernels' access/footprint declarations:
+
+>>> from repro import Program, TidaAcc, heat_kernel
+>>> prog = Program((32, 32, 32), bc=Neumann())
+>>> with prog.sweep(10):
+...     prog.step(heat_kernel(3), ("u_new", "u_old"), params={"coef": 0.1})
+...     prog.swap("u_old", "u_new")
+>>> lib = TidaAcc()
+>>> run = lib.run_program(prog)
+>>> result = lib.gather("u_old")
+
 The layers underneath (each usable on its own):
 
 * :mod:`repro.sim` — virtual-time engines, memory buffers, trace;
@@ -30,6 +43,9 @@ The layers underneath (each usable on its own):
 * :mod:`repro.tida` — the TiDA tiling library (boxes, regions, tiles,
   tileArray, iterators, ghost exchange);
 * :mod:`repro.core` — TiDA-acc itself;
+* :mod:`repro.plan` — the declarative :class:`~repro.plan.Program`
+  front-end and the access-set-driven planner
+  (:func:`~repro.plan.plan_program`);
 * :mod:`repro.kernels` — the paper's workloads;
 * :mod:`repro.baselines` — the CUDA/OpenACC/hybrid programs the paper
   compares against;
@@ -62,11 +78,13 @@ from .errors import FaultError, ReproError
 from .faults import FaultPlan, FaultRule, RetryPolicy
 from .kernels import (
     blur_kernel,
+    coeff_heat_kernel,
     compute_intensive_kernel,
     heat_kernel,
     wave_kernel,
 )
 from .obs import MetricsRegistry
+from .plan import PlanReport, Program, plan_program, ref
 from .openacc import AccFlags, AccRuntime
 from .tida import (
     Box,
@@ -103,6 +121,11 @@ __all__ = [
     "compute_intensive_kernel",
     "blur_kernel",
     "wave_kernel",
+    "coeff_heat_kernel",
+    "Program",
+    "plan_program",
+    "PlanReport",
+    "ref",
     "MachineSpec",
     "GpuSpec",
     "CpuSpec",

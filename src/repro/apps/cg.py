@@ -60,6 +60,8 @@ def laplacian_kernel(ndim: int) -> KernelSpec:
         body=_laplacian_body,
         bytes_per_cell=16.0,
         flops_per_cell=2.0 * ndim + 2.0,
+        arg_access=("w", "r"),
+        footprint=(None, 1),   # out pointwise, x read at radius 1
         meta={"ndim": ndim, "spd": True},
     )
 
@@ -71,7 +73,10 @@ def _axpy_body(y, x, lo, hi, a=1.0):
 
 def axpy_kernel() -> KernelSpec:
     """y += a*x."""
-    return KernelSpec(name="axpy", body=_axpy_body, bytes_per_cell=24.0, flops_per_cell=2.0)
+    return KernelSpec(
+        name="axpy", body=_axpy_body, bytes_per_cell=24.0, flops_per_cell=2.0,
+        arg_access=("rw", "r"), footprint=(None, None),
+    )
 
 
 def _xpay_body(p, r, lo, hi, beta=0.0):
@@ -81,7 +86,10 @@ def _xpay_body(p, r, lo, hi, beta=0.0):
 
 def xpay_kernel() -> KernelSpec:
     """p = r + beta*p."""
-    return KernelSpec(name="xpay", body=_xpay_body, bytes_per_cell=24.0, flops_per_cell=2.0)
+    return KernelSpec(
+        name="xpay", body=_xpay_body, bytes_per_cell=24.0, flops_per_cell=2.0,
+        arg_access=("rw", "r"), footprint=(None, None),
+    )
 
 
 @dataclass
@@ -114,16 +122,23 @@ class TiledCG:
         functional: bool = True,
         device_memory_limit: int | None = None,
         n_slots: int | None = None,
+        halo: int | tuple[int, ...] | str = "auto",
     ) -> None:
         self.shape = tuple(shape)
         self.lib = TidaAcc(machine, functional=functional,
                            device_memory_limit=device_memory_limit)
-        for name in self.FIELDS:
-            self.lib.add_array(name, self.shape, n_regions=n_regions, ghost=1,
-                               n_slots=n_slots)
         self.matvec = laplacian_kernel(len(self.shape))
         self.axpy = axpy_kernel()
         self.xpay = xpay_kernel()
+        # The ghost width is no longer hand-coded: every field derives it
+        # from the declared stencil footprints of the kernels applied to
+        # it (the matvec's radius-1 read; axpy/xpay are pointwise).  An
+        # explicit ``halo=`` int keeps the hand-built path available as
+        # the conformance baseline.
+        kernels = (self.matvec, self.axpy, self.xpay) if halo == "auto" else None
+        for name in self.FIELDS:
+            self.lib.add_array(name, self.shape, n_regions=n_regions, halo=halo,
+                               kernels=kernels, n_slots=n_slots)
         self.dot: ReductionSpec = dot_reduction()
         self.norm2: ReductionSpec = norm2_reduction()
         self.bc = Dirichlet(0.0)
@@ -210,6 +225,53 @@ class TiledCG:
             converged=converged,
             elapsed=self.lib.now - t0,
         )
+
+
+def cg_program(
+    shape: tuple[int, ...],
+    *,
+    max_iterations: int,
+    tol: float = 1e-8,
+) -> "Program":
+    """The whole CG iteration as a declarative :class:`~repro.plan.Program`.
+
+    Exercises every combinator: ``sweep(until=...)`` for the convergence
+    loop, ``reduce(store=...)`` for the inner products, ``scalar`` for
+    the alpha/beta updates (with the timing-mode fallbacks the hand-built
+    solver uses: ``alpha=1``, ``beta=0``), and :func:`~repro.plan.ref`
+    params feeding those scalars into the axpy/xpay kernels.
+
+    Seed the run with ``env={"threshold": (tol*||b||)**2}`` and
+    ``inputs={"r": b, "p": b, "x": zeros}``; after ``run_program``,
+    gather ``"x"``.
+    """
+    from ..plan import Program, ref
+
+    ndim = len(shape)
+    matvec = laplacian_kernel(ndim)
+    axpy = axpy_kernel()
+    xpay = xpay_kernel()
+    dot = dot_reduction()
+    norm2 = norm2_reduction()
+    prog = Program(shape, bc=Dirichlet(0.0))
+    prog.reduce(norm2, "r", store="rr")
+    with prog.sweep(max_iterations,
+                    until=lambda env: env["rr"] <= env.get("threshold", 0.0)):
+        prog.step(matvec, ("Ap", "p"))
+        prog.reduce(dot, ("p", "Ap"), store="p_ap")
+        prog.scalar("alpha", lambda env: env["rr"] / env["p_ap"], timing=1.0)
+        prog.step(axpy, ("x", "p"), params={"a": ref("alpha")})
+        prog.scalar("neg_alpha", lambda env: -env["alpha"], timing=-1.0)
+        prog.step(axpy, ("r", "Ap"), params={"a": ref("neg_alpha")})
+        prog.reduce(norm2, "r", store="rr_new")
+        prog.scalar(
+            "beta",
+            lambda env: env["rr_new"] / env["rr"] if env["rr"] > 0 else 0.0,
+            timing=0.0,
+        )
+        prog.step(xpay, ("p", "r"), params={"beta": ref("beta")})
+        prog.scalar("rr", lambda env: env["rr_new"], timing=1.0)
+    return prog
 
 
 def assemble_laplacian_dense(shape: tuple[int, ...]) -> np.ndarray:

@@ -34,6 +34,13 @@ from .hybrid_heat import run_hybrid_heat
 from .cuda_compute import run_cuda_compute
 from .acc_compute import run_acc_compute
 from .tida_runners import run_tida_heat, run_tida_compute, run_tida_wave
+from .plan_runners import (
+    run_planned_heat,
+    run_planned_compute,
+    run_planned_wave,
+    run_planned_coeff_heat,
+    run_tida_coeff_heat,
+)
 
 __all__ = [
     "BaselineResult",
@@ -49,4 +56,9 @@ __all__ = [
     "run_tida_heat",
     "run_tida_compute",
     "run_tida_wave",
+    "run_planned_heat",
+    "run_planned_compute",
+    "run_planned_wave",
+    "run_planned_coeff_heat",
+    "run_tida_coeff_heat",
 ]

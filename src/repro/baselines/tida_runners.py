@@ -63,8 +63,8 @@ def run_tida_heat(
                   faults=faults, retry=retry, check=check, telemetry=telemetry)
     functional = lib.runtime.functional
     kernel = heat_kernel(len(shape))
-    lib.add_array("u_old", shape, n_regions=n_regions, ghost=1, n_slots=n_slots)
-    lib.add_array("u_new", shape, n_regions=n_regions, ghost=1, n_slots=n_slots)
+    lib.add_array("u_old", shape, n_regions=n_regions, halo=1, n_slots=n_slots)
+    lib.add_array("u_new", shape, n_regions=n_regions, halo=1, n_slots=n_slots)
     if functional:
         init = initial if initial is not None else default_init(shape, 0)
         lib.field("u_old").from_global(init)
@@ -140,7 +140,7 @@ def run_tida_compute(
                   faults=faults, retry=retry, check=check, telemetry=telemetry)
     functional = lib.runtime.functional
     kernel = compute_intensive_kernel(kernel_iteration)
-    lib.add_array("data", shape, n_regions=n_regions, ghost=0, n_slots=n_slots)
+    lib.add_array("data", shape, n_regions=n_regions, halo=0, n_slots=n_slots)
     if functional:
         init = initial if initial is not None else default_init(shape, 0)
         lib.field("data").from_global(init)
@@ -215,7 +215,7 @@ def run_tida_wave(
     functional = lib.runtime.functional
     kernel = wave_kernel(len(shape))
     for name in ("u_next", "u", "u_prev"):
-        lib.add_array(name, shape, n_regions=n_regions, ghost=1, n_slots=n_slots)
+        lib.add_array(name, shape, n_regions=n_regions, halo=1, n_slots=n_slots)
     if functional:
         init = initial if initial is not None else default_init(shape, 0)
         lib.field("u").from_global(init)

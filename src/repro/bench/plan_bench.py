@@ -1,0 +1,259 @@
+"""Planner gate: ``python -m repro.bench.plan_bench``.
+
+The acceptance spine of the access-set-driven planner (see
+:mod:`repro.plan`): for every workload the conformance matrix covers —
+heat, wave, compute-intensive, variable-coefficient heat — the
+planner-derived run must be **byte-identical** to the hand-built TiDA-acc
+driver on every eviction × prefetch × visit-order leg, with zero racy
+hazards, and the CG solver's ``halo="auto"`` decomposition must solve to
+the same bits as the hand-pinned ghost width.  Timing-only planned runs
+must reproduce the functional trace/DAG/counters bit-for-bit (the same
+contract :mod:`repro.bench.simspeed` enforces for the hand-built path).
+
+On top of conformance, the planner has to *pay for itself*: the
+variable-coefficient workload runs under memory pressure, where the
+read-only proof on the coefficient field skips eviction write-backs and
+the loop-invariant-halo proof elides refills.  The savings land as gated
+counters:
+
+* ``bench.plan.writebacks_skipped`` — device evictions of proven
+  read-only regions that skipped the write-back copy;
+* ``bench.plan.halo_bytes_saved`` — ghost-exchange bytes elided on
+  proven-clean halos;
+* ``bench.plan.fills_elided`` — whole boundary fills skipped.
+
+Exit codes: 1 when any conformance leg diverges (digest mismatch, racy
+hazard, CG divergence, or timing drift), 2 when a savings counter is not
+strictly positive.
+
+Gated counters are *clamped* — ``min(measured, ceiling)`` with ceilings
+below what a healthy run measures — so the committed baseline sits at
+the ceiling and never moves on faster machines, while a real regression
+(a proof lost, an elision dropped) pulls the counter below its ceiling
+and trips both the ``--compare`` gate and the hard floor.  Raw values
+live under the manifest's ungated ``"plan"`` key.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from ..baselines.plan_runners import (
+    run_planned_coeff_heat,
+    run_planned_heat,
+    run_tida_coeff_heat,
+)
+from ..check.explore import conformance_matrix
+from ..obs.metrics import MetricsRegistry
+
+#: Clamp ceilings for the gated savings counters — below the values the
+#: committed configuration measures (46 skips, ~1.1 MB, 5 elisions), so
+#: the baseline sits exactly at the ceiling.  Do not change without
+#: regenerating BENCH_plan.json.
+WRITEBACKS_SKIPPED_CEILING = 40.0
+HALO_BYTES_SAVED_CEILING = 1_000_000.0
+FILLS_ELIDED_CEILING = 4.0
+
+#: The conformance matrix legs swept on both sides of the differential.
+MATRIX_AXES = dict(
+    evictions=("lru", "lookahead"),
+    prefetch_depths=(0, 2),
+    order_seeds=(None, 1),
+    timing_seeds=(0,),
+)
+
+#: Paired workloads: hand-built matrix vs planner-derived matrix, same
+#: knobs.  The coeff-heat pair runs under a device-memory limit so every
+#: leg crosses the eviction/write-back paths the read-only proof elides.
+CONFORMANCE_WORKLOADS: tuple[tuple[str, dict[str, Any]], ...] = (
+    ("heat", dict(shape=(32, 16, 16), steps=2, n_regions=8)),
+    ("wave", dict(shape=(48, 48), steps=3, n_regions=8)),
+    ("compute", dict(shape=(64, 16, 16), steps=2, n_regions=8, n_slots=3,
+                     device_memory_limit=70_000)),
+    ("coeff-heat", dict(shape=(32, 16, 16), steps=3, n_regions=8, n_slots=2,
+                        device_memory_limit=98_304)),
+)
+
+#: The savings measurement: variable-coefficient heat with room on the
+#: device for only half the three-field footprint.
+SAVINGS_CONFIG = dict(
+    shape=(64, 32, 32), steps=6, n_regions=8, n_slots=2,
+    device_memory_limit=(64 * 32 * 32 * 8) * 3 // 2,
+    eviction="lru", functional=True, check="observe",
+)
+
+
+def conformance_check() -> tuple[list[str], dict[str, Any]]:
+    """Hand-built vs planner-derived digests across the matrix."""
+    failures: list[str] = []
+    detail: dict[str, Any] = {}
+    for name, kwargs in CONFORMANCE_WORKLOADS:
+        hand = conformance_matrix(name, **MATRIX_AXES, **kwargs)
+        planned = conformance_matrix(f"{name}-planned", **MATRIX_AXES, **kwargs)
+        for side, report in (("hand", hand), ("planned", planned)):
+            if not report.ok:
+                failures.extend(f"{name}/{side}: {f}" for f in report.failures())
+        if hand.digests != planned.digests:
+            failures.append(
+                f"{name}: planner-derived digest {sorted(planned.digests)} != "
+                f"hand-built {sorted(hand.digests)}"
+            )
+        detail[name] = {
+            "legs": len(hand.runs) + len(planned.runs),
+            "matched": hand.digests == planned.digests,
+            "racy": hand.racy + planned.racy,
+        }
+    return failures, detail
+
+
+def cg_check(shape: tuple[int, ...] = (7, 6)) -> tuple[list[str], dict[str, Any]]:
+    """``halo="auto"`` CG must solve to the same bits as a pinned halo."""
+    from ..apps.cg import TiledCG
+
+    rng = np.random.default_rng(11)
+    b = rng.standard_normal(shape)
+    results = {}
+    for label, halo in (("auto", "auto"), ("pinned", 1)):
+        solver = TiledCG(shape, n_regions=2, functional=True, halo=halo)
+        results[label] = solver.solve(b, tol=1e-10, max_iterations=200)
+    failures: list[str] = []
+    auto, pinned = results["auto"], results["pinned"]
+    if not (auto.converged and pinned.converged):
+        failures.append("cg: solve did not converge")
+    if auto.x.tobytes() != pinned.x.tobytes():
+        failures.append('cg: halo="auto" solution differs from pinned halo=1')
+    if auto.iterations != pinned.iterations:
+        failures.append(
+            f"cg: iteration counts differ (auto {auto.iterations}, "
+            f"pinned {pinned.iterations})"
+        )
+    return failures, {
+        "iterations": auto.iterations,
+        "matched": not failures,
+    }
+
+
+def timing_drift_check() -> list[str]:
+    """Planned functional vs timing runs must be byte-identical."""
+    from .simspeed import _fingerprint
+
+    workloads = (
+        ("heat-planned", run_planned_heat,
+         dict(shape=(32, 16, 16), steps=2, n_regions=8)),
+        ("coeff-heat-planned", run_planned_coeff_heat,
+         dict(shape=(32, 16, 16), steps=3, n_regions=8, n_slots=2,
+              device_memory_limit=98_304)),
+    )
+    failures: list[str] = []
+    for name, fn, kw in workloads:
+        fp = {}
+        for mode in ("functional", "timing"):
+            res = fn(functional=(mode == "functional"), mode=mode,
+                     check="observe", **kw)
+            fp[mode] = _fingerprint(res)
+        for part, a, b in zip(
+            ("trace", "dag", "counters", "elapsed"),
+            fp["functional"], fp["timing"],
+        ):
+            if a != b:
+                failures.append(f"{name}: {part} differs between modes")
+    return failures
+
+
+def measure_savings(config: dict[str, Any] | None = None) -> dict[str, Any]:
+    """Planned vs naive variable-coefficient heat under memory pressure."""
+    kw = dict(SAVINGS_CONFIG if config is None else config)
+    naive = run_tida_coeff_heat(**kw)
+    planned = run_planned_coeff_heat(**kw)
+    identical = naive.result.tobytes() == planned.result.tobytes()
+    meta = planned.meta
+    return {
+        "byte_identical": identical,
+        "writebacks_skipped": float(meta["writebacks_skipped"]),
+        "halo_bytes_saved": float(meta["halo_bytes_saved"]),
+        "fills_elided": float(meta["fills_elided"]),
+        "fills": float(meta["fills"]),
+        "naive_elapsed": float(naive.elapsed),
+        "planned_elapsed": float(planned.elapsed),
+        "ro_fields": list(meta["ro_fields"]),
+        "loop_invariant_halos": list(meta["loop_invariant_halos"]),
+    }
+
+
+def run(out: Path) -> int:
+    failures, conf = conformance_check()
+    cg_failures, cg = cg_check()
+    failures.extend(cg_failures)
+    failures.extend(timing_drift_check())
+    if failures:
+        for f in failures:
+            print(f"FAIL conformance: {f}", file=sys.stderr)
+        return 1
+    legs = sum(w["legs"] for w in conf.values())
+    print(f"conformance: planner-derived byte-identical to hand-built on "
+          f"{legs} legs across {len(conf)} workloads, zero racy hazards")
+    print(f"cg: halo=\"auto\" matches pinned halo bit-for-bit "
+          f"({cg['iterations']} iterations)")
+    print("timing drift: planned functional and timing runs byte-identical")
+
+    savings = measure_savings()
+    if not savings["byte_identical"]:
+        print("FAIL savings: planned coeff-heat diverged from naive baseline",
+              file=sys.stderr)
+        return 1
+    print(f"savings: writebacks_skipped={savings['writebacks_skipped']:.0f}  "
+          f"halo_bytes_saved={savings['halo_bytes_saved']:.0f}  "
+          f"fills_elided={savings['fills_elided']:.0f}/"
+          f"{savings['fills_elided'] + savings['fills']:.0f} fills  "
+          f"(ro: {', '.join(savings['ro_fields'])})")
+    print(f"elapsed: naive {savings['naive_elapsed']*1e3:.3f} ms vs planned "
+          f"{savings['planned_elapsed']*1e3:.3f} ms")
+
+    bench = MetricsRegistry()
+    gated = {
+        "bench.plan.writebacks_skipped":
+            min(savings["writebacks_skipped"], WRITEBACKS_SKIPPED_CEILING),
+        "bench.plan.halo_bytes_saved":
+            min(savings["halo_bytes_saved"], HALO_BYTES_SAVED_CEILING),
+        "bench.plan.fills_elided":
+            min(savings["fills_elided"], FILLS_ELIDED_CEILING),
+    }
+    for name, value in gated.items():
+        bench.counter(name).inc(value)
+
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps({
+        "schema": "repro-run-manifest/1",
+        "metrics": bench.snapshot(),
+        "plan": {"conformance": conf, "cg": cg, "savings": savings},
+    }, indent=2) + "\n")
+    print(f"wrote {len(gated)} gated counters to {out}")
+
+    floor_misses = [
+        name for name in
+        ("writebacks_skipped", "halo_bytes_saved", "fills_elided")
+        if savings[name] <= 0
+    ]
+    if floor_misses:
+        for miss in floor_misses:
+            print(f"FAIL floor: {miss} not strictly positive", file=sys.stderr)
+        return 2
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_plan.json",
+                        help="run-manifest output path (default BENCH_plan.json)")
+    args = parser.parse_args(argv)
+    return run(Path(args.out))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

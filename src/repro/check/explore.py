@@ -219,8 +219,10 @@ def conformance_matrix(
 ) -> ExploreReport:
     """The canonical sweep: eviction × prefetch depth × visit order × timing.
 
-    Runs the named baseline workload (``"heat"``, ``"wave"``, or
-    ``"compute"``) in functional mode with the hazard checker observing,
+    Runs the named baseline workload (``"heat"``, ``"wave"``,
+    ``"compute"``, ``"coeff-heat"``, or their planner-derived
+    ``"*-planned"`` twins) in functional mode with the hazard checker
+    observing,
     over every combination, and reports digests + hazard counts.
     ``faults_spec`` additionally arms a
     :class:`~repro.faults.plan.FaultPlan` (``FaultPlan.from_spec``) with a
@@ -243,6 +245,13 @@ def conformance_matrix(
     ``--quick`` harness path uses it to keep slow legs cheap.
     """
     # late imports: baselines import the library, which imports this package
+    from ..baselines.plan_runners import (
+        run_planned_compute,
+        run_planned_coeff_heat,
+        run_planned_heat,
+        run_planned_wave,
+        run_tida_coeff_heat,
+    )
     from ..baselines.tida_runners import (
         run_tida_compute,
         run_tida_heat,
@@ -262,6 +271,15 @@ def conformance_matrix(
         "heat": run_tida_heat,
         "compute": run_tida_compute,
         "wave": run_tida_wave,
+        "coeff-heat": run_tida_coeff_heat,
+        # planner-derived twins: same workloads driven through
+        # Program/plan_program/run_program.  A "-planned" matrix leg must
+        # produce the same digest set as its hand-built counterpart —
+        # that differential is the planner's acceptance spine.
+        "heat-planned": run_planned_heat,
+        "compute-planned": run_planned_compute,
+        "wave-planned": run_planned_wave,
+        "coeff-heat-planned": run_planned_coeff_heat,
     }
     try:
         runner = runners[workload]

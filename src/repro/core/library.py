@@ -131,7 +131,9 @@ class TidaAcc:
         region_shape: tuple[int, ...] | None = None,
         n_regions: int | None = None,
         axis: int = 0,
-        ghost: int | tuple[int, ...] = 0,
+        halo: int | tuple[int, ...] | str | None = None,
+        kernels: Sequence[KernelSpec] | None = None,
+        ghost: int | tuple[int, ...] | None = None,
         dtype: Any = np.float64,
         fill: float | None = None,
         n_slots: int | None = None,
@@ -140,6 +142,12 @@ class TidaAcc:
         policy: str | EvictionPolicy | None = None,
     ) -> TileArray:
         """Declare a field: a pinned-host tileArray plus its TileAcc.
+
+        ``halo`` is the ghost width (int or per-axis tuple, default 0).
+        Pass ``halo="auto"`` together with ``kernels=(KernelSpec, ...)``
+        to derive it from the kernels' declared stencil footprints (the
+        union of their read radii — see :func:`repro.plan.derive_halo`).
+        ``ghost`` is a deprecated alias for an explicit ``halo``.
 
         ``access="ro"`` declares the field read-only on the device
         (coefficient tables, masks): evictions and host reads then cost no
@@ -157,6 +165,30 @@ class TidaAcc:
             )
             if eviction is None:
                 eviction = policy
+        if ghost is not None:
+            warnings.warn(
+                "add_array(ghost=...) is deprecated; use halo=...",
+                DeprecationWarning, stacklevel=2,
+            )
+            if halo is None:
+                halo = ghost
+        if isinstance(halo, str):
+            if halo != "auto":
+                raise TidaError(
+                    f"halo must be an int, a per-axis tuple, or 'auto'; got {halo!r}"
+                )
+            if not kernels:
+                raise TidaError(
+                    "halo='auto' needs kernels=(KernelSpec, ...) to derive "
+                    "the ghost width from"
+                )
+            from ..plan.planner import derive_halo
+            ndim = domain.ndim if isinstance(domain, Box) else len(tuple(domain))
+            halo = derive_halo(kernels, ndim)
+        elif kernels is not None:
+            raise TidaError("kernels= only applies with halo='auto'")
+        if halo is None:
+            halo = 0
         if access not in ("rw", "ro"):
             raise TidaError(f"access must be 'rw' or 'ro', got {access!r}")
         if name in self._fields:
@@ -166,7 +198,7 @@ class TidaAcc:
             region_shape=region_shape,
             n_regions=n_regions,
             axis=axis,
-            ghost=ghost,
+            ghost=halo,
             dtype=dtype,
             runtime=self.runtime,
             pinned=True,
@@ -431,6 +463,56 @@ class TidaAcc:
             flops_per_cell=flops_per_cell,
         )
         return self.compute(tiles, kernel, gpu=gpu, params=params, bounds=bounds)
+
+    # -- declarative programs (repro.plan) ---------------------------------------
+
+    def run_program(
+        self,
+        prog,
+        *,
+        plan=None,
+        inputs: dict[str, Any] | None = None,
+        env: dict[str, float] | None = None,
+        order: str = "sequential",
+        order_seed: int | None = None,
+        tile_shape: tuple[int, ...] | None = None,
+        **plan_kwargs: Any,
+    ):
+        """Plan and execute a declarative :class:`~repro.plan.Program`.
+
+        When ``plan`` is ``None`` the program is planned first
+        (:func:`repro.plan.plan_program` on this library's machine;
+        ``plan_kwargs`` — ``n_regions=``, ``eviction=``, … — pin
+        individual knobs).  The planner decides *what* to allocate
+        (fields, ghost widths, region/slot counts, access modes) and
+        which halo exchanges and write-backs to elide; scheduling knobs
+        this library was constructed with (``eviction=``,
+        ``prefetch_depth=``) keep applying to how the work runs.
+
+        ``inputs`` scatters initial global arrays into fields
+        (functional mode); ``env`` seeds the scalar environment that
+        ``reduce(store=...)`` / ``scalar(...)`` statements update and
+        :func:`repro.plan.ref` params read.  Returns a
+        :class:`~repro.plan.ProgramRun`.
+        """
+        from ..plan.executor import execute_program
+        from ..plan.planner import plan_program
+
+        if plan is None:
+            free, _total = self.runtime.mem_get_info()
+            plan = plan_program(
+                prog, machine=self.runtime.machine, free_memory=free,
+                **plan_kwargs,
+            )
+        elif plan_kwargs:
+            raise TidaError(
+                "pass planner knobs or a ready plan, not both: "
+                f"{sorted(plan_kwargs)}"
+            )
+        return execute_program(
+            self, prog, plan, inputs=inputs, env=env,
+            order=order, order_seed=order_seed, tile_shape=tile_shape,
+        )
 
     # -- reductions -----------------------------------------------------------------
 

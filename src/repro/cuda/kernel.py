@@ -75,6 +75,66 @@ class LaunchConfig:
         return cls(grid=(grid_x,), block=block, tuned=tuned)
 
 
+def _entry_is_nonzero(entry: Any) -> bool:
+    """Does a footprint entry declare any off-cell read?"""
+    if entry is None:
+        return False
+    if isinstance(entry, int):
+        return entry != 0
+    if len(entry) == 2 and all(isinstance(v, int) for v in entry):
+        lo, hi = entry
+        return lo != 0 or hi != 0
+    return any(lo != 0 or hi != 0 for lo, hi in entry)
+
+
+def _validate_footprint_entry(name: str, index: int, entry: Any) -> None:
+    def bad(why: str) -> CudaInvalidValueError:
+        return CudaInvalidValueError(
+            f"kernel {name!r}: footprint entry {index} {why} (got {entry!r}); "
+            "use None, a radius int, a (lo, hi) pair with lo <= 0 <= hi, "
+            "or a tuple of per-axis (lo, hi) pairs"
+        )
+
+    if entry is None:
+        return
+    if isinstance(entry, int):
+        if entry < 0:
+            raise bad("has a negative radius")
+        return
+    if not isinstance(entry, (tuple, list)):
+        raise bad("is not a radius or extent tuple")
+    pairs: list[Any]
+    if len(entry) == 2 and all(isinstance(v, int) for v in entry):
+        pairs = [tuple(entry)]
+    else:
+        pairs = [tuple(p) if isinstance(p, (tuple, list)) else p for p in entry]
+    for p in pairs:
+        if not (isinstance(p, tuple) and len(p) == 2
+                and all(isinstance(v, int) for v in p)):
+            raise bad("mixes scalars and pairs")
+        lo, hi = p
+        if lo > 0 or hi < 0:
+            raise bad(f"must satisfy lo <= 0 <= hi per axis, offends at {p}")
+
+
+def _normalize_footprint_entry(
+    name: str, index: int, entry: Any, ndim: int
+) -> tuple[tuple[int, int], ...]:
+    if entry is None:
+        return ((0, 0),) * ndim
+    if isinstance(entry, int):
+        return ((-entry, entry),) * ndim
+    if len(entry) == 2 and all(isinstance(v, int) for v in entry):
+        return (tuple(entry),) * ndim
+    pairs = tuple(tuple(p) for p in entry)
+    if len(pairs) != ndim:
+        raise CudaInvalidValueError(
+            f"kernel {name!r}: footprint entry {index} declares "
+            f"{len(pairs)} axes but the iteration space is {ndim}-D"
+        )
+    return pairs
+
+
 @dataclass(frozen=True)
 class KernelSpec:
     """A GPU kernel: functional body plus per-cell cost metadata.
@@ -109,6 +169,21 @@ class KernelSpec:
     #: body's argument order).  ``None`` (or missing trailing entries)
     #: means the conservative ``"rw"``.
     arg_access: tuple[str, ...] | None = None
+    #: Per-buffer-argument stencil footprint: the index-offset extents the
+    #: kernel *reads* around each iteration point, in the body's argument
+    #: order.  Each entry is one of
+    #:
+    #: * ``None`` / ``0`` — pointwise (reads only its own cell);
+    #: * ``r`` (int) — isotropic radius ``r`` on every axis;
+    #: * ``(lo, hi)`` — the same offset extents on every axis
+    #:   (``lo <= 0 <= hi``, e.g. ``(-1, 1)`` for a radius-1 stencil);
+    #: * a tuple of per-axis ``(lo, hi)`` pairs.
+    #:
+    #: Missing trailing entries mean pointwise.  The planner
+    #: (:mod:`repro.plan`) derives ghost widths and halo-exchange
+    #: schedules from these declarations, so an under-declared footprint
+    #: reads stale ghost cells — declare what the body actually touches.
+    footprint: tuple[Any, ...] | None = None
     meta: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -124,6 +199,56 @@ class KernelSpec:
                 raise CudaInvalidValueError(
                     f"arg_access entries must be 'r', 'w', or 'rw', got {bad}"
                 )
+        if self.footprint is not None:
+            for i, entry in enumerate(self.footprint):
+                _validate_footprint_entry(self.name, i, entry)
+                if (
+                    self.arg_access is not None
+                    and i < len(self.arg_access)
+                    and self.arg_access[i] == "w"
+                    and _entry_is_nonzero(entry)
+                ):
+                    raise CudaInvalidValueError(
+                        f"kernel {self.name!r}: arg {i} is declared write-only "
+                        f"('w') but has a non-pointwise footprint {entry!r}; "
+                        "stencil footprints describe reads"
+                    )
+
+    def arg_footprint(self, index: int, ndim: int) -> tuple[tuple[int, int], ...]:
+        """Normalized per-axis ``(lo, hi)`` read extents of buffer arg ``index``.
+
+        Undeclared arguments (no ``footprint``, or missing trailing
+        entries) are pointwise: ``((0, 0),) * ndim``.
+        """
+        entry = None
+        if self.footprint is not None and index < len(self.footprint):
+            entry = self.footprint[index]
+        return _normalize_footprint_entry(self.name, index, entry, ndim)
+
+    def reads_neighbors(self, index: int, ndim: int) -> bool:
+        """Does buffer arg ``index`` read beyond its own cell?"""
+        return any(lo < 0 or hi > 0 for lo, hi in self.arg_footprint(index, ndim))
+
+    def read_radius(self, ndim: int, n_args: int | None = None) -> tuple[int, ...]:
+        """Per-axis ghost width this kernel needs on any field it reads.
+
+        The maximum offset magnitude over every *reading* argument
+        (access ``"r"``/``"rw"``, or undeclared — conservative ``"rw"``).
+        """
+        if n_args is None:
+            n_args = max(
+                len(self.footprint or ()), len(self.arg_access or ())
+            )
+        radius = [0] * ndim
+        for i in range(n_args):
+            a = "rw"
+            if self.arg_access is not None and i < len(self.arg_access):
+                a = self.arg_access[i]
+            if a == "w":
+                continue
+            for axis, (lo, hi) in enumerate(self.arg_footprint(i, ndim)):
+                radius[axis] = max(radius[axis], -lo, hi)
+        return tuple(radius)
 
     def flop_equivalents(self, math: MathModel, n_cells: int) -> float:
         """Total FMA-equivalent work for ``n_cells``, folding in special functions."""

@@ -32,6 +32,7 @@ import numpy as np
 
 from ..config import DEFAULT_MACHINE, MachineSpec, MathModel
 from ..errors import (
+    AccessOverrideWarning,
     CudaInvalidResourceHandleError,
     CudaInvalidValueError,
     CudaMemoryAllocationError,
@@ -734,6 +735,20 @@ class CudaRuntime:
                 n_cells *= s
         if n_cells < 0:
             raise CudaInvalidValueError(f"n_cells must be >= 0, got {n_cells}")
+
+        if (reads is not None or writes is not None) and kernel.arg_access is not None:
+            decl_r, decl_w = self._derive_access(kernel, buffers, None, None)
+            if (
+                {id(b) for b in (reads or ())} != {id(b) for b in decl_r}
+                or {id(b) for b in (writes or ())} != {id(b) for b in decl_w}
+            ):
+                warnings.warn(
+                    f"launch({kernel.name!r}): explicit reads=/writes= "
+                    "contradict the kernel's declared arg_access "
+                    f"{kernel.arg_access!r}; the override wins, but one of "
+                    "the two declarations is wrong",
+                    AccessOverrideWarning, stacklevel=2,
+                )
 
         managed = [b for b in buffers if isinstance(b, ManagedBuffer)]
         for buf in buffers:

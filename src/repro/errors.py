@@ -108,6 +108,27 @@ class TileAccError(ReproError):
     """Base class for TiDA-acc core errors (slot/cache management, compute)."""
 
 
+class PlanError(TidaError):
+    """Invalid declarative program or an unplannable workload description.
+
+    Raised by :mod:`repro.plan` when a :class:`~repro.plan.Program` is
+    internally inconsistent (a swap of undeclared fields, a step whose
+    field count contradicts its kernel's declared accesses) or when the
+    planner cannot derive a decomposition from the declarations.
+    """
+
+
+class AccessOverrideWarning(UserWarning):
+    """``launch(reads=/writes=)`` contradicts the kernel's ``arg_access``.
+
+    The explicit override still wins (callers sometimes narrow a
+    conservative declaration deliberately), but a *contradiction* —
+    claiming reads/writes the declaration excludes, or dropping ones it
+    requires — usually means one of the two is wrong, and silent
+    disagreement would desynchronize the hazard checker from the planner.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Fault-injection / resilience layer errors
 # ---------------------------------------------------------------------------

@@ -13,7 +13,13 @@ Bodies take the buffers' arrays followed by ``lo``/``hi`` local bounds,
 so the same body serves whole-array baselines and per-tile launches.
 """
 
-from .heat import heat_kernel, heat_reference_step, HEAT_BYTES_PER_CELL
+from .heat import (
+    HEAT_BYTES_PER_CELL,
+    coeff_heat_kernel,
+    coeff_heat_reference_step,
+    heat_kernel,
+    heat_reference_step,
+)
 from .compute_intensive import compute_intensive_kernel, compute_intensive_reference_step
 from .exchange import ghost_copy_kernel, face_fill_kernel, face_copy_kernel
 from .blur import blur_kernel, blur_reference_step
@@ -23,6 +29,8 @@ from .registry import KERNELS, get_kernel_factory
 __all__ = [
     "heat_kernel",
     "heat_reference_step",
+    "coeff_heat_kernel",
+    "coeff_heat_reference_step",
     "HEAT_BYTES_PER_CELL",
     "compute_intensive_kernel",
     "compute_intensive_reference_step",

@@ -35,6 +35,8 @@ def blur_kernel() -> KernelSpec:
         bytes_per_cell=16.0,   # streaming read + write; neighbour reads cached
         flops_per_cell=10.0,   # 8 adds + multiply by 1/9 + store arithmetic
         cpu_spill_bytes_per_cell=16.0,  # two neighbour rows re-fetched without tiling
+        arg_access=("w", "r"),
+        footprint=(None, 1),   # radius-1 read including corners
         meta={"ndim": 2, "stencil_radius": 1, "corners": True},
     )
 

@@ -59,6 +59,7 @@ def compute_intensive_kernel(kernel_iteration: int = DEFAULT_KERNEL_ITERATION) -
         cos_per_cell=it,
         sqrt_per_cell=it,
         arg_access=("rw",),  # in-place update
+        footprint=(None,),   # pointwise: no ghost cells needed
         meta={"kernel_iteration": kernel_iteration},
     )
 

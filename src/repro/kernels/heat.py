@@ -62,8 +62,71 @@ def heat_kernel(ndim: int = 3) -> KernelSpec:
         # loss that cache-sized tiles avoid (§IV-A).
         cpu_spill_bytes_per_cell=16.0,
         arg_access=("w", "r"),  # dst written, src read
+        footprint=(None, 1),    # dst pointwise, src radius-1 faces
         meta={"ndim": ndim, "stencil_radius": 1},
     )
+
+
+def _coeff_heat_body(
+    dst: np.ndarray,
+    src: np.ndarray,
+    kappa: np.ndarray,
+    lo: tuple[int, ...],
+    hi: tuple[int, ...],
+    coef: float = 0.1,
+) -> None:
+    """Variable-coefficient step: flux-form divergence of kappa * grad(src).
+
+    Face conductivities average the two adjacent cells, so ``kappa`` is
+    read at radius 1 — a loop-invariant stencil read, which is what makes
+    the planner's halo-fill and write-back elision observable.
+    """
+    ndim = dst.ndim
+    interior = tuple(slice(l, h) for l, h in zip(lo, hi))
+    acc = np.zeros_like(src[interior])
+    for axis in range(ndim):
+        m = tuple(
+            slice(l - (1 if a == axis else 0), h - (1 if a == axis else 0))
+            for a, (l, h) in enumerate(zip(lo, hi))
+        )
+        p = tuple(
+            slice(l + (1 if a == axis else 0), h + (1 if a == axis else 0))
+            for a, (l, h) in enumerate(zip(lo, hi))
+        )
+        k_plus = 0.5 * (kappa[interior] + kappa[p])
+        k_minus = 0.5 * (kappa[interior] + kappa[m])
+        acc = acc + k_plus * (src[p] - src[interior]) - k_minus * (src[interior] - src[m])
+    dst[interior] = src[interior] + coef * acc
+
+
+def coeff_heat_kernel(ndim: int = 3) -> KernelSpec:
+    """Heat with a spatially varying conductivity field.
+
+    Three-argument signature ``(dst, src, kappa)``: ``kappa`` is only
+    ever read, so a planner that trusts the declarations can keep it
+    device-resident with no write-backs and fill its halo exactly once.
+    """
+    return KernelSpec(
+        name=f"coeff-heat{ndim}d",
+        body=_coeff_heat_body,
+        bytes_per_cell=24.0,   # stream src + kappa reads and the dst write
+        flops_per_cell=8.0 * ndim + 1.0,
+        cpu_spill_bytes_per_cell=24.0,
+        arg_access=("w", "r", "r"),
+        footprint=(None, 1, 1),   # dst pointwise; src and kappa radius 1
+        meta={"ndim": ndim, "stencil_radius": 1},
+    )
+
+
+def coeff_heat_reference_step(
+    src: np.ndarray, kappa: np.ndarray, coef: float = 0.1, ghost: int = 1
+) -> np.ndarray:
+    """Reference variable-coefficient step on global ghosted arrays."""
+    dst = src.copy()
+    lo = (ghost,) * src.ndim
+    hi = tuple(s - ghost for s in src.shape)
+    _coeff_heat_body(dst, src, kappa, lo, hi, coef=coef)
+    return dst
 
 
 def heat_reference_step(src: np.ndarray, coef: float = 0.1, ghost: int = 1) -> np.ndarray:

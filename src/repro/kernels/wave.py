@@ -47,6 +47,8 @@ def wave_kernel(ndim: int = 2) -> KernelSpec:
         bytes_per_cell=32.0,   # read u, read u_prev, write dst, re-read traffic
         flops_per_cell=2.0 * ndim + 5.0,
         cpu_spill_bytes_per_cell=16.0,  # u's neighbour planes re-fetched without tiling
+        arg_access=("w", "r", "r"),  # dst written; u, u_prev read
+        footprint=(None, 1, None),   # only u is read at radius 1
         meta={"ndim": ndim, "stencil_radius": 1},
     )
 

@@ -113,8 +113,8 @@ class MultiGpuHeat:
             hi = ((d + 1) * slab,) + tuple(shape[1:])
             sub = Box(lo, hi)
             lib = TidaAcc(runtime=dev, acc=AccRuntime(dev))
-            lib.add_array("old", sub, n_regions=regions_per_device, ghost=self.ghost)
-            lib.add_array("new", sub, n_regions=regions_per_device, ghost=self.ghost)
+            lib.add_array("old", sub, n_regions=regions_per_device, halo=self.ghost)
+            lib.add_array("new", sub, n_regions=regions_per_device, halo=self.ghost)
             self.libs.append(lib)
             self.subdomains.append(sub)
         self._halos = self._build_halos()

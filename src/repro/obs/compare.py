@@ -26,6 +26,8 @@ GOOD_WHEN_HIGH = (
     "utilization",
     "recovered",
     "speedup",
+    "saved",
+    "elided",
 )
 
 

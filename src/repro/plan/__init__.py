@@ -1,0 +1,48 @@
+"""repro.plan: access-set-driven automatic decomposition.
+
+The declarative layer over :class:`~repro.core.library.TidaAcc`:
+describe *what* runs (:class:`Program` — steps, sweeps, swaps,
+reductions over named fields), let :func:`plan_program` derive *how*
+(ghost widths, region/slot counts, eviction, prefetch, and the
+write-back / halo-exchange elisions the access sets prove safe), and
+execute with :meth:`TidaAcc.run_program`.
+
+>>> from repro import Program, TidaAcc, heat_kernel
+>>> prog = Program((64, 64))
+>>> with prog.sweep(10):
+...     prog.step(heat_kernel(2), ("u_new", "u_old"), params={"coef": 0.1})
+...     prog.swap("u_old", "u_new")
+>>> lib = TidaAcc()
+>>> run = lib.run_program(prog)
+>>> u = lib.gather("u_old")
+"""
+
+from .executor import ProgramRun, execute_program, halo_fill_bytes, writebacks_skipped
+from .planner import (
+    DEFAULT_REGION_CANDIDATES,
+    FieldPlan,
+    PlanReport,
+    derive_halo,
+    plan_program,
+)
+from .program import Loop, Program, Reduce, Scalar, ScalarRef, Step, Swap, ref
+
+__all__ = [
+    "Program",
+    "Step",
+    "Swap",
+    "Reduce",
+    "Scalar",
+    "ScalarRef",
+    "Loop",
+    "ref",
+    "plan_program",
+    "PlanReport",
+    "FieldPlan",
+    "derive_halo",
+    "DEFAULT_REGION_CANDIDATES",
+    "execute_program",
+    "ProgramRun",
+    "halo_fill_bytes",
+    "writebacks_skipped",
+]

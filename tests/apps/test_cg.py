@@ -23,8 +23,8 @@ class TestOperator:
         rng = np.random.default_rng(0)
         x = rng.random(shape)
         lib = TidaAcc(machine)
-        lib.add_array("x", shape, n_regions=2, ghost=1)
-        lib.add_array("y", shape, n_regions=2, ghost=1)
+        lib.add_array("x", shape, n_regions=2, halo=1)
+        lib.add_array("y", shape, n_regions=2, halo=1)
         lib.scatter("x", x)
         lib.fill_boundary("x", Dirichlet(0.0))
         k = laplacian_kernel(2)

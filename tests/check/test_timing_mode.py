@@ -132,7 +132,7 @@ class TestTimingModeRefusesNumerics:
 
     def test_gather_raises(self, machine):
         lib = TidaAcc(machine, mode="timing")
-        lib.add_array("u", (32, 32), n_regions=4, ghost=0)
+        lib.add_array("u", (32, 32), n_regions=4, halo=0)
         with pytest.raises(TimingModeError, match="timing"):
             lib.gather("u")
 
@@ -140,7 +140,7 @@ class TestTimingModeRefusesNumerics:
         import numpy as np
 
         lib = TidaAcc(machine, mode="timing")
-        lib.add_array("u", (32, 32), n_regions=4, ghost=0)
+        lib.add_array("u", (32, 32), n_regions=4, halo=0)
         with pytest.raises(TimingModeError, match='mode="timing"'):
             lib.scatter("u", np.zeros((32, 32)))
 
@@ -162,5 +162,5 @@ class TestTimingModeRefusesNumerics:
 
     def test_functional_mode_unaffected(self, machine):
         lib = TidaAcc(machine, mode="functional")
-        lib.add_array("u", (16, 16), n_regions=4, ghost=0)
+        lib.add_array("u", (16, 16), n_regions=4, halo=0)
         assert lib.gather("u").shape == (16, 16)

@@ -10,7 +10,7 @@ from repro.tida.tile_array import TileArray
 
 def fresh_lib(machine, shape, spec, fill_data, ghost=1, **lib_kw):
     lib = TidaAcc(machine, functional=True, **lib_kw)
-    lib.add_array("u", shape, ghost=ghost, **spec)
+    lib.add_array("u", shape, halo=ghost, **spec)
     lib.field("u").from_global(fill_data)
     return lib
 
@@ -79,7 +79,7 @@ def test_mixed_residency_falls_back_consistently(machine):
 
 def test_zero_ghost_is_noop(machine):
     lib = TidaAcc(machine)
-    lib.add_array("u", (12,), n_regions=3, ghost=0)
+    lib.add_array("u", (12,), n_regions=3, halo=0)
     t0 = lib.now
     lib.fill_boundary("u", Neumann())
     assert lib.now == t0
@@ -90,7 +90,7 @@ def test_host_index_work_overlaps_gpu_kernels(machine):
     """Fig. 4's property: index computation (host lane) overlaps the ghost
     kernels (compute lane) in virtual time."""
     lib = TidaAcc(machine, functional=False)
-    lib.add_array("u", (64, 64, 64), n_regions=8, ghost=1)
+    lib.add_array("u", (64, 64, 64), n_regions=8, halo=1)
     mgr = lib.manager("u")
     for rid in range(8):
         mgr.request_device(rid)
@@ -115,8 +115,8 @@ def test_update_keeps_timestep_loop_correct_with_limited_memory(machine):
     shape = (12,)
     init = default_init(shape, 1)
     lib = TidaAcc(machine)
-    lib.add_array("old", shape, n_regions=3, ghost=1, n_slots=2)
-    lib.add_array("new", shape, n_regions=3, ghost=1, n_slots=2)
+    lib.add_array("old", shape, n_regions=3, halo=1, n_slots=2)
+    lib.add_array("new", shape, n_regions=3, halo=1, n_slots=2)
     lib.field("old").from_global(init[1:-1])
     lib.field("new").from_global(init[1:-1])
     k = heat_kernel(1)

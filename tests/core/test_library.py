@@ -31,7 +31,7 @@ def lib(machine):
 
 class TestFields:
     def test_add_and_lookup(self, lib):
-        ta = lib.add_array("u", (16,), n_regions=4, ghost=1)
+        ta = lib.add_array("u", (16,), n_regions=4, halo=1)
         assert lib.field("u") is ta
         assert lib.manager("u").tile_array is ta
         assert lib.name_of(ta) == "u"

@@ -27,7 +27,7 @@ def run_sweep(machine, *, order, prefetch_depth=None, eviction="lru",
     """Drive compute() through a TileIterator for a few cyclic sweeps."""
     lib = TidaAcc(machine, functional=True,
                   prefetch_depth=prefetch_depth, eviction=eviction)
-    lib.add_array("data", (24, 24), n_regions=6, ghost=0, n_slots=3)
+    lib.add_array("data", (24, 24), n_regions=6, halo=0, n_slots=3)
     lib.field("data").from_global(default_init((24, 24), 0))
     kernel = compute_intensive_kernel(1)
     for _ in range(steps):
@@ -151,8 +151,8 @@ class TestReduceFieldReadiness:
         have completed (regression: it used to wait only on the first
         field's streams)."""
         lib = TidaAcc(machine, functional=True)
-        lib.add_array("x", (48,), n_regions=4, ghost=0, n_slots=2)
-        lib.add_array("y", (48,), n_regions=4, ghost=0, n_slots=2)
+        lib.add_array("x", (48,), n_regions=4, halo=0, n_slots=2)
+        lib.add_array("y", (48,), n_regions=4, halo=0, n_slots=2)
         a = np.linspace(0.0, 1.0, 48)
         b = np.linspace(2.0, -1.0, 48)
         lib.field("x").from_global(a)

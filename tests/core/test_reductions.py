@@ -16,7 +16,7 @@ from repro.kernels.reductions import (
 @pytest.fixture
 def lib(machine):
     lib = TidaAcc(machine)
-    lib.add_array("u", (16,), n_regions=4, ghost=1)
+    lib.add_array("u", (16,), n_regions=4, halo=1)
     lib.field("u").from_global(np.arange(16, dtype=float))
     return lib
 
@@ -48,7 +48,7 @@ class TestFunctionalValues:
     def test_ghosts_excluded(self, machine):
         """Ghost cells must not contaminate the reduction."""
         lib = TidaAcc(machine)
-        lib.add_array("u", (8,), n_regions=2, ghost=2, fill=0.0)
+        lib.add_array("u", (8,), n_regions=2, halo=2, fill=0.0)
         lib.scatter("u", np.ones(8))
         # poison ghost cells
         for region in lib.field("u").regions:

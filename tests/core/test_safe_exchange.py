@@ -12,8 +12,8 @@ from repro.tida.boundary import Neumann
 def run_heat(machine, *, safe: bool, functional: bool, steps=4, shape=(12, 8, 8)):
     init = default_init(shape, 1)
     lib = TidaAcc(machine, functional=functional)
-    lib.add_array("old", shape, n_regions=3, ghost=1)
-    lib.add_array("new", shape, n_regions=3, ghost=1)
+    lib.add_array("old", shape, n_regions=3, halo=1)
+    lib.add_array("new", shape, n_regions=3, halo=1)
     if functional:
         lib.field("old").from_global(init[1:-1, 1:-1, 1:-1])
         lib.field("new").from_global(init[1:-1, 1:-1, 1:-1])
@@ -50,7 +50,7 @@ def test_safe_mode_orders_source_stream(machine):
     """After a safe exchange, the source region's stream tail is pushed to
     (at least) the ghost kernel that read it."""
     lib = TidaAcc(machine, functional=False)
-    lib.add_array("u", (12,), n_regions=3, ghost=1)
+    lib.add_array("u", (12,), n_regions=3, halo=1)
     mgr = lib.manager("u")
     for rid in range(3):
         mgr.request_device(rid)

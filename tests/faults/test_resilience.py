@@ -143,8 +143,8 @@ class TestExhaustion:
         plan = FaultPlan([FaultRule(op="launch")])
         lib = TidaAcc(machine, functional=True, faults=plan,
                       retry=RetryPolicy(max_attempts=2))
-        lib.add_array("u_old", (32, 32), n_regions=4, ghost=1)
-        lib.add_array("u_new", (32, 32), n_regions=4, ghost=1)
+        lib.add_array("u_old", (32, 32), n_regions=4, halo=1)
+        lib.add_array("u_new", (32, 32), n_regions=4, halo=1)
         init = default_init((32, 32), 0)
         lib.field("u_old").from_global(init)
         lib.field("u_new").from_global(init)

@@ -1,0 +1,119 @@
+"""The declarative Program builder: construction and validation."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.kernels import heat_kernel, wave_kernel
+from repro.kernels.reductions import norm2_reduction
+from repro.plan import Loop, Program, Reduce, Scalar, Step, Swap, ref
+
+
+def heat_program(steps=3):
+    prog = Program((16, 16))
+    with prog.sweep(steps):
+        prog.step(heat_kernel(2), ("u_new", "u_old"), params={"coef": 0.1})
+        prog.swap("u_old", "u_new")
+    return prog
+
+
+class TestBuilders:
+    def test_statement_shape(self):
+        prog = heat_program()
+        (loop,) = prog.statements
+        assert isinstance(loop, Loop) and loop.count == 3
+        step, swap = loop.body
+        assert isinstance(step, Step) and step.fields == ("u_new", "u_old")
+        assert isinstance(swap, Swap) and (swap.a, swap.b) == ("u_old", "u_new")
+
+    def test_field_names_first_appearance_order(self):
+        prog = Program((8, 8))
+        prog.step(wave_kernel(2), ("u_next", "u", "u_prev"))
+        prog.swap("u_prev", "u")
+        assert prog.field_names() == ("u_next", "u", "u_prev")
+
+    def test_walk_flattens_nested_loops(self):
+        prog = Program((8,))
+        with prog.sweep(2):
+            with prog.sweep(3):
+                prog.step(heat_kernel(1), ("b", "a"))
+        kinds = [type(s).__name__ for s in prog.walk()]
+        assert kinds == ["Loop", "Loop", "Step"]
+
+    def test_reduce_and_scalar_statements(self):
+        prog = Program((8, 8))
+        prog.reduce(norm2_reduction(), "r", store="rr")
+        prog.scalar("alpha", lambda env: env["rr"] * 2, timing=1.5)
+        red, sca = prog.statements
+        assert isinstance(red, Reduce) and red.store == "rr"
+        assert isinstance(sca, Scalar) and sca.timing == 1.5
+
+    def test_ref_param_is_a_scalar_ref(self):
+        prog = Program((8, 8))
+        prog.step(heat_kernel(2), ("b", "a"), params={"coef": ref("alpha")})
+        (step,) = prog.statements
+        assert step.params["coef"].name == "alpha"
+
+    def test_chaining_returns_program(self):
+        prog = Program((8, 8))
+        assert prog.step(heat_kernel(2), ("b", "a")).swap("a", "b") is prog
+
+
+class TestValidation:
+    def test_bad_domain(self):
+        with pytest.raises(PlanError, match="positive extents"):
+            Program((8, 0))
+        with pytest.raises(PlanError, match="positive extents"):
+            Program(())
+
+    def test_step_requires_kernelspec(self):
+        prog = Program((8,))
+        with pytest.raises(PlanError, match="KernelSpec"):
+            prog.step(lambda: None, ("a",))
+
+    def test_step_field_count_must_cover_declarations(self):
+        # heat declares arg_access/footprint for 2 args; 1 field is short
+        prog = Program((8, 8))
+        with pytest.raises(PlanError, match="declares"):
+            prog.step(heat_kernel(2), ("u_new",))
+
+    def test_step_rejects_empty_fields(self):
+        prog = Program((8,))
+        with pytest.raises(PlanError, match="field names"):
+            prog.step(heat_kernel(1), ())
+
+    def test_swap_rejects_same_name(self):
+        prog = Program((8,))
+        with pytest.raises(PlanError, match="distinct"):
+            prog.swap("a", "a")
+
+    def test_reduce_rejects_empty_store(self):
+        prog = Program((8,))
+        with pytest.raises(PlanError, match="store"):
+            prog.reduce(norm2_reduction(), "r", store="")
+
+    def test_scalar_rejects_non_callable(self):
+        prog = Program((8,))
+        with pytest.raises(PlanError, match="callable"):
+            prog.scalar("alpha", 3.0)
+
+    def test_sweep_rejects_negative_count(self):
+        prog = Program((8,))
+        with pytest.raises(PlanError, match=">= 0"):
+            with prog.sweep(-1):
+                pass
+
+    def test_statements_inside_open_sweep(self):
+        prog = Program((8,))
+        with pytest.raises(PlanError, match="open sweep"):
+            with prog.sweep(2):
+                _ = prog.statements
+
+    def test_validate_rejects_swap_of_untouched_fields(self):
+        prog = Program((8, 8))
+        prog.step(heat_kernel(2), ("u_new", "u_old"))
+        prog.swap("ghost_town", "u_new")
+        with pytest.raises(PlanError, match="ghost_town"):
+            prog.validate()
+
+    def test_validate_accepts_well_formed_program(self):
+        heat_program().validate()

@@ -47,8 +47,8 @@ class TestBlurPipeline:
         shape = (16, 16)
         img = default_init(shape, 0)
         lib = TidaAcc(machine)
-        lib.add_array("img", shape, region_shape=region_shape, ghost=1)
-        lib.add_array("out", shape, region_shape=region_shape, ghost=1)
+        lib.add_array("img", shape, region_shape=region_shape, halo=1)
+        lib.add_array("out", shape, region_shape=region_shape, halo=1)
         lib.scatter("img", img)
         k = blur_kernel()
         steps = 3
@@ -69,7 +69,7 @@ class TestWaveThreeFields:
         u0 = rng.random(shape)
         lib = TidaAcc(machine)
         for name in ("u_next", "u", "u_prev"):
-            lib.add_array(name, shape, n_regions=4, ghost=1)
+            lib.add_array(name, shape, n_regions=4, halo=1)
         lib.scatter("u", u0)
         lib.scatter("u_prev", u0)
         k = wave_kernel(2)
@@ -96,8 +96,8 @@ class TestLongMixedRun:
         shape = (16, 8, 8)
         init = default_init(shape, 1)
         lib = TidaAcc(machine)
-        lib.add_array("old", shape, n_regions=4, ghost=1, n_slots=2)
-        lib.add_array("new", shape, n_regions=4, ghost=1, n_slots=2)
+        lib.add_array("old", shape, n_regions=4, halo=1, n_slots=2)
+        lib.add_array("new", shape, n_regions=4, halo=1, n_slots=2)
         lib.field("old").from_global(init[1:-1, 1:-1, 1:-1])
         lib.field("new").from_global(init[1:-1, 1:-1, 1:-1])
         k = heat_kernel(3)
@@ -114,9 +114,9 @@ class TestLongMixedRun:
     def test_trace_is_complete_and_consistent(self, machine):
         """Every recorded event is well-formed; engine lanes never overlap."""
         lib = TidaAcc(machine, functional=False)
-        lib.add_array("u", (64, 64, 64), n_regions=4, ghost=1, n_slots=2)
+        lib.add_array("u", (64, 64, 64), n_regions=4, halo=1, n_slots=2)
         k = heat_kernel(3)
-        lib.add_array("v", (64, 64, 64), n_regions=4, ghost=1, n_slots=2)
+        lib.add_array("v", (64, 64, 64), n_regions=4, halo=1, n_slots=2)
         for _ in range(3):
             lib.fill_boundary("u", Neumann())
             for dst_t, src_t in lib.iterator("v", "u").reset(gpu=True):
@@ -131,7 +131,7 @@ class TestLongMixedRun:
     def test_in_stream_order_preserved(self, machine):
         """Events on one stream never overlap each other (FIFO property)."""
         lib = TidaAcc(machine, functional=False)
-        lib.add_array("u", (64, 64, 64), n_regions=8, ghost=0, n_slots=2)
+        lib.add_array("u", (64, 64, 64), n_regions=8, halo=0, n_slots=2)
         from repro.kernels.compute_intensive import compute_intensive_kernel
         k = compute_intensive_kernel(4)
         for _ in range(3):
@@ -151,8 +151,8 @@ class TestPublicApiSurface:
         """The __init__ docstring example, verbatim in spirit."""
         from repro import TidaAcc, heat_kernel, Neumann
         lib = TidaAcc()
-        lib.add_array("u_old", (8, 8, 8), n_regions=2, ghost=1, fill=1.0)
-        lib.add_array("u_new", (8, 8, 8), n_regions=2, ghost=1)
+        lib.add_array("u_old", (8, 8, 8), n_regions=2, halo=1, fill=1.0)
+        lib.add_array("u_new", (8, 8, 8), n_regions=2, halo=1)
         kernel = heat_kernel(ndim=3)
         for _step in range(2):
             lib.fill_boundary("u_old", Neumann())
