@@ -483,7 +483,7 @@ class HazardChecker:
         self._buffers.pop(key, None)
         self._buffer_refs.pop(key, None)
 
-    def reset_schedule(self) -> None:
+    def reset_schedule(self, *, drop_dag: bool = False) -> None:
         """Forget per-run scheduling state between harness repetitions.
 
         Collected hazards and tick counters survive (timelines keep
@@ -491,7 +491,17 @@ class HazardChecker:
         stream/host/engine knowledge, event snapshots, completion-time
         resolution and buffer access summaries are dropped, matching
         :meth:`repro.cuda.runtime.CudaRuntime.reset_schedule`.
+
+        ``drop_dag=True`` additionally clears the recorded DAG and the
+        collected hazard list.  Harness *repetitions* of one logical run
+        must keep them (the DAG is the run's record), but back-to-back
+        **independent jobs** on a shared runtime — the multi-tenant
+        service's serialized path — must not leak one job's nodes,
+        hazards, or ``racy()`` verdicts into the next job's report.
         """
+        if drop_dag:
+            self.dag.clear()
+            self.hazards.clear()
         self._streams.clear()
         self._host = _StreamState()
         self._engine_weak.clear()

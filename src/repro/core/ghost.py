@@ -65,8 +65,11 @@ def fill_boundary_hybrid(
     machine = runtime.machine
     periodic = bc is not None and bc.is_periodic
 
-    # §IV-B.6: synchronize all executions in all streams first
-    lib.acc.wait()
+    # §IV-B.6: synchronize all executions in all streams first.  The
+    # paper's program owns the whole device, so "all streams" means the
+    # library's own; the job-scoped wait keeps that exact semantics while
+    # not barriering co-tenant work on a shared runtime.
+    lib.wait_own()
 
     copy_k = ghost_copy_kernel()
     faces_k = bc_faces_kernel()

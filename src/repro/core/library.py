@@ -67,6 +67,7 @@ class TidaAcc:
         faults: FaultPlan | None = None,
         check: str | bool | None = None,
         telemetry=None,
+        label_prefix: str = "",
     ) -> None:
         if runtime is None:
             runtime = CudaRuntime(
@@ -98,9 +99,16 @@ class TidaAcc:
         #: traversal order is known (sequential), stay demand-paged otherwise;
         #: ``0`` disables prefetching entirely.
         self._prefetcher = PrefetchScheduler(default_depth=prefetch_depth)
+        #: prepended to every field's trace/metric label — the multi-tenant
+        #: service namespaces each job's observability ("t3/j7:u_old")
+        #: while field *names* stay the program's logical names
+        self.label_prefix = str(label_prefix)
         self._fields: dict[str, TileArray] = {}
         self._managers: dict[str, TileAcc] = {}
         self._names_by_array: dict[int, str] = {}
+        #: fields borrowed from (or lent to) another library on the same
+        #: runtime — cross-job read-only dedup; ``close()`` leaves them alone
+        self._shared: set[str] = set()
 
     @property
     def mode(self) -> str:
@@ -203,7 +211,7 @@ class TidaAcc:
             runtime=self.runtime,
             pinned=True,
             fill=fill,
-            label=name,
+            label=f"{self.label_prefix}{name}",
         )
         # build the manager before registering anything, so a failure
         # (e.g. not even one region fits in device memory) leaves the
@@ -231,6 +239,43 @@ class TidaAcc:
 
     def field_names(self) -> list[str]:
         return sorted(self._fields)
+
+    def has_field(self, name: str) -> bool:
+        return name in self._fields
+
+    def attach_shared_field(self, name: str, array: TileArray, manager: TileAcc) -> TileArray:
+        """Register a field *owned by another library* on the same runtime.
+
+        Cross-job read-only dedup: when two tenants' programs consume
+        byte-identical read-only data (a coefficient table, a mask), the
+        service attaches the first job's tile array + slot manager into
+        later jobs instead of allocating and uploading a second copy.
+        Only read-only fields are shareable — concurrent readers never
+        conflict, so byte-identity and hazard-freedom are preserved.
+        ``close()`` leaves shared fields alone; the sharing coordinator
+        owns their lifetime.
+        """
+        if name in self._fields:
+            raise TidaError(f"field {name!r} already exists")
+        if manager.runtime is not self.runtime:
+            raise TileAccError(
+                f"shared field {name!r} lives on a different runtime"
+            )
+        if not manager.read_only:
+            raise TileAccError(
+                f"only read-only fields can be shared across jobs, "
+                f"{name!r} is writable"
+            )
+        self._fields[name] = array
+        self._managers[name] = manager
+        self._names_by_array[id(array)] = name
+        self._shared.add(name)
+        return array
+
+    def mark_field_shared(self, name: str) -> None:
+        """Exclude ``name`` from :meth:`close` teardown (ownership moved out)."""
+        self.field(name)
+        self._shared.add(name)
 
     def name_of(self, array: TileArray) -> str:
         try:
@@ -422,7 +467,7 @@ class TidaAcc:
                 vector_length=self.vector_length,
                 after=tuple(ready),
                 params={"lo": lo, "hi": hi, **params},
-                label=f"compute:{kernel.name}:{names[0]}.r{rid}",
+                label=f"compute:{kernel.name}:{self.label_prefix}{names[0]}.r{rid}",
             ),
         )
         for mgr in managers:
@@ -658,6 +703,30 @@ class TidaAcc:
         """Drain all device work (``acc wait`` over every queue)."""
         return self.acc.wait()
 
+    def wait_own(self) -> float:
+        """Drain this library's own device work (job-scoped ``acc wait``).
+
+        Synchronizes exactly the streams this library's fields use — every
+        slot stream and write-back stream of its managers, plus the default
+        stream.  On a dedicated runtime that is the same stream set
+        :meth:`synchronize` drains; under the multi-tenant service it scopes
+        the paper's §IV-B.6 barrier to the one job instead of flooring the
+        shared clock at every co-running tenant's backlog.
+        """
+        rt = self.runtime
+        end = rt.now
+        own: dict[int, Any] = {}
+        for mgr in self._managers.values():
+            for slot in mgr.slots:
+                own.setdefault(slot.queue_id, slot.stream)
+            own.setdefault(mgr._wb_qid, mgr._wb_stream)
+        # sync in activity-queue creation order, default stream last — the
+        # exact order acc.wait() drains, so a dedicated runtime sees a
+        # byte-identical schedule either way
+        for qid in sorted(own):
+            end = max(end, rt.stream_synchronize(own[qid]))
+        return max(end, rt.stream_synchronize(rt.default_stream))
+
     # -- results --------------------------------------------------------------------
 
     def _require_functional(self, what: str) -> None:
@@ -706,9 +775,15 @@ class TidaAcc:
     # -- lifetime -------------------------------------------------------------------
 
     def close(self) -> None:
-        """Drain device work, flush every field to the host, free all slots."""
+        """Drain device work, flush every field to the host, free all slots.
+
+        Fields marked shared (cross-job dedup) are skipped: their slots
+        belong to the sharing coordinator, not to this library.
+        """
         self.synchronize()
         for name in self.field_names():
+            if name in self._shared:
+                continue
             mgr = self._managers[name]
             if not mgr.read_only:
                 mgr.flush_to_host()

@@ -284,3 +284,138 @@ class SlotPool:
             return None
         victim = self.policy.prefetch_victim(candidates, rid)
         return self.slot_of(victim) if victim is not None else None
+
+
+# ---------------------------------------------------------------------------
+# Multi-tenant slot partitioning (repro.service QoS)
+# ---------------------------------------------------------------------------
+
+class SlotPartitioner:
+    """Fair-share partitioning of a device slot budget across tenants.
+
+    The multi-tenant service hands each admitted job a private
+    :class:`SlotPool`, so isolation is structural; what tenants *compete*
+    for is the total number of slots the device can back.  The
+    partitioner turns fair-share weights into per-tenant slot quotas
+    (largest-remainder apportionment, every tenant floored at one slot)
+    and tracks live occupancy so admission control can cap a job's plan
+    at its tenant's remaining quota and pick shedding victims when a
+    priority tenant needs room.
+
+    Occupancy accounting is in *slots*, the same unit
+    :class:`~repro.core.tile_acc.TileAcc` sizes its pool in; byte budgets
+    stay with admission control, which knows the per-job slot size.
+    """
+
+    def __init__(self, total_slots: int) -> None:
+        if total_slots < 1:
+            raise TileAccError(f"need at least one slot to partition, got {total_slots}")
+        self.total_slots = int(total_slots)
+        self._weights: dict[str, float] = {}
+        self._priority: dict[str, bool] = {}
+        self._held: dict[str, int] = {}
+        self._quota: dict[str, int] = {}
+
+    def add_tenant(self, tenant: str, weight: float = 1.0, *, priority: bool = False) -> None:
+        if weight <= 0:
+            raise TileAccError(f"tenant weight must be > 0, got {weight!r}")
+        self._weights[tenant] = float(weight)
+        self._priority[tenant] = bool(priority)
+        self._held.setdefault(tenant, 0)
+        self._recompute()
+
+    def _recompute(self) -> None:
+        """Largest-remainder apportionment of ``total_slots`` by weight.
+
+        Every tenant gets at least one slot (a zero quota would starve it
+        structurally, which QoS must never do); the remainder after the
+        floor-of-share pass goes to the largest fractional parts, ties
+        broken by registration order for determinism.
+        """
+        tenants = list(self._weights)
+        if not tenants:
+            return
+        total_w = sum(self._weights.values())
+        shares = {
+            t: self.total_slots * self._weights[t] / total_w for t in tenants
+        }
+        quota = {t: max(1, int(shares[t])) for t in tenants}
+        spare = self.total_slots - sum(quota.values())
+        if spare > 0:
+            by_remainder = sorted(
+                tenants,
+                key=lambda t: (-(shares[t] - int(shares[t])), tenants.index(t)),
+            )
+            for t in by_remainder[:spare]:
+                quota[t] += 1
+        self._quota = quota
+
+    def tenants(self) -> tuple[str, ...]:
+        return tuple(self._weights)
+
+    def weight(self, tenant: str) -> float:
+        return self._weights[tenant]
+
+    def is_priority(self, tenant: str) -> bool:
+        return self._priority[tenant]
+
+    def quota(self, tenant: str) -> int:
+        """This tenant's fair share of the slot budget, in slots."""
+        return self._quota[tenant]
+
+    def held(self, tenant: str) -> int:
+        """Slots the tenant's admitted jobs currently occupy."""
+        return self._held[tenant]
+
+    def acquire(self, tenant: str, n_slots: int) -> None:
+        if tenant not in self._weights:
+            raise TileAccError(f"unknown tenant {tenant!r}")
+        if n_slots < 0:
+            raise TileAccError(f"cannot acquire {n_slots} slots")
+        self._held[tenant] += n_slots
+
+    def release(self, tenant: str, n_slots: int) -> None:
+        if self._held.get(tenant, 0) < n_slots:
+            raise TileAccError(
+                f"tenant {tenant!r} releasing {n_slots} slots but holds "
+                f"{self._held.get(tenant, 0)}"
+            )
+        self._held[tenant] -= n_slots
+
+    def over_quota(self, tenant: str) -> int:
+        """Slots held beyond quota (0 when at or under fair share)."""
+        return max(0, self._held[tenant] - self._quota[tenant])
+
+    def headroom(self, tenant: str) -> int:
+        """Slots the tenant may still claim inside its quota (>= 0)."""
+        return max(0, self._quota[tenant] - self._held[tenant])
+
+    def shed_candidates(self, need: int, *, protect: Iterable[str] = ()) -> list[str]:
+        """Best-effort tenants to shed slots from, most over-quota first.
+
+        Returns one entry per slot to shed (a tenant may repeat) until
+        ``need`` slots are covered or no best-effort tenant holds more
+        than one slot.  Priority tenants and ``protect`` members are
+        never shed.
+        """
+        protected = set(protect)
+        held = dict(self._held)
+        order: list[str] = []
+        for _ in range(max(0, need)):
+            victims = [
+                t for t in self._weights
+                if not self._priority[t] and t not in protected and held[t] > 1
+            ]
+            if not victims:
+                break
+            victim = max(
+                victims,
+                key=lambda t: (
+                    held[t] - self._quota[t],
+                    held[t],
+                    -list(self._weights).index(t),
+                ),
+            )
+            held[victim] -= 1
+            order.append(victim)
+        return order

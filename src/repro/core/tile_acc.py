@@ -137,6 +137,7 @@ class TileAcc:
         self._inflight: dict[int, float] = {}
         self.h2d_count = 0
         self.d2h_count = 0
+        self._last_flush_end = 0.0
         # -- observability: per-field cache accounting ---------------------
         self._obs_field = tile_array.label or f"field@{id(tile_array):x}"
         m = runtime.metrics
@@ -402,6 +403,50 @@ class TileAcc:
         self._mark("fault-degrade", EMPTY, victim, slots_left=len(self.slots))
         return True
 
+    def shed_slots(self, n: int = 1) -> int:
+        """Voluntarily give back up to ``n`` device slots (QoS shedding).
+
+        The multi-tenant service calls this on a best-effort tenant's
+        managers when a priority tenant needs device memory: occupants
+        are written back (read-only occupants just dropped), buffers
+        freed, and the pool shrinks — the same mechanics as the
+        fault-driven :meth:`_shrink_pool`, but *without* the degradation
+        framing: prefetch stays enabled (the pool is smaller, not
+        broken), and the event lands under ``cache.shed.<field>`` /
+        ``qos-shed`` marks rather than the fault counters.  At least one
+        slot always survives.  Returns how many slots were shed.
+        """
+        shed = 0
+        m = self.runtime.metrics
+        for _ in range(max(0, n)):
+            if len(self.slots) <= 1:
+                break
+            victim = None
+            for slot in reversed(self.slots):
+                if slot.buffer is not None:
+                    victim = slot
+                    break
+            if victim is None:
+                # no slot has a live allocation yet; drop an unbacked one
+                victim = self.slots[-1]
+            plan = self.runtime.faults
+            ctx = plan.suspended() if plan is not None else contextlib.nullcontext()
+            with ctx:
+                if victim.bound != EMPTY:
+                    if self._evict(victim):
+                        # the write-back D2H must land before the buffer is freed
+                        self.runtime.stream_synchronize(self._wb_stream)
+                if victim.buffer is not None:
+                    self.runtime.free(victim.buffer)
+            victim.buffer = None
+            self.slots.remove(victim)
+            self.pool.slots.remove(victim)
+            shed += 1
+            m.inc("cache.shed")
+            m.inc(f"cache.shed.{self._obs_field}")
+            self._mark("qos-shed", EMPTY, victim, slots_left=len(self.slots))
+        return shed
+
     def _ensure_buffer(self, slot: DeviceSlot, region: Region) -> None:
         shape = region.local_shape
         if slot.buffer is not None and slot.buffer.shape == shape:
@@ -542,12 +587,19 @@ class TileAcc:
         self.policy.note_access(rid)
         return True
 
-    def request_host(self, rid: int) -> Region:
+    def request_host(self, rid: int, *, sync: bool = True) -> Region:
         """Make region ``rid``'s data current on the host.
 
         When the region lives on the device, a download is queued on its
         stream and the host *waits* for it — the caller may touch the data
         immediately after this returns (§IV-B.3).
+
+        ``sync=False`` queues the download without blocking the host: the
+        caller promises not to act on the data before the copy's virtual
+        completion (read it back from :meth:`last_flush_end`).  The
+        multi-tenant service uses this so one job's final writeback does
+        not floor the shared clock — and thereby every co-running job's
+        next issue — at this job's drain point.
         """
         region = self.tile_array.region(rid)
         if self._location[rid] == DEVICE:
@@ -578,18 +630,31 @@ class TileAcc:
                     after=self._ready_after(rid), label=f"d2h:{region.label}",
                 )
                 self.d2h_count += 1
-                self.runtime.stream_synchronize(slot.stream)
+                if sync:
+                    self.runtime.stream_synchronize(slot.stream)
                 return end
 
             end = self._with_retry("d2h", rid, issue)
             self.note_device_op(rid, end, covers=True)
+            self._last_flush_end = max(self._last_flush_end, end)
             self._location[rid] = HOST
         return region
 
-    def flush_to_host(self) -> None:
-        """Download every device-resident region (end-of-run gather)."""
+    def last_flush_end(self) -> float:
+        """Virtual completion time of the latest writeback issued."""
+        return self._last_flush_end
+
+    def flush_to_host(self, *, sync: bool = True) -> float:
+        """Download every device-resident region (end-of-run gather).
+
+        Returns the virtual completion time of the last writeback issued
+        (0.0 if nothing needed downloading).  With ``sync=False`` the
+        downloads are queued but the host does not wait; see
+        :meth:`request_host`.
+        """
         for rid in range(self.tile_array.n_regions):
-            self.request_host(rid)
+            self.request_host(rid, sync=sync)
+        return self._last_flush_end
 
     def invalidate_device(self) -> None:
         """Host data changed for a read-only field: drop all device copies."""

@@ -491,7 +491,7 @@ class CudaRuntime:
     def streams(self) -> tuple[Stream, ...]:
         return tuple(self._streams.values())
 
-    def reset_schedule(self) -> None:
+    def reset_schedule(self, *, drop_dag: bool = False) -> None:
         """Rewind all scheduling state between harness repetitions.
 
         Repetition drivers used to reset only the engines
@@ -503,6 +503,11 @@ class CudaRuntime:
         calendar, and the hazard checker's per-run state together.
         Allocations, metrics, and the trace are kept (repetitions
         accumulate there by design); the host clock keeps advancing.
+
+        ``drop_dag=True`` also discards the hazard checker's recorded DAG
+        and hazard list — required between back-to-back *independent*
+        jobs on one runtime (the service's serialized path), where one
+        job's record must not leak into the next job's report.
         """
         # d2h may alias h2d (single-copy-engine parts): reset each once
         for engine in {id(e): e for e in (
@@ -513,7 +518,7 @@ class CudaRuntime:
             stream._reset()
         self._pending.clear()
         if self.checker is not None:
-            self.checker.reset_schedule()
+            self.checker.reset_schedule(drop_dag=drop_dag)
 
     # -- copies ---------------------------------------------------------------
 

@@ -164,6 +164,35 @@ class FaultError(ReproError):
 
 
 # ---------------------------------------------------------------------------
+# Multi-tenant service layer (repro.service)
+# ---------------------------------------------------------------------------
+
+class ServiceError(ReproError):
+    """A job was rejected or mishandled by the multi-tenant service.
+
+    Raised by :mod:`repro.service` when admission control rejects a job
+    (its minimum footprint exceeds device capacity even after degrading
+    the plan), when a submission references an unknown tenant or
+    workload, or when the service is driven through an invalid
+    lifecycle.  ``tenant`` and ``job`` carry the offending identifiers
+    so multi-tenant harnesses can attribute the failure.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        tenant: str | None = None,
+        job: str | None = None,
+        reason: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.tenant = tenant
+        self.job = job
+        self.reason = reason
+
+
+# ---------------------------------------------------------------------------
 # Happens-before checking (repro.check)
 # ---------------------------------------------------------------------------
 

@@ -440,15 +440,80 @@ class QueueRunawayDetector(Detector):
         )
 
 
-def default_detectors(*, cooldown: float | None = None) -> list[Detector]:
+class TenantStarvationDetector(Detector):
+    """A backlogged tenant is making no scheduling progress.
+
+    The multi-tenant service publishes per-tenant progress counters
+    (``service.tenant.<t>.quanta``) and backlog gauges
+    (``service.tenant.<t>.backlog``) into the runtime's metrics registry
+    — telemetry samples carry only aggregate engine counters, so this
+    detector reads the registry directly.  It fires when some tenant has
+    held a non-empty backlog across the whole window while its quantum
+    counter never moved: the weighted-fair scheduler should never let
+    that happen, so an alert means a QoS bug or a pathological admission
+    stall.  Without a registry the detector is inert.
+    """
+
+    name = "tenant_starvation"
+
+    def __init__(self, metrics=None, *, window: int = 8,
+                 warmup: int | None = None, cooldown: float = 0.0) -> None:
+        super().__init__(window=window, warmup=warmup, cooldown=cooldown)
+        self.metrics = metrics
+        self._progress: dict[str, list[tuple[float, float]]] = {}
+
+    def _tenants(self) -> list[str]:
+        if self.metrics is None:
+            return []
+        counters = self.metrics.snapshot().get("counters", {})
+        names = set()
+        for key in counters:
+            if key.startswith("service.tenant.") and key.endswith(".quanta"):
+                names.add(key[len("service.tenant."):-len(".quanta")])
+        return sorted(names)
+
+    def _observe(self, sample: TelemetrySample) -> None:
+        for tenant in self._tenants():
+            quanta = self.metrics.value(f"service.tenant.{tenant}.quanta")
+            backlog = self.metrics.max_gauge(f"service.tenant.{tenant}.backlog")
+            ring = self._progress.setdefault(tenant, [])
+            ring.append((quanta, backlog))
+            if len(ring) > self.window:
+                del ring[0]
+
+    def _evaluate(self, sample: TelemetrySample) -> Alert | None:
+        for tenant, ring in sorted(self._progress.items()):
+            if len(ring) < self.window:
+                continue
+            backlogged = all(backlog > 0 for _, backlog in ring)
+            stalled = ring[-1][0] <= ring[0][0]
+            if backlogged and stalled:
+                return self._alert(
+                    "critical",
+                    f"tenant starvation: {tenant!r} backlogged for "
+                    f"{len(ring)} windows with zero scheduled quanta",
+                    sample.t,
+                    tenant=tenant,
+                    backlog=ring[-1][1],
+                    quanta=ring[-1][0],
+                    windows=len(ring),
+                )
+        return None
+
+
+def default_detectors(*, cooldown: float | None = None,
+                      metrics=None) -> list[Detector]:
     """The standard detector set with catalog-default thresholds.
 
     ``cooldown`` (virtual seconds) applies to every detector; ``None``
     picks a per-run-scale default of 0 (fire at most once per sample,
     bounded further by each detector's own cooldown if set later).
+    ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`) arms the
+    :class:`TenantStarvationDetector` — without it the multi-tenant
+    detector is omitted, keeping single-run watchdogs unchanged.
     """
     cd = 0.0 if cooldown is None else cooldown
-    return [
+    detectors: list[Detector] = [
         OverlapCollapseDetector(cooldown=cd),
         StallSpikeDetector(cooldown=cd),
         CacheThrashDetector(cooldown=cd),
@@ -456,6 +521,9 @@ def default_detectors(*, cooldown: float | None = None) -> list[Detector]:
         HazardRateDetector(cooldown=cd),
         QueueRunawayDetector(cooldown=cd),
     ]
+    if metrics is not None:
+        detectors.append(TenantStarvationDetector(metrics, cooldown=cd))
+    return detectors
 
 
 class Watchdog(TelemetrySubscriber):

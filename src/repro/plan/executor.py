@@ -132,21 +132,36 @@ class _Executor:
         self.lib.metrics.inc("plan.halo_bytes_saved", saved)
 
     # -- statement dispatch ------------------------------------------------
+    #
+    # The walk is written as a generator yielding at *quantum boundaries*:
+    # after each region's compute call, each reduction, and each halo
+    # fill.  Everything between two yields is an atomic unit — in
+    # particular the request_device → launch → note_device_op sequence
+    # inside ``lib.compute`` is never split, which is what keeps the
+    # ``covers=True`` dependency collapse sound when the multi-tenant
+    # service interleaves several programs on one runtime.  ``run()``
+    # drains the generator, so a solo run issues the exact same
+    # operation sequence it always did.
 
     def run(self) -> None:
-        self._run_block(self.prog.statements, outermost=True)
+        for _ in self.steps():
+            pass
 
-    def _run_block(self, stmts: tuple[Any, ...], *, outermost: bool = False) -> None:
+    def steps(self):
+        """Generator over the program's quanta (see module docstring)."""
+        return self._run_block(self.prog.statements, outermost=True)
+
+    def _run_block(self, stmts: tuple[Any, ...], *, outermost: bool = False):
         for s in stmts:
             if isinstance(s, Loop):
                 for _trip in range(s.count):
                     if self.functional and s.until is not None and s.until(self.env):
                         break
-                    self._run_block(s.body)
+                    yield from self._run_block(s.body)
                     if outermost:
                         self.iterations += 1
             elif isinstance(s, Step):
-                self._run_step(s)
+                yield from self._run_step(s)
             elif isinstance(s, Swap):
                 self.lib.swap(s.a, s.b)
                 self.halo_dirty[s.a], self.halo_dirty[s.b] = (
@@ -157,6 +172,7 @@ class _Executor:
                     list(s.fields), s.spec, gpu=s.gpu,
                     params=self._resolve_params(s.params),
                 )
+                yield
             elif isinstance(s, Scalar):
                 self.env[s.name] = (
                     s.fn(self.env) if self.functional else s.timing
@@ -164,12 +180,15 @@ class _Executor:
             else:  # pragma: no cover - Program builders reject these
                 raise PlanError(f"unknown statement {s!r}")
 
-    def _run_step(self, s: Step) -> None:
+    def _run_step(self, s: Step):
         ndim = len(self.prog.domain)
         bc = s.bc if s.bc is not None else self.prog.bc
         for i, fname in enumerate(s.fields):
             if _reads(s.kernel, i) and s.kernel.reads_neighbors(i, ndim):
+                filled = self.halo_dirty[fname]
                 self._ensure_halo(fname, bc)
+                if filled:
+                    yield
         params = self._resolve_params(s.params)
         it = self.lib.iterator(
             *s.fields, tile_shape=self.tile_shape,
@@ -178,6 +197,7 @@ class _Executor:
         while it.is_valid():
             self.lib.compute(it, s.kernel, params=params)
             it.next()
+            yield
         for i, fname in enumerate(s.fields):
             if _writes(s.kernel, i):
                 self.halo_dirty[fname] = True
@@ -197,7 +217,7 @@ def _writes(kernel: Any, index: int) -> bool:
     return _access(kernel, index) in ("w", "rw")
 
 
-def execute_program(
+def program_stepper(
     lib: "TidaAcc",
     prog: Program,
     plan: PlanReport,
@@ -207,13 +227,23 @@ def execute_program(
     order: str = "sequential",
     order_seed: int | None = None,
     tile_shape: tuple[int, ...] | None = None,
-) -> ProgramRun:
-    """Add the planned fields to ``lib``, scatter inputs, run ``prog``.
+):
+    """Cooperative-execution generator over a planned program.
 
-    See :meth:`repro.core.library.TidaAcc.run_program` for the public
-    entry point and parameter semantics.
+    Yields ``None`` at every quantum boundary (one region's compute, one
+    reduction, one halo fill) and *returns* the :class:`ProgramRun` via
+    ``StopIteration.value``.  Setup (field allocation, input scatter) is
+    lazy — it runs on the first ``next()`` — so a multi-tenant scheduler
+    controls exactly when a job starts touching the device.
+
+    Fields ``lib`` already has (attached by the service's cross-job
+    read-only dedup) are not re-declared, and inputs targeting shared
+    fields are not re-scattered: the share was keyed on byte-identical
+    content, so the data is already there.
     """
     for fplan in plan.fields.values():
+        if lib.has_field(fplan.name):
+            continue  # pre-attached (cross-job read-only dedup)
         lib.add_array(
             fplan.name, plan.domain,
             n_regions=plan.n_regions,
@@ -227,6 +257,8 @@ def execute_program(
         if unknown:
             raise PlanError(f"inputs for unplanned field(s) {sorted(unknown)}")
         for name, arr in inputs.items():
+            if name in lib._shared:
+                continue
             lib.field(name).from_global(arr)
 
     t0 = lib.now
@@ -234,7 +266,7 @@ def execute_program(
         lib, prog, plan, order=order, order_seed=order_seed,
         tile_shape=tile_shape, env=env,
     )
-    ex.run()
+    yield from ex.steps()
     return ProgramRun(
         plan=plan,
         elapsed=lib.now - t0,
@@ -244,6 +276,34 @@ def execute_program(
         fills_elided=ex.fills_elided,
         halo_bytes_saved=ex.halo_bytes_saved,
     )
+
+
+def execute_program(
+    lib: "TidaAcc",
+    prog: Program,
+    plan: PlanReport,
+    *,
+    inputs: dict[str, Any] | None = None,
+    env: dict[str, float] | None = None,
+    order: str = "sequential",
+    order_seed: int | None = None,
+    tile_shape: tuple[int, ...] | None = None,
+) -> ProgramRun:
+    """Add the planned fields to ``lib``, scatter inputs, run ``prog``.
+
+    Drains :func:`program_stepper` to completion — the solo-run path.
+    See :meth:`repro.core.library.TidaAcc.run_program` for the public
+    entry point and parameter semantics.
+    """
+    stepper = program_stepper(
+        lib, prog, plan, inputs=inputs, env=env,
+        order=order, order_seed=order_seed, tile_shape=tile_shape,
+    )
+    while True:
+        try:
+            next(stepper)
+        except StopIteration as stop:
+            return stop.value
 
 
 def writebacks_skipped(metrics_snapshot: dict[str, Any], plan: PlanReport) -> float:

@@ -1,0 +1,111 @@
+"""Named workloads tenants can submit by name.
+
+A tenant either submits a full :class:`~repro.plan.Program` + inputs, or
+just a workload name with size knobs; :func:`build_workload` turns the
+name into the same declarative programs the conformance matrix runs
+(heat, wave, compute-intensive, variable-coefficient heat), so every
+service job is also runnable solo through ``run_program`` for the
+byte-identity differential.
+
+``coeff-heat`` is the dedup workload: its ``kappa`` coefficient field is
+proven read-only by the planner, and every job built with the same
+``kappa_seed`` carries a byte-identical coefficient table — exactly the
+shape the service's cross-job transfer dedup keys on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..baselines.common import default_init
+from ..baselines.plan_runners import coeff_heat_program, default_kappa
+from ..errors import ServiceError
+from ..kernels.compute_intensive import compute_intensive_kernel
+from ..kernels.heat import heat_kernel
+from ..kernels.wave import wave_kernel
+from ..plan import Program
+from ..tida.boundary import Dirichlet, Neumann
+
+#: Catalog names `build_workload` accepts.
+WORKLOADS = ("heat", "wave", "compute", "coeff-heat")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A buildable job: declarative program + initial data + knobs."""
+
+    name: str
+    prog: Program
+    inputs: dict[str, np.ndarray]
+    gather: str                       # field whose result defines the job output
+    params: dict[str, Any] = field(default_factory=dict)
+
+
+def _init(shape: tuple[int, ...], seed: int | None) -> np.ndarray:
+    if seed is None:
+        return default_init(shape, 0)
+    rng = np.random.default_rng(seed)
+    return rng.random(shape)
+
+
+def build_workload(
+    name: str,
+    *,
+    shape: tuple[int, ...] = (32, 16, 16),
+    steps: int = 2,
+    seed: int | None = None,
+    coef: float = 0.1,
+    c2: float = 0.25,
+    kernel_iteration: int = 64,
+    kappa_seed: int = 7,
+) -> WorkloadSpec:
+    """Instantiate a named workload at the given size.
+
+    ``seed`` perturbs the initial condition (None = the shared Weyl
+    sequence every baseline uses); ``kappa_seed`` pins the coefficient
+    table of ``coeff-heat`` so equal seeds share bytes across tenants.
+    """
+    shape = tuple(int(s) for s in shape)
+    if name == "heat":
+        prog = Program(shape, bc=Neumann())
+        with prog.sweep(steps):
+            prog.step(heat_kernel(len(shape)), ("u_new", "u_old"),
+                      params={"coef": coef})
+            prog.swap("u_old", "u_new")
+        init = _init(shape, seed)
+        return WorkloadSpec(name, prog, {"u_old": init, "u_new": init},
+                            "u_old", {"steps": steps, "coef": coef})
+    if name == "wave":
+        prog = Program(shape, bc=Dirichlet(0.0))
+        with prog.sweep(steps):
+            prog.step(wave_kernel(len(shape)), ("u_next", "u", "u_prev"),
+                      params={"c2": c2})
+            prog.swap("u_prev", "u")
+            prog.swap("u", "u_next")
+        init = _init(shape, seed)
+        return WorkloadSpec(name, prog, {"u": init, "u_prev": init},
+                            "u", {"steps": steps, "c2": c2})
+    if name == "compute":
+        prog = Program(shape)
+        with prog.sweep(steps):
+            prog.step(compute_intensive_kernel(kernel_iteration), ("data",),
+                      params={"kernel_iteration": kernel_iteration})
+        return WorkloadSpec(name, prog, {"data": _init(shape, seed)},
+                            "data",
+                            {"steps": steps, "kernel_iteration": kernel_iteration})
+    if name == "coeff-heat":
+        prog = coeff_heat_program(shape, steps, coef=coef)
+        init = _init(shape, seed)
+        kappa = default_kappa(shape, seed=kappa_seed)
+        return WorkloadSpec(
+            name, prog,
+            {"u_old": init, "u_new": init, "kappa": kappa},
+            "u_old", {"steps": steps, "coef": coef, "kappa_seed": kappa_seed},
+        )
+    raise ServiceError(
+        f"unknown workload {name!r}; have {', '.join(WORKLOADS)}",
+        reason="unknown-workload",
+    )

@@ -212,3 +212,94 @@ class EventCalendar:
         """
         self._heap.clear()
         self._depths.clear()
+
+
+class WeightedFairQueue:
+    """Deterministic weighted-fair scheduler over opaque keys.
+
+    The multi-tenant service (:mod:`repro.service`) charges each tenant's
+    virtual runtime with the device busy-time its quanta consume, scaled
+    by the inverse of the tenant's fair-share weight::
+
+        vruntime[key] += cost / weight[key]
+
+    :meth:`pick` selects, among the currently runnable keys, the one that
+    is furthest behind its fair share.  Two tiers exist: any runnable
+    *priority* key always preempts every best-effort key; within a tier
+    the winner is the minimum ``(vruntime, seq)`` pair, where ``seq`` is
+    the key's registration order — a stable, deterministic tie-break that
+    never compares the keys themselves (they may be of mixed types).
+
+    A key registered while others have already accumulated runtime starts
+    at the *minimum live vruntime of its tier*, not at zero — otherwise a
+    late joiner would monopolise the device until it caught up.
+    """
+
+    __slots__ = ("_weights", "_vruntime", "_seq", "_priority", "_next_seq")
+
+    def __init__(self) -> None:
+        self._weights: dict = {}
+        self._vruntime: dict = {}
+        self._seq: dict = {}
+        self._priority: dict = {}
+        self._next_seq = 0
+
+    def register(self, key, weight: float = 1.0, *, priority: bool = False) -> None:
+        """Add ``key`` with fair-share ``weight`` (idempotent re-register keeps state)."""
+        if weight <= 0:
+            raise SimulationError(f"fair-share weight must be > 0, got {weight!r}")
+        if key in self._weights:
+            self._weights[key] = float(weight)
+            self._priority[key] = bool(priority)
+            return
+        tier = [
+            v for k, v in self._vruntime.items()
+            if self._priority[k] == bool(priority)
+        ]
+        self._weights[key] = float(weight)
+        self._vruntime[key] = min(tier) if tier else 0.0
+        self._priority[key] = bool(priority)
+        self._seq[key] = self._next_seq
+        self._next_seq += 1
+
+    def is_registered(self, key) -> bool:
+        return key in self._weights
+
+    def weight(self, key) -> float:
+        return self._weights[key]
+
+    def is_priority(self, key) -> bool:
+        return self._priority[key]
+
+    def vruntime(self, key) -> float:
+        return self._vruntime[key]
+
+    def charge(self, key, cost: float) -> float:
+        """Account ``cost`` seconds of service against ``key``; returns new vruntime."""
+        if cost < 0:
+            raise SimulationError(f"cannot charge negative cost {cost!r}")
+        if key not in self._weights:
+            raise SimulationError(f"cannot charge unregistered key {key!r}")
+        self._vruntime[key] += cost / self._weights[key]
+        return self._vruntime[key]
+
+    def pick(self, runnable):
+        """The runnable key furthest behind its fair share (None when empty).
+
+        Priority-tier keys preempt best-effort ones; ties break on
+        registration order, so the same runnable set always yields the
+        same choice.
+        """
+        best = None
+        best_rank = None
+        for key in runnable:
+            if key not in self._weights:
+                raise SimulationError(f"runnable key {key!r} is not registered")
+            rank = (
+                0 if self._priority[key] else 1,
+                self._vruntime[key],
+                self._seq[key],
+            )
+            if best_rank is None or rank < best_rank:
+                best, best_rank = key, rank
+        return best

@@ -1,0 +1,194 @@
+"""Admission control: queueing instead of OOM, degrade, shed, reject.
+
+The controller stands between ``submit`` and ``cudaMalloc``: injected
+memory pressure turns would-be OOM crashes into queueing delay, a plan
+that cannot fit the live budget is replanned at minimum slots under
+``policy="degrade"``, a priority job that defers under ``policy="queue"``
+evicts best-effort slots instead, and a job whose *minimum* footprint
+exceeds an empty device is rejected at submission with a typed
+:class:`~repro.errors.ServiceError` carrying tenant/job context.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.faults.plan import FaultPlan, FaultRule
+from repro.service import (
+    ADMIT,
+    DEFER,
+    DEGRADE,
+    REJECT,
+    AdmissionController,
+    Service,
+    run_solo,
+)
+
+HEAT_KW = {"shape": (32, 16, 16), "steps": 1, "seed": 0}
+
+
+class TestQueueUnderPressure:
+    def test_pressure_defers_instead_of_oom(self):
+        # 20 GB of injected pressure dwarfs the K40m: nothing fits until
+        # the window closes at t=10ms, then the job runs normally
+        faults = FaultPlan([FaultRule(
+            op="malloc", kind="pressure", oom_bytes=2 * 10**10, until_t=0.01,
+        )])
+        svc = Service(faults=faults)
+        svc.add_tenant("t")
+        jid = svc.submit("t", workload="heat", workload_kwargs=HEAT_KW, at=0.0)
+        report = svc.run()
+        svc.close()
+        result = report.jobs[jid]
+        assert result.admitted >= 0.01, "admitted while pressure was active"
+        assert result.finished > result.admitted
+        assert result.digests == run_solo(
+            "t", workload="heat", workload_kwargs=HEAT_KW).digests
+
+    def test_queued_job_latency_includes_the_wait(self):
+        faults = FaultPlan([FaultRule(
+            op="malloc", kind="pressure", oom_bytes=2 * 10**10, until_t=0.01,
+        )])
+        svc = Service(faults=faults)
+        svc.add_tenant("t")
+        jid = svc.submit("t", workload="heat", workload_kwargs=HEAT_KW, at=0.0)
+        report = svc.run()
+        svc.close()
+        assert report.jobs[jid].latency >= 0.01
+
+
+class TestDegrade:
+    def test_degraded_replan_is_byte_identical(self):
+        # 8 slots per field do not fit a 3 MB device, 1 slot does; the
+        # degraded job must still produce its solo bits
+        kw = {"shape": (64, 48, 48), "steps": 1, "seed": 0}
+        svc = Service(device_memory_limit=3_000_000)
+        svc.add_tenant("t")
+        jid = svc.submit("t", workload="heat", workload_kwargs=kw,
+                         n_regions=8, n_slots=8)
+        report = svc.run()
+        svc.close()
+        result = report.jobs[jid]
+        assert result.degraded
+        assert result.n_slots < 8
+        assert result.digests == run_solo(
+            "t", workload="heat", workload_kwargs=kw, n_regions=8).digests
+
+    def test_fitting_job_is_not_degraded(self):
+        svc = Service()
+        svc.add_tenant("t")
+        jid = svc.submit("t", workload="heat", workload_kwargs=HEAT_KW)
+        report = svc.run()
+        svc.close()
+        assert not report.jobs[jid].degraded
+
+
+class TestShed:
+    def test_priority_job_evicts_best_effort_slots(self):
+        # under policy="queue" a deferring priority job may not shrink
+        # itself; it takes slots from running best-effort jobs instead
+        # 3 MB device: the best-effort pool (~1.6 MB) fits alone, but the
+        # priority job (~1.6 MB) defers behind the reserved footprint —
+        # under policy="queue" it takes a best-effort slot instead
+        be_kw = {"shape": (64, 64, 64), "steps": 2,
+                 "kernel_iteration": 512, "seed": 1}
+        vip_kw = {"shape": (64, 48, 48), "steps": 1, "seed": 0}
+        svc = Service(device_memory_limit=3_000_000, admission_policy="queue")
+        svc.add_tenant("be")
+        svc.add_tenant("vip", priority=True)
+        be = svc.submit("be", workload="compute", workload_kwargs=be_kw,
+                        n_regions=8, n_slots=6, at=0.0)
+        vip = svc.submit("vip", workload="heat", workload_kwargs=vip_kw,
+                         n_regions=8, n_slots=4, at=1e-4)
+        report = svc.run()
+        counters = svc.runtime.metrics.snapshot()["counters"]
+        svc.close()
+        assert counters.get("service.evictions.priority", 0) >= 1
+        assert report.jobs[vip].finished > 0
+        # the victim sheds capacity, never correctness
+        for jid, name, kw in ((be, "compute", be_kw), (vip, "heat", vip_kw)):
+            solo = run_solo(report.jobs[jid].tenant, workload=name,
+                            workload_kwargs=kw, n_regions=8)
+            assert report.jobs[jid].digests == solo.digests
+        assert report.racy_hazards == 0
+
+
+class TestReject:
+    def test_oversized_job_rejected_at_submit_with_context(self):
+        svc = Service(device_memory_limit=1_000_000)
+        svc.add_tenant("t")
+        with pytest.raises(ServiceError) as exc:
+            svc.submit("t", workload="heat",
+                       workload_kwargs={"shape": (8, 256, 256), "steps": 1},
+                       name="too-big")
+        svc.close()
+        assert exc.value.reason == "reject"
+        assert exc.value.tenant == "t"
+        assert exc.value.job == "too-big"
+
+
+class TestServiceErrors:
+    def test_unknown_tenant(self):
+        svc = Service()
+        with pytest.raises(ServiceError) as exc:
+            svc.submit("ghost", workload="heat", workload_kwargs=HEAT_KW)
+        svc.close()
+        assert exc.value.reason == "unknown-tenant"
+        assert exc.value.tenant == "ghost"
+
+    def test_unknown_workload(self):
+        svc = Service()
+        svc.add_tenant("t")
+        with pytest.raises(ServiceError):
+            svc.submit("t", workload="no-such-workload")
+        svc.close()
+
+    def test_duplicate_job_name(self):
+        svc = Service()
+        svc.add_tenant("t")
+        svc.submit("t", workload="heat", workload_kwargs=HEAT_KW, name="dup")
+        with pytest.raises(ServiceError) as exc:
+            svc.submit("t", workload="heat", workload_kwargs=HEAT_KW,
+                       name="dup")
+        svc.close()
+        assert exc.value.job == "dup"
+
+    def test_unknown_scheduler_and_policy(self):
+        with pytest.raises(ServiceError):
+            Service(scheduler="fifo")
+        with pytest.raises(ServiceError):
+            Service(admission_policy="magic")
+
+
+class TestControllerUnit:
+    def _controller(self, **kwargs):
+        svc = Service(**kwargs)
+        return svc, svc.admission
+
+    def test_reserved_tightens_the_budget(self):
+        # slot pools allocate lazily: free memory alone would re-admit
+        # bytes already promised to running jobs
+        svc, ctl = self._controller(device_memory_limit=10_000_000)
+        try:
+            assert ctl.budget() == ctl.budget(reserved=0)
+            assert ctl.budget(reserved=4_000_000) <= 6_000_000
+            assert ctl.decide(7_000_000) == ADMIT
+            assert ctl.decide(7_000_000, reserved=4_000_000) == DEFER
+        finally:
+            svc.close()
+
+    def test_decision_ladder(self):
+        svc, ctl = self._controller(device_memory_limit=10_000_000)
+        try:
+            assert ctl.decide(1) == ADMIT
+            assert ctl.decide(10**9, 1) == DEGRADE
+            assert ctl.decide(10**9, 9_000_000, reserved=5_000_000) == DEFER
+            assert ctl.decide(10**9) == REJECT
+        finally:
+            svc.close()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+    sys.exit(pytest.main([__file__, "-v"]))

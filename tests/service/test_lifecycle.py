@@ -1,0 +1,143 @@
+"""Back-to-back jobs on one runtime: per-job state must not leak.
+
+The serialized scheduler runs independent jobs on one shared
+``CudaRuntime``, calling ``reset_schedule(drop_dag=True)`` between
+them.  Plain ``reset_schedule()`` deliberately *keeps* the hazard
+checker's DAG and hazard list — harness repetitions of one logical run
+accumulate there by design — which is exactly wrong between independent
+tenants: job A's nodes, hazards, and ``racy()`` verdicts would leak
+into job B's report.  These tests pin the ``drop_dag`` contract at the
+runtime level and the no-leak behavior at the service level, plus the
+telemetry lifecycle (watchdog detectors must not carry one job's state
+into spurious alerts on the next).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cuda.runtime import CudaRuntime
+from repro.obs.live.bus import TelemetryBus
+from repro.service import Service, run_solo
+
+HEAT_KW = {"shape": (16, 8, 8), "steps": 1, "seed": 0}
+
+
+class TestDropDagContract:
+    def _one_job(self, rt, stream):
+        h = rt.malloc_pinned(1024, label="h")
+        d = rt.malloc(1024, label="d")
+        rt.memcpy_async(d, h, stream)
+        rt.free(d)
+        rt.free_host(h)
+
+    def test_plain_reset_keeps_the_dag(self, tiny_machine):
+        # repetition semantics: the DAG is the run's record
+        rt = CudaRuntime(tiny_machine, check="observe")
+        self._one_job(rt, rt.create_stream())
+        recorded = len(rt.checker.dag)
+        assert recorded > 0
+        rt.reset_schedule()
+        assert len(rt.checker.dag) == recorded
+
+    def test_drop_dag_clears_record_and_verdicts(self, tiny_machine):
+        # independent-job semantics: nothing of job A survives
+        rt = CudaRuntime(tiny_machine, check="observe")
+        self._one_job(rt, rt.create_stream())
+        assert len(rt.checker.dag) > 0
+        rt.reset_schedule(drop_dag=True)
+        assert len(rt.checker.dag) == 0
+        assert rt.checker.hazards == []
+        assert rt.checker.racy() == []
+
+    def test_cross_job_conflicts_are_not_hazards(self, tiny_machine):
+        # job B touches the same buffers job A wrote, with no ordering
+        # between them — legal, because they are different jobs
+        rt = CudaRuntime(tiny_machine, check="observe")
+        a = rt.malloc(1024, label="shared")
+        h = rt.malloc_pinned(1024, label="host")
+        rt.memcpy_async(a, h, rt.create_stream())
+        rt.reset_schedule(drop_dag=True)
+        rt.memcpy_async(h, a, rt.create_stream())
+        assert rt.checker.racy() == []
+
+
+class TestServiceBackToBack:
+    def _serial(self, n_jobs, **kwargs):
+        svc = Service(scheduler="serial", **kwargs)
+        svc.add_tenant("t")
+        jids = [
+            svc.submit("t", workload="heat", workload_kwargs=HEAT_KW, at=0.0)
+            for _ in range(n_jobs)
+        ]
+        report = svc.run()
+        dag_nodes = len(svc.runtime.checker.dag)
+        svc.close()
+        return report, jids, dag_nodes
+
+    def test_no_dag_accumulation_across_jobs(self):
+        # every job's record is dropped at its finish: the surviving DAG
+        # never grows with the job count
+        _, _, after_two = self._serial(2)
+        _, _, after_four = self._serial(4)
+        assert after_two == after_four
+
+    def test_later_jobs_identical_to_first(self):
+        report, jids, _ = self._serial(3)
+        solo = run_solo("t", workload="heat", workload_kwargs=HEAT_KW)
+        for jid in jids:
+            assert report.jobs[jid].digests == solo.digests
+        assert report.racy_hazards == 0
+
+    def test_busy_accounting_survives_the_resets(self):
+        # reset_schedule rewinds engine busy_time; the service must fold
+        # each job's busy into the aggregate before rewinding
+        one, _, _ = self._serial(1)
+        three, _, _ = self._serial(3)
+        assert three.busy_seconds == pytest.approx(3 * one.busy_seconds,
+                                                   rel=1e-6)
+        assert 0 < three.utilization <= 1.0
+
+    def test_fair_mode_keeps_the_multiplexed_record(self):
+        # the fair scheduler interleaves jobs on one schedule: its DAG is
+        # the cross-job record the checker's verdict is based on, so it
+        # must NOT be dropped mid-run
+        svc = Service()
+        svc.add_tenant("t")
+        for _ in range(2):
+            svc.submit("t", workload="heat", workload_kwargs=HEAT_KW, at=0.0)
+        svc.run()
+        assert len(svc.runtime.checker.dag) > 0
+        svc.close()
+
+
+class TestTelemetryLifecycle:
+    def test_watchdog_quiet_across_back_to_back_jobs(self):
+        bus = TelemetryBus()
+        svc = Service(scheduler="serial", telemetry=bus)
+        svc.add_tenant("a", 2.0)
+        svc.add_tenant("b", 1.0)
+        for tenant in ("a", "b"):
+            for _ in range(2):
+                svc.submit(tenant, workload="heat", workload_kwargs=HEAT_KW,
+                           at=0.0)
+        report = svc.run()
+        svc.close()
+        assert report.racy_hazards == 0
+        starvation = [a for a in bus.alerts
+                      if a.detector == "tenant_starvation"]
+        assert starvation == []
+
+    def test_per_tenant_counters_published(self):
+        svc = Service()
+        svc.add_tenant("t")
+        svc.submit("t", workload="heat", workload_kwargs=HEAT_KW)
+        svc.run()
+        counters = svc.runtime.metrics.snapshot()["counters"]
+        svc.close()
+        assert counters.get("service.tenant.t.quanta", 0) > 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+    sys.exit(pytest.main([__file__, "-v"]))
