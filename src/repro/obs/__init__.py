@@ -14,7 +14,11 @@
 * :mod:`repro.obs.live` — the live telemetry bus, flight recorder, and
   online anomaly watchdog (``CudaRuntime(telemetry=TelemetryBus(...))``);
 * :mod:`repro.obs.watch` — the live session viewer CLI
-  (``python -m repro.obs.watch session.jsonl [--follow]``).
+  (``python -m repro.obs.watch session.jsonl [--follow]``);
+* :mod:`repro.obs.slo` — per-tenant SLO tracking for the multi-tenant
+  service: latency SLIs, error-budget accounting, multi-window
+  burn-rate alerts, and SLO-aware backpressure
+  (``Service(slo=..., backpressure=True)``).
 """
 
 from .compare import compare_snapshots, failing_alerts, flatten_snapshot
@@ -29,14 +33,24 @@ from .live import (
     severity_at_least,
 )
 from .critpath import (
+    BLAME_COMPONENTS,
     RunDag,
     Scenario,
+    blame_decomposition,
+    blame_summary,
     critical_path,
     critpath_metrics,
     critpath_summary,
     overlap_report,
     replay,
     whatif,
+)
+from .slo import (
+    JobSli,
+    SloBurnDetector,
+    SloPolicy,
+    SloTracker,
+    read_slo,
 )
 from .metrics import (
     DEFAULT_BUCKETS,
@@ -79,4 +93,12 @@ __all__ = [
     "overlap_report",
     "replay",
     "whatif",
+    "BLAME_COMPONENTS",
+    "blame_decomposition",
+    "blame_summary",
+    "JobSli",
+    "SloBurnDetector",
+    "SloPolicy",
+    "SloTracker",
+    "read_slo",
 ]

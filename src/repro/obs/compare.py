@@ -12,6 +12,7 @@ on a stored baseline manifest.
 
 from __future__ import annotations
 
+import fnmatch
 from typing import Any
 
 #: Metric-name fragments whose growth is an improvement, not a regression.
@@ -33,7 +34,9 @@ GOOD_WHEN_HIGH = (
 
 def flatten_snapshot(snapshot: dict[str, Any]) -> dict[str, float]:
     """Scalar series from a snapshot: counters, gauge high-water marks,
-    histogram counts and sums."""
+    histogram counts, sums, and interpolated percentiles."""
+    from .metrics import Histogram
+
     flat: dict[str, float] = {}
     for name, value in snapshot.get("counters", {}).items():
         flat[name] = float(value)
@@ -42,7 +45,51 @@ def flatten_snapshot(snapshot: dict[str, Any]) -> dict[str, float]:
     for name, h in snapshot.get("histograms", {}).items():
         flat[f"{name}.count"] = float(h["count"])
         flat[f"{name}.sum"] = float(h["sum"])
+        if h.get("count"):
+            hist = Histogram.from_snapshot(name, h)
+            for label, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99)):
+                flat[f"{name}.{label}"] = float(hist.percentile(q))
     return flat
+
+
+def _is_pattern(name: str) -> bool:
+    """True when ``name`` contains :mod:`fnmatch` metacharacters."""
+    return any(ch in name for ch in "*?[")
+
+
+def expand_patterns(
+    base: dict[str, float], cur: dict[str, float],
+) -> tuple[dict[str, float], dict[str, str]]:
+    """Expand wildcard baseline keys against the current metric names.
+
+    A baseline key containing ``fnmatch`` metacharacters
+    (``service.tenant.*.p95``) is a *pattern*: it gates every current
+    metric it matches at the pattern's stored value.  Expansion is
+    deterministic — matches are applied in sorted key order — and an
+    explicit baseline key always wins over a pattern covering the same
+    name (so one tenant can carry a tighter bound than the wildcard).
+    Returns ``(expanded baseline, origin)`` where ``origin`` maps each
+    pattern-derived key back to its source pattern; a pattern matching
+    *nothing* stays in the expanded baseline under its own literal name,
+    so the comparison reports it as ``removed``-with-teeth (a gate that
+    silently matched zero metrics would gate nothing).
+    """
+    expanded: dict[str, float] = {}
+    origin: dict[str, str] = {}
+    explicit = {k: v for k, v in base.items() if not _is_pattern(k)}
+    for pattern in sorted(k for k in base if _is_pattern(k)):
+        hits = sorted(fnmatch.filter(cur, pattern))
+        if not hits:
+            expanded[pattern] = base[pattern]
+            origin[pattern] = pattern
+            continue
+        for name in hits:
+            if name in explicit:
+                continue
+            expanded[name] = base[pattern]
+            origin[name] = pattern
+    expanded.update(explicit)
+    return expanded, origin
 
 
 def higher_is_better(name: str) -> bool:
@@ -87,17 +134,34 @@ def compare_snapshots(
     whose baseline value is zero, where no relative change exists — are
     reported with verdict ``"new"``/``"removed"`` and never regress
     (there is nothing to gate against).
+
+    Baseline keys containing wildcard metacharacters are expanded
+    against the current metric names first (see :func:`expand_patterns`)
+    so dynamic families like ``service.tenant.*.p95`` participate in the
+    gate; rows carry a ``pattern`` key naming the source pattern, and a
+    pattern that matched *no* current metric is itself a ``REGRESSED``
+    row (``current=None``) — the family the baseline promised to gate
+    has vanished.
     """
     cur = flatten_snapshot(current)
-    base = flatten_snapshot(baseline)
+    base, pattern_origin = expand_patterns(flatten_snapshot(baseline), cur)
     rows: list[dict[str, Any]] = []
     regressions: list[dict[str, Any]] = []
     for name in sorted(set(cur) | set(base)):
+        pattern = pattern_origin.get(name)
         if name not in base:
             rows.append({"metric": name, "baseline": None, "current": cur[name],
                          "delta": None, "rel_change": None, "verdict": "new"})
             continue
         if name not in cur:
+            if pattern == name:
+                # an unmatched wildcard gate: fail loudly, never silently
+                row = {"metric": name, "baseline": base[name], "current": None,
+                       "delta": None, "rel_change": None,
+                       "verdict": "REGRESSED", "pattern": pattern}
+                rows.append(row)
+                regressions.append(row)
+                continue
             rows.append({"metric": name, "baseline": base[name], "current": None,
                          "delta": None, "rel_change": None, "verdict": "removed"})
             continue
@@ -115,6 +179,8 @@ def compare_snapshots(
         verdict = "REGRESSED" if bad else ("ok" if abs(rel) < threshold else "improved")
         row = {"metric": name, "baseline": b, "current": c,
                "delta": delta, "rel_change": rel, "verdict": verdict}
+        if pattern is not None:
+            row["pattern"] = pattern
         rows.append(row)
         if bad:
             regressions.append(row)

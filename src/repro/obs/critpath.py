@@ -44,17 +44,21 @@ from ..config import DEFAULT_MACHINE, MachineSpec
 from ..sim.trace import Trace
 
 __all__ = [
+    "BLAME_COMPONENTS",
     "PathSegment",
     "RunDag",
     "Scenario",
     "WHATIF_SCENARIOS",
     "attribution",
+    "blame_decomposition",
+    "blame_summary",
     "categorize",
     "critical_path",
     "critpath_metrics",
     "critpath_summary",
     "field_of",
     "flip_point",
+    "job_phases",
     "overlap_report",
     "region_of",
     "replay",
@@ -635,3 +639,131 @@ def critpath_metrics(summary: dict[str, Any]) -> dict[str, float]:
             row["speedup"]
         )
     return out
+
+
+# -- multi-tenant contention blame ------------------------------------------
+
+#: Blame components, in display order.  Signed seconds; they sum to the
+#: multiplexed-minus-solo latency delta by construction.
+BLAME_COMPONENTS = (
+    "queueing_wait",
+    "admission_deferral",
+    "quantum_preemption",
+    "slot_quota_shrink",
+    "shed_slots",
+    "barrier_interference",
+)
+
+
+def job_phases(timeline: dict[str, Any]) -> dict[str, float]:
+    """Phase decomposition of one job's lifecycle timeline.
+
+    ``timeline`` is :attr:`repro.service.JobResult.timeline` — the
+    virtual-clock stamps the service records for every job.  The five
+    phases tile the latency exactly: ``queueing`` + ``deferral`` =
+    admit - submit (split by recorded wait reasons), ``preemption`` +
+    ``own`` = last quantum end - admit (gaps where other tenants held
+    the device vs. the job's own quantum time), and ``drain`` = final
+    write-back completion - last quantum end.
+    """
+    wait = timeline.get("wait") or {}
+    deferral = sum(v for k, v in wait.items() if k != "queued")
+    queueing = (timeline["admitted"] - timeline["submitted"]) - deferral
+    own = timeline["own_seconds"]
+    preemption = (timeline["last_quantum_end"] - timeline["admitted"]) - own
+    drain = timeline["drained"] - timeline["last_quantum_end"]
+    return {
+        "queueing": queueing,
+        "deferral": deferral,
+        "preemption": preemption,
+        "own": own,
+        "drain": drain,
+        "latency": timeline["drained"] - timeline["submitted"],
+    }
+
+
+def blame_decomposition(
+    mux: dict[str, Any],
+    solo: dict[str, Any],
+    *,
+    solo_shrunk: dict[str, Any] | None = None,
+    solo_shed: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Attribute a job's multiplexed-vs-solo slowdown to named causes.
+
+    ``mux`` and ``solo`` are the job's timelines from the shared and the
+    dedicated service (:func:`repro.service.run_solo`).  Like
+    :func:`critical_path`'s category attribution, the decomposition is
+    exact *by construction*: each component is a phase-wise difference,
+    so the six components telescope to ``delta = latency_mux -
+    latency_solo`` (``residual`` reports the float rounding left over).
+
+    * ``queueing_wait`` — extra time queued behind other admissions;
+    * ``admission_deferral`` — extra time deferred by the admission
+      controller (memory pressure, SLO backpressure);
+    * ``quantum_preemption`` — scheduling gaps between the job's
+      quanta while other tenants held the device;
+    * ``slot_quota_shrink`` — slower execution from running at a
+      shrunk/degraded slot quota (needs ``solo_shrunk``, a solo replay
+      at the multiplexed leg's slot count; 0 when not supplied);
+    * ``shed_slots`` — further slowdown from slots shed to priority
+      tenants mid-run (needs ``solo_shed``; 0 when not supplied);
+    * ``barrier_interference`` — everything left inside the job's own
+      execution and drain: engine-queue interference from co-running
+      jobs' transfers/kernels sharing the FIFOs, plus drain-time
+      contention.  Components are signed — sharing can also *help*
+      (e.g. a warmer device) and shows up negative.
+    """
+    pm, ps = job_phases(mux), job_phases(solo)
+    own_base = ps["own"]
+    shrink = 0.0
+    if solo_shrunk is not None:
+        shrink = job_phases(solo_shrunk)["own"] - own_base
+        own_base += shrink
+    shed = 0.0
+    if solo_shed is not None:
+        shed = job_phases(solo_shed)["own"] - own_base
+        own_base += shed
+    components = {
+        "queueing_wait": pm["queueing"] - ps["queueing"],
+        "admission_deferral": pm["deferral"] - ps["deferral"],
+        "quantum_preemption": pm["preemption"] - ps["preemption"],
+        "slot_quota_shrink": shrink,
+        "shed_slots": shed,
+        "barrier_interference": (
+            (pm["own"] - own_base) + (pm["drain"] - ps["drain"])
+        ),
+    }
+    delta = pm["latency"] - ps["latency"]
+    residual = delta - sum(components[c] for c in BLAME_COMPONENTS)
+    return {
+        "delta": delta,
+        "latency": pm["latency"],
+        "solo_latency": ps["latency"],
+        "components": components,
+        "residual": residual,
+    }
+
+
+def blame_summary(rows: Iterable[dict[str, Any]]) -> dict[str, Any]:
+    """Aggregate per-job blame rows: component totals and the worst residual.
+
+    Each row is a :func:`blame_decomposition` result (optionally carrying
+    ``job``/``tenant`` labels); the totals answer "where did the fleet's
+    slowdown go" the way the critical path answers it for one run.
+    """
+    rows = list(rows)
+    totals = {c: 0.0 for c in BLAME_COMPONENTS}
+    delta = 0.0
+    max_residual = 0.0
+    for row in rows:
+        for c in BLAME_COMPONENTS:
+            totals[c] += row["components"][c]
+        delta += row["delta"]
+        max_residual = max(max_residual, abs(row["residual"]))
+    return {
+        "jobs": len(rows),
+        "delta": delta,
+        "components": totals,
+        "max_residual": max_residual,
+    }

@@ -22,6 +22,10 @@ alert; see ``docs/OBSERVABILITY.md`` for the full table):
 ``hazard_rate``       Hazard-warning marks keep accumulating.
 ``queue_runaway``     Per-stream queue depth grows monotonically past a
                       high-water threshold.
+``tenant_starvation`` A backlogged service tenant scheduled zero quanta
+                      across the whole window (armed by ``metrics=``).
+``slo_burn``          A tenant's SLO error budget is burning at
+                      multi-window alert rates (armed by ``slo=``).
 ==================  =====================================================
 
 Every detector has a ``warmup`` (samples before it may fire) and a
@@ -461,15 +465,26 @@ class TenantStarvationDetector(Detector):
         super().__init__(window=window, warmup=warmup, cooldown=cooldown)
         self.metrics = metrics
         self._progress: dict[str, list[tuple[float, float]]] = {}
+        #: per-tenant observation counts: a tenant first observed
+        #: mid-window has no baseline, so it must be watched for a full
+        #: ``window`` of its *own* samples (not the detector's global
+        #: warmup) before it may fire
+        self._tenant_seen: dict[str, int] = {}
 
     def _tenants(self) -> list[str]:
         if self.metrics is None:
             return []
-        counters = self.metrics.snapshot().get("counters", {})
+        snap = self.metrics.snapshot()
         names = set()
-        for key in counters:
+        for key in snap.get("counters", {}):
             if key.startswith("service.tenant.") and key.endswith(".quanta"):
                 names.add(key[len("service.tenant."):-len(".quanta")])
+        # quanta counters are created on first *scheduled* quantum, so a
+        # fully starved tenant — the one this detector exists for — is
+        # only visible through its backlog gauge
+        for key in snap.get("gauges", {}):
+            if key.startswith("service.tenant.") and key.endswith(".backlog"):
+                names.add(key[len("service.tenant."):-len(".backlog")])
         return sorted(names)
 
     def _observe(self, sample: TelemetrySample) -> None:
@@ -480,10 +495,12 @@ class TenantStarvationDetector(Detector):
             ring.append((quanta, backlog))
             if len(ring) > self.window:
                 del ring[0]
+            self._tenant_seen[tenant] = self._tenant_seen.get(tenant, 0) + 1
 
     def _evaluate(self, sample: TelemetrySample) -> Alert | None:
         for tenant, ring in sorted(self._progress.items()):
-            if len(ring) < self.window:
+            if (len(ring) < self.window
+                    or self._tenant_seen.get(tenant, 0) < self.window):
                 continue
             backlogged = all(backlog > 0 for _, backlog in ring)
             stalled = ring[-1][0] <= ring[0][0]
@@ -502,15 +519,18 @@ class TenantStarvationDetector(Detector):
 
 
 def default_detectors(*, cooldown: float | None = None,
-                      metrics=None) -> list[Detector]:
+                      metrics=None, slo=None) -> list[Detector]:
     """The standard detector set with catalog-default thresholds.
 
     ``cooldown`` (virtual seconds) applies to every detector; ``None``
     picks a per-run-scale default of 0 (fire at most once per sample,
     bounded further by each detector's own cooldown if set later).
     ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`) arms the
-    :class:`TenantStarvationDetector` — without it the multi-tenant
-    detector is omitted, keeping single-run watchdogs unchanged.
+    :class:`TenantStarvationDetector`; ``slo`` (a
+    :class:`~repro.obs.slo.SloTracker`) arms the
+    :class:`~repro.obs.slo.SloBurnDetector`.  Without them the
+    multi-tenant detectors are omitted, keeping single-run watchdogs
+    unchanged.
     """
     cd = 0.0 if cooldown is None else cooldown
     detectors: list[Detector] = [
@@ -523,6 +543,9 @@ def default_detectors(*, cooldown: float | None = None,
     ]
     if metrics is not None:
         detectors.append(TenantStarvationDetector(metrics, cooldown=cd))
+    if slo is not None:
+        from ..slo import SloBurnDetector
+        detectors.append(SloBurnDetector(slo, cooldown=cd))
     return detectors
 
 

@@ -167,6 +167,28 @@ class Histogram:
             "max": self.max if self.count else None,
         }
 
+    @classmethod
+    def from_snapshot(cls, name: str, snap: dict[str, Any]) -> "Histogram":
+        """Rebuild a histogram from :meth:`snapshot` output.
+
+        Lets consumers of serialized snapshots (manifest compare gates,
+        report tables) recover :meth:`percentile` without re-observing
+        the series.
+        """
+        h = cls(name, snap["buckets"])
+        counts = [int(c) for c in snap["counts"]]
+        if len(counts) != len(h.counts):
+            raise ObsError(
+                f"histogram {name!r} snapshot has {len(counts)} counts for "
+                f"{len(h.buckets)} buckets"
+            )
+        h.counts = counts
+        h.sum = float(snap["sum"])
+        h.count = int(snap["count"])
+        h.min = float("inf") if snap.get("min") is None else float(snap["min"])
+        h.max = float("-inf") if snap.get("max") is None else float(snap["max"])
+        return h
+
 
 class _Null:
     """Shared do-nothing instrument handed out by disabled registries."""
@@ -313,6 +335,12 @@ class MetricsRegistry:
         """Current value of counter ``name`` (0 when never incremented)."""
         c = self._counters.get(name)
         return c.value if c is not None else default
+
+    def find_histogram(self, name: str) -> Histogram | None:
+        """The histogram registered as ``name``, or ``None`` — never
+        creates one (unlike :meth:`histogram`), so read-only consumers
+        don't pollute snapshots with empty series."""
+        return self._histograms.get(name)
 
     def sum_counters(self, prefix: str) -> float:
         """Sum of every counter whose name starts with ``prefix``.

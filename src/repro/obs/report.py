@@ -29,6 +29,12 @@ aligned text; ``--out FILE`` writes the output there instead of stdout.
 snapshots and fails when any metric regressed by more than
 ``--threshold`` (default 10%) — the seed of bench-trajectory gating.
 
+``--slo`` / ``--blame`` add the multi-tenant operability tables: the
+per-tenant SLO rollup (latency percentiles, error budget, burn rates)
+from the manifest's ``"slo"`` key and the contention-blame decomposition
+(who stole each job's time, summing to the mux-vs-solo delta) from its
+``"blame"`` key, both written by ``repro.bench.slo_bench``.
+
 ``--alerts`` / ``--health`` add the live-telemetry tables (watchdog
 alerts and the health rollup recorded under the manifest's ``"alerts"``
 and ``"health"`` keys by the ``repro.bench.live`` leg);
@@ -484,6 +490,88 @@ def health_table(health: dict[str, Any]) -> Table:
     return table
 
 
+def slo_table(slo: dict[str, Any]) -> Table:
+    """Per-tenant SLO rollup from the manifest's ``"slo"`` key.
+
+    Accepts one :meth:`~repro.obs.slo.SloTracker.snapshot` payload or a
+    mapping of leg name to snapshot (as ``repro.bench.slo_bench``
+    writes); leg names prefix the tenant column.
+    """
+    table = Table(
+        title="per-tenant SLO status",
+        columns=["tenant", "jobs", "p50_s", "p95_s", "p99_s", "target_s",
+                 "objective", "budget_left", "burn_fast", "burn_slow",
+                 "burning"],
+    )
+    legs = slo if slo and "tenants" not in slo else {"": slo}
+    n_alerts = 0
+    for leg in sorted(legs):
+        snap = legs[leg] or {}
+        n_alerts += len(snap.get("alerts", ()))
+        for tenant in sorted(snap.get("tenants", {})):
+            row = snap["tenants"][tenant]
+            pol = row.get("policy") or {}
+            lat = row.get("latency", {})
+            budget = row.get("budget", {})
+            table.add_row(
+                f"{leg}/{tenant}" if leg else tenant,
+                int(budget.get("jobs", lat.get("count", 0))),
+                lat.get("p50"), lat.get("p95"), lat.get("p99"),
+                pol.get("target", "-"),
+                f"{pol['objective']:.0%}" if pol else "-",
+                (f"{budget['remaining_fraction']:+.0%}"
+                 if pol and budget else "-"),
+                f"{row.get('burn_fast', 0.0):.2f}x" if pol else "-",
+                f"{row.get('burn_slow', 0.0):.2f}x" if pol else "-",
+                "BURNING" if row.get("burning") else "-",
+            )
+    table.add_note(f"burn alerts recorded = {n_alerts}")
+    return table
+
+
+def blame_table(blame: dict[str, Any], *, top: int = 10) -> Table:
+    """Contention blame from the manifest's ``"blame"`` key.
+
+    ``blame`` carries per-job :func:`~repro.obs.critpath
+    .blame_decomposition` rows under ``"jobs"`` and their
+    :func:`~repro.obs.critpath.blame_summary` under ``"summary"``; the
+    table shows the ``top`` most-delayed jobs and the summary totals as
+    notes.  Components sum to the observed mux-vs-solo delta by
+    construction, so every second of slowdown is attributed.
+    """
+    from .critpath import BLAME_COMPONENTS
+
+    table = Table(
+        title=f"contention blame (top {top} by delta)",
+        columns=["job", "delta_s"] + list(BLAME_COMPONENTS) + ["residual"],
+    )
+    rows = sorted(blame.get("jobs", ()),
+                  key=lambda r: -abs(r.get("delta", 0.0)))[:top]
+    for r in rows:
+        comp = r.get("components", {})
+        table.add_row(
+            r.get("job", "?"), r.get("delta", 0.0),
+            *(comp.get(c, 0.0) for c in BLAME_COMPONENTS),
+            r.get("residual", 0.0),
+        )
+    summary = blame.get("summary")
+    if summary:
+        parts = ", ".join(
+            f"{c}={summary['components'].get(c, 0.0):.3g}s"
+            for c in BLAME_COMPONENTS
+            if summary.get("components", {}).get(c)
+        )
+        table.add_note(
+            f"{summary.get('jobs', 0)} jobs, total delta "
+            f"{summary.get('delta', 0.0):.6g}s ({parts or 'no contention'})"
+        )
+        table.add_note(
+            f"max residual = {summary.get('max_residual', 0.0):.3g}s "
+            "(components sum to delta by construction)"
+        )
+    return table
+
+
 def compare_table(rows: list[dict[str, Any]], *, show_ok: bool = False) -> Table:
     table = Table(
         title="metric comparison vs baseline",
@@ -583,6 +671,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--health", action="store_true",
                         help="add the telemetry health table (from the manifest's "
                              "'health' key)")
+    parser.add_argument("--slo", action="store_true",
+                        help="add the per-tenant SLO table (from the manifest's "
+                             "'slo' key, as written by repro.bench.slo_bench)")
+    parser.add_argument("--blame", action="store_true",
+                        help="add the contention-blame table (from the "
+                             "manifest's 'blame' key)")
     parser.add_argument("--fail-on-alerts", nargs="?", const="warning",
                         default=None, choices=("info", "warning", "critical"),
                         metavar="SEVERITY",
@@ -623,14 +717,18 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{len(regressions)} metric(s) regressed beyond "
                   f"{args.threshold:.0%}:")
             for row in regressions:
-                print(f"  {row['metric']}: {row['baseline']:g} -> "
-                      f"{row['current']:g} ({row['rel_change']:+.1%})")
+                cur = ("missing" if row["current"] is None
+                       else format(row["current"], "g"))
+                rel = ("" if row["rel_change"] is None
+                       else f" ({row['rel_change']:+.1%})")
+                print(f"  {row['metric']}: {row['baseline']:g} -> {cur}{rel}")
             return 2
         print(f"no regressions beyond {args.threshold:.0%}")
         return 0
 
     manifest_alerts = list(manifest.get("alerts", ()))
-    wants_live = args.alerts or args.health or args.fail_on_alerts is not None
+    wants_live = (args.alerts or args.health or args.slo or args.blame
+                  or args.fail_on_alerts is not None)
     if trace is None and metrics is None and not (wants_live and manifest):
         print(f"error: {args.run} carries neither traceEvents nor metrics",
               file=sys.stderr)
@@ -640,6 +738,20 @@ def main(argv: list[str] | None = None) -> int:
         tables.append(alerts_table(manifest_alerts))
     if args.health:
         tables.append(health_table(manifest.get("health", {})))
+    if args.slo:
+        slo = manifest.get("slo")
+        if not slo:
+            print(f"error: {args.run} carries no 'slo' snapshot "
+                  "(write one with repro.bench.slo_bench)", file=sys.stderr)
+            return 2
+        tables.append(slo_table(slo))
+    if args.blame:
+        blame = manifest.get("blame")
+        if not blame:
+            print(f"error: {args.run} carries no 'blame' decomposition "
+                  "(write one with repro.bench.slo_bench)", file=sys.stderr)
+            return 2
+        tables.append(blame_table(blame, top=args.top))
     if args.critpath:
         crit = build_critpath_report(trace, manifest, top=args.top)
         if not crit:

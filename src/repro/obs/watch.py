@@ -9,6 +9,14 @@ refreshing text panels:
   overlap efficiency, cache hit rate, queue depth);
 * watchdog alerts and incident marks, newest last.
 
+Service sessions (the ``repro-service-session/1`` JSONL written by
+:class:`~repro.service.session.ServiceSession`) are rendered too: a
+per-tenant table — jobs submitted/admitted/finished, backlog, quanta,
+degradations, shed slots, and active SLO burns — replaces or joins the
+samples panel, so one viewer covers single-run telemetry, multi-tenant
+service logs, and combined streams.  ``repro-slo/1`` burn marks in the
+same file light up the ``burning`` column.
+
 One-shot by default: render the current file contents and exit.
 ``--follow`` keeps polling the file (``--poll`` wall-clock seconds
 between reads, default 0.5) and redraws whenever it grows — watching a
@@ -61,6 +69,70 @@ def _fmt_opt(value: Any, spec: str = ".3f") -> str:
     return "-" if value is None else format(value, spec)
 
 
+#: Record kinds that mark a ``repro-service-session/1`` stream.
+_SERVICE_KINDS = ("tenant", "submit", "admit", "finish", "degrade", "shed")
+
+
+def has_service_records(records: dict[str, list[dict[str, Any]]]) -> bool:
+    """True when the parsed stream carries service-session events."""
+    return any(records.get(kind) for kind in _SERVICE_KINDS)
+
+
+def tenants_table(records: dict[str, list[dict[str, Any]]]) -> Table:
+    """Per-tenant rollup of a ``repro-service-session/1`` stream.
+
+    ``backlog`` counts jobs submitted but not yet finished — on a live
+    file that is exactly the work still in the system.  ``burning``
+    reflects ``repro-slo/1`` burn marks co-written to the stream (a
+    ``start`` without a later ``stop``/``release``).
+    """
+    table = Table(
+        title="service tenants",
+        columns=["tenant", "submitted", "admitted", "finished", "backlog",
+                 "quanta", "degraded", "shed_slots", "burning"],
+    )
+    names: list[str] = []
+    for rec in records.get("tenant", []):
+        if rec.get("tenant") not in names:
+            names.append(rec["tenant"])
+
+    def count(kind: str) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for rec in records.get(kind, []):
+            t = rec.get("tenant", "?")
+            out[t] = out.get(t, 0) + 1
+            if t not in names:
+                names.append(t)
+        return out
+
+    submitted = count("submit")
+    admitted = count("admit")
+    finished = count("finish")
+    degraded = count("degrade")
+    quanta: dict[str, int] = {}
+    for rec in records.get("finish", []):
+        t = rec.get("tenant", "?")
+        quanta[t] = quanta.get(t, 0) + int(rec.get("quanta", 0))
+    shed: dict[str, int] = {}
+    for rec in records.get("shed", []):
+        t = rec.get("tenant", "?")
+        shed[t] = shed.get(t, 0) + int(rec.get("slots", 0))
+    burning: dict[str, bool] = {}
+    for rec in records.get("burn", []):
+        burning[rec.get("tenant", "?")] = rec.get("state") == "start"
+    for t in names:
+        table.add_row(
+            t, submitted.get(t, 0), admitted.get(t, 0), finished.get(t, 0),
+            submitted.get(t, 0) - finished.get(t, 0), quanta.get(t, 0),
+            degraded.get(t, 0), shed.get(t, 0),
+            "BURNING" if burning.get(t) else "-",
+        )
+    active = [t for t in sorted(burning) if burning[t]]
+    if active:
+        table.add_note("SLO budgets burning: " + ", ".join(active))
+    return table
+
+
 def samples_table(samples: list[dict[str, Any]], *, last: int = 12) -> Table:
     table = Table(
         title=f"recent samples (last {min(last, len(samples))} of {len(samples)})",
@@ -101,6 +173,10 @@ def status_line(records: dict[str, list[dict[str, Any]]]) -> str:
     alerts = records["alert"]
     incidents = records["incident"]
     now = samples[-1]["t"] if samples else session.get("t0", 0.0)
+    service_events = [r for kind in _SERVICE_KINDS
+                      for r in records.get(kind, [])]
+    if service_events:
+        now = max([now] + [r.get("t", 0.0) for r in service_events])
     criticals = sum(1 for a in alerts if a.get("severity") == "critical")
     if incidents or criticals:
         health = "CRITICAL"
@@ -124,11 +200,12 @@ def status_line(records: dict[str, list[dict[str, Any]]]) -> str:
 
 
 def render(records: dict[str, list[dict[str, Any]]], *, last: int = 12) -> str:
-    panels = [
-        status_line(records),
-        samples_table(records["sample"], last=last).format(),
-        alerts_panel(records["alert"]).format(),
-    ]
+    panels = [status_line(records)]
+    if has_service_records(records):
+        panels.append(tenants_table(records).format())
+    if records["sample"] or not has_service_records(records):
+        panels.append(samples_table(records["sample"], last=last).format())
+    panels.append(alerts_panel(records["alert"]).format())
     for inc in records["incident"][-4:]:
         trigger = inc.get("trigger", inc)
         panels.append(
@@ -165,10 +242,12 @@ def watch(
         if len(text) != seen_size:
             seen_size = len(text)
             records = parse_session(text.splitlines())
-            if not records["session"] and not records["sample"]:
+            if (not records["session"] and not records["sample"]
+                    and not has_service_records(records)):
                 if not follow:
-                    print(f"error: {path} is not a telemetry session "
-                          "(no session/sample records)", file=sys.stderr)
+                    print(f"error: {path} is not a telemetry session or "
+                          "service session (no session/sample/service "
+                          "records)", file=sys.stderr)
                     return 2
             else:
                 if follow:

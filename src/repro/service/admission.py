@@ -95,6 +95,24 @@ class AdmissionController:
         self.runtime = runtime
         self.headroom_bytes = int(headroom_bytes)
         self.policy = policy
+        self._backpressure_hook = None
+
+    def set_backpressure_hook(self, hook) -> None:
+        """Install ``hook(tenant) -> bool`` consulted before scheduling.
+
+        The SLO tracker uses this to defer best-effort tenants while a
+        protected tenant's error budget is burning
+        (:meth:`~repro.obs.slo.SloTracker.burning`).  The hook gates the
+        *scheduling pass*, not :meth:`decide` — memory admission stays a
+        pure function of footprints and budgets, so backpressure can
+        never turn a feasible job into a reject.
+        """
+        self._backpressure_hook = hook
+
+    def backpressured(self, tenant: str) -> bool:
+        """True when the installed hook says ``tenant`` must wait."""
+        return (self._backpressure_hook is not None
+                and bool(self._backpressure_hook(tenant)))
 
     def budget(self, reserved: int = 0) -> int:
         """Admittable bytes right now.

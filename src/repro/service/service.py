@@ -44,6 +44,7 @@ from ..cuda.runtime import CudaRuntime
 from ..errors import PlanError, ServiceError
 from ..faults.plan import FaultPlan
 from ..faults.retry import RetryPolicy
+from ..obs.slo import LATENCY_BUCKETS, JobSli, SloPolicy, SloTracker
 from ..openacc.runtime import AccRuntime
 from ..plan.executor import program_stepper
 from ..plan.planner import plan_program
@@ -95,6 +96,12 @@ class JobResult:
     env: dict[str, float]
     n_regions: int
     n_slots: int | None
+    #: Virtual-clock lifecycle stamps: submitted/admitted/started/
+    #: last_quantum_end/drained, own_seconds (clock time inside the job's
+    #: own quanta), quanta (count), and wait (reason -> seconds tiling
+    #: submit->admit).  The input of the contention blame profiler
+    #: (:func:`repro.obs.critpath.blame_decomposition`).
+    timeline: dict[str, Any] | None = None
 
 
 @dataclass
@@ -125,7 +132,8 @@ class _Job:
         "seq", "state", "plan", "lib", "stepper", "plan_kwargs", "order",
         "order_seed", "tile_shape", "admit_t", "finish_t", "slots_held",
         "degraded", "shed", "shared_fields", "registered", "footprint",
-        "result",
+        "result", "start_t", "last_q_end", "own_seconds", "n_quanta",
+        "wait_mark", "wait_reason", "wait",
     )
 
     def __init__(self, **kw: Any) -> None:
@@ -156,6 +164,8 @@ class Service:
         dedup: bool = True,
         per_tenant_concurrency: int | None = 1,
         session_meta: dict[str, Any] | None = None,
+        slo: list[SloPolicy] | dict[str, Any] | None = None,
+        backpressure: bool = False,
     ) -> None:
         if scheduler not in ("fair", "serial"):
             raise ServiceError(
@@ -189,10 +199,26 @@ class Service:
             scheduler=scheduler, policy=admission_policy,
             total_slots=total_slots, **(session_meta or {}),
         ))
+        # SLO tracking is pure observation (it never touches the clock or
+        # the schedule), so a monitored run stays byte-identical to an
+        # unmonitored one; backpressure is the opt-in that changes admission
+        self.slo: SloTracker | None = (
+            SloTracker(slo, metrics=self.runtime.metrics)
+            if slo is not None else None
+        )
+        if backpressure:
+            if self.slo is None:
+                raise ServiceError(
+                    "backpressure=True needs slo= policies to protect",
+                    reason="bad-slo",
+                )
+            self.admission.set_backpressure_hook(self._slo_backpressured)
         if telemetry is not None and watchdog:
             from ..obs.live.watchdog import Watchdog, default_detectors
             telemetry.add_subscriber(
-                Watchdog(default_detectors(metrics=self.runtime.metrics))
+                Watchdog(default_detectors(
+                    metrics=self.runtime.metrics, slo=self.slo,
+                ))
             )
         self.on_finish: Callable[[JobResult, "Service"], None] | None = None
         self.tenants: dict[str, Tenant] = {}
@@ -311,7 +337,8 @@ class Service:
             order_seed=order_seed, tile_shape=tile_shape,
             admit_t=None, finish_t=None, slots_held=0, degraded=False,
             shed=0, shared_fields=(), registered=False, footprint=0,
-            result=None,
+            result=None, start_t=None, last_q_end=None, own_seconds=0.0,
+            n_quanta=0, wait_mark=arrival, wait_reason=None, wait={},
         )
         self._queued.append(job)
         self.session.emit("submit", arrival, tenant=tenant, job=job_id,
@@ -324,6 +351,35 @@ class Service:
     def _update_backlog(self, tenant: str) -> None:
         backlog = sum(1 for j in self._queued if j.tenant == tenant)
         self.metrics.set_gauge(f"service.tenant.{tenant}.backlog", backlog)
+
+    def _note_wait(self, job: _Job, reason: str | None) -> None:
+        """Close the job's open wait segment and start a new one.
+
+        Wait segments tile [submit, admit] by reason: the span since the
+        last mark is charged to the *standing* reason (``"queued"`` until
+        an admission attempt says otherwise), then ``reason`` becomes the
+        standing classification.  ``None`` closes the final segment at
+        admission.  Pure bookkeeping — never touches the clock.
+        """
+        now = self.now
+        if now > job.wait_mark:
+            prev = job.wait_reason or "queued"
+            job.wait[prev] = job.wait.get(prev, 0.0) + (now - job.wait_mark)
+            job.wait_mark = now
+        job.wait_reason = reason
+
+    def _slo_backpressured(self, tenant: str) -> bool:
+        """Admission hook: defer best-effort tenants while a budget burns.
+
+        Protected = any tenant currently burning its error budget; held
+        back = everyone else without the priority bit.  Burning tenants
+        and priority tenants are never deferred by their own protection.
+        """
+        if self.slo is None:
+            return False
+        burning = self.slo.burning()
+        return (bool(burning) and tenant not in burning
+                and not self.tenants[tenant].priority)
 
     # -- admission ----------------------------------------------------------
 
@@ -392,6 +448,7 @@ class Service:
             if self._shed_for(job, footprint):
                 decision = ADMIT
         if decision == DEFER:
+            self._note_wait(job, "deferred")
             return False
         if decision == REJECT:
             raise ServiceError(
@@ -438,6 +495,7 @@ class Service:
         job.footprint = footprint
         self.partitioner.acquire(job.tenant, job.slots_held)
         job.state = RUNNING
+        self._note_wait(job, None)   # close the final wait segment
         job.admit_t = self.now
         self._admit_seq += 1
         job.seq = self._admit_seq
@@ -538,7 +596,12 @@ class Service:
             if cap is not None:
                 in_flight = sum(1 for j in self._running if j.tenant == job.tenant)
                 if in_flight >= cap:
+                    self._note_wait(job, "queued")
                     continue
+            if self.admission.backpressured(job.tenant):
+                self._note_wait(job, "backpressure")
+                self.metrics.inc("service.slo.backpressure_deferrals")
+                continue
             self._try_admit(job)
             if self.scheduler == "serial" and self._running:
                 return
@@ -562,7 +625,13 @@ class Service:
         except StopIteration as stop:
             done = True
             run = stop.value
-        cost = (self._busy_total() - busy0) + (self.now - t0)
+        t1 = self.now
+        if job.start_t is None:
+            job.start_t = t0
+        job.own_seconds += t1 - t0
+        job.last_q_end = t1
+        job.n_quanta += 1
+        cost = (self._busy_total() - busy0) + (t1 - t0)
         self.wfq.charge(job.tenant, cost)
         if not job.registered and not done:
             # fields exist after the stepper's lazy setup ran: publish the
@@ -609,6 +678,19 @@ class Service:
         job.finish_t = drain_end
         self._t_last_finish = max(self._t_last_finish, drain_end)
         latency = job.finish_t - job.arrival
+        started = job.start_t if job.start_t is not None else job.admit_t
+        last_end = job.last_q_end if job.last_q_end is not None else self.now
+        queue_wait = job.admit_t - job.arrival
+        start_delay = started - job.admit_t
+        execute = last_end - started
+        drain = job.finish_t - last_end
+        timeline = {
+            "submitted": job.arrival, "admitted": job.admit_t,
+            "started": started, "last_quantum_end": last_end,
+            "drained": job.finish_t, "own_seconds": job.own_seconds,
+            "quanta": job.n_quanta,
+            "wait": {k: v for k, v in sorted(job.wait.items())},
+        }
         result = JobResult(
             job=job.id, tenant=job.tenant, workload=job.workload,
             arrival=job.arrival, admitted=job.admit_t,
@@ -617,16 +699,27 @@ class Service:
             shed=job.shed, shared_fields=job.shared_fields,
             digests=digests, env=dict(run.env),
             n_regions=job.plan.n_regions, n_slots=job.plan.n_slots,
+            timeline=timeline,
         )
         self._results[job.id] = result
         self._running.remove(job)
         m = self.metrics
         m.inc(f"service.tenant.{job.tenant}.jobs_completed")
-        m.observe(f"service.tenant.{job.tenant}.latency", latency)
+        for phase, value in (("latency", latency), ("queue_wait", queue_wait),
+                             ("start_delay", start_delay),
+                             ("execute", execute), ("drain", drain)):
+            m.histogram(f"service.tenant.{job.tenant}.{phase}",
+                        LATENCY_BUCKETS).observe(value)
+        if self.slo is not None:
+            self.slo.observe(JobSli(
+                job=job.id, tenant=job.tenant, t=job.finish_t,
+                latency=latency, queue_wait=queue_wait,
+                start_delay=start_delay, execute=execute, drain=drain,
+            ))
         self.session.emit(
             "finish", self.now, tenant=job.tenant, job=job.id,
             latency=latency, elapsed=run.elapsed, degraded=job.degraded,
-            shed=job.shed,
+            shed=job.shed, quanta=job.n_quanta,
         )
         self._update_backlog(job.tenant)
         if self.scheduler == "serial":
@@ -681,6 +774,22 @@ class Service:
                     continue
                 if self._evict_dataset_cache():
                     continue
+                if (self.slo is not None
+                        and self.slo.backpressure_active()
+                        and all(self.admission.backpressured(j.tenant)
+                                for j in blocked)):
+                    if future:
+                        # protected tenants still have arrivals coming:
+                        # hold the deferral and wait for them rather
+                        # than releasing the flood between two arrivals
+                        self.clock.advance_to(min(j.arrival for j in future))
+                        continue
+                    if self.slo.release_backpressure():
+                        # only backpressured jobs remain and every
+                        # protected tenant is drained: releasing the burn
+                        # state (with a "release" mark in the SLO stream)
+                        # beats deadlock
+                        continue
                 job = blocked[0]
                 raise ServiceError(
                     f"job {job.id!r} of tenant {job.tenant!r} cannot be "
@@ -708,6 +817,8 @@ class Service:
         racy = len(checker.racy()) if checker is not None else 0
         per_tenant: dict[str, dict[str, Any]] = {}
         for name in self.tenants:
+            hist = self.metrics.find_histogram(
+                f"service.tenant.{name}.latency")
             per_tenant[name] = {
                 "weight": self.tenants[name].weight,
                 "priority": self.tenants[name].priority,
@@ -720,6 +831,11 @@ class Service:
                     r.latency for r in self._results.values()
                     if r.tenant == name
                 ),
+                # streaming (bucket-interpolated) percentiles — what the
+                # metrics surface exposes to compare gates and dashboards
+                "latency_p50": hist.percentile(0.50) if hist else None,
+                "latency_p95": hist.percentile(0.95) if hist else None,
+                "latency_p99": hist.percentile(0.99) if hist else None,
             }
         return ServiceReport(
             jobs=dict(self._results), makespan=makespan,

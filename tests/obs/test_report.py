@@ -228,7 +228,8 @@ class TestCompareSemantics:
         m.set_gauge("g", 7.0)
         m.observe("h", 3.0)
         flat = flatten_snapshot(m.snapshot())
-        assert flat == {"c": 2.0, "g.max": 7.0, "h.count": 1.0, "h.sum": 3.0}
+        assert flat == {"c": 2.0, "g.max": 7.0, "h.count": 1.0, "h.sum": 3.0,
+                        "h.p50": 3.0, "h.p95": 3.0, "h.p99": 3.0}
 
     def test_higher_is_better_fragments(self):
         assert higher_is_better("cache.hits.f")
@@ -296,3 +297,115 @@ class TestHazardTable:
         from repro.obs.report import hazard_table
 
         assert len(hazard_table(trace, metrics).rows) == 2
+
+
+class TestWildcardPatterns:
+    """Baseline metric names may be glob patterns (satellite of the SLO
+    gate: per-tenant keys collapse into one committed wildcard row)."""
+
+    def test_pattern_expands_against_current_keys(self):
+        base = {"counters": {"bench.slo.tenant.*.p95_ms": 5.0}}
+        cur = {"counters": {"bench.slo.tenant.a.p95_ms": 5.0,
+                            "bench.slo.tenant.b.p95_ms": 5.0}}
+        rows, regressions = compare_snapshots(cur, base, threshold=0.10)
+        assert regressions == []
+        assert sorted(r["metric"] for r in rows) == [
+            "bench.slo.tenant.a.p95_ms", "bench.slo.tenant.b.p95_ms"]
+        assert all(r["pattern"] == "bench.slo.tenant.*.p95_ms" for r in rows)
+
+    def test_expansion_is_deterministic(self):
+        base = {"counters": {"x.*": 1.0}}
+        cur = {"counters": {f"x.{i}": 1.0 for i in range(5)}}
+        rows1, _ = compare_snapshots(cur, base)
+        rows2, _ = compare_snapshots(cur, base)
+        assert [r["metric"] for r in rows1] == [r["metric"] for r in rows2]
+        assert [r["metric"] for r in rows1] == sorted(
+            r["metric"] for r in rows1)
+
+    def test_pattern_gates_each_expanded_key(self):
+        base = {"counters": {"bench.slo.tenant.*.p95_ms": 5.0}}
+        cur = {"counters": {"bench.slo.tenant.a.p95_ms": 5.0,
+                            "bench.slo.tenant.b.p95_ms": 9.0}}  # worse
+        _rows, regressions = compare_snapshots(cur, base, threshold=0.10)
+        assert [r["metric"] for r in regressions] == [
+            "bench.slo.tenant.b.p95_ms"]
+
+    def test_explicit_key_beats_pattern(self):
+        base = {"counters": {"bench.slo.tenant.*.p95_ms": 5.0,
+                             "bench.slo.tenant.b.p95_ms": 20.0}}
+        cur = {"counters": {"bench.slo.tenant.a.p95_ms": 5.0,
+                            "bench.slo.tenant.b.p95_ms": 19.0}}
+        _rows, regressions = compare_snapshots(cur, base, threshold=0.10)
+        # b is judged against its explicit 20.0 baseline, not the wildcard
+        assert regressions == []
+
+    def test_unmatched_pattern_is_a_regression_with_teeth(self):
+        base = {"counters": {"bench.slo.tenant.*.p95_ms": 5.0}}
+        cur = {"counters": {"something.else": 1.0}}
+        _rows, regressions = compare_snapshots(cur, base)
+        assert len(regressions) == 1
+        row = regressions[0]
+        assert row["verdict"] == "REGRESSED"
+        assert row["current"] is None
+        assert row["pattern"] == "bench.slo.tenant.*.p95_ms"
+
+    def test_literal_names_with_no_glob_chars_are_unchanged(self):
+        base = {"counters": {"plain.metric": 1.0}}
+        cur = {"counters": {"plain.metric": 1.0}}
+        rows, regressions = compare_snapshots(cur, base)
+        assert regressions == []
+        assert "pattern" not in rows[0]
+
+
+class TestSloBlameTables:
+    @pytest.fixture(scope="class")
+    def slo_manifest(self, tmp_path_factory):
+        from repro.obs.critpath import blame_decomposition, blame_summary
+        from repro.obs.slo import JobSli, SloPolicy, SloTracker
+
+        tracker = SloTracker([SloPolicy(tenant="a", target=1.0,
+                                        objective=0.9, fast_window=2,
+                                        slow_window=4, fast_burn=2.0,
+                                        slow_burn=2.0, exit_burn=0.5)])
+        for n in range(4):
+            tracker.observe(JobSli(
+                job=f"a.j{n}", tenant="a", t=float(n + 1), latency=2.0,
+                queue_wait=0.5, start_delay=0.5, execute=0.5, drain=0.5))
+        solo = {"submitted": 0.0, "admitted": 0.0, "started": 0.0,
+                "last_quantum_end": 1.0, "drained": 1.2,
+                "own_seconds": 1.0, "quanta": 1, "wait": {}}
+        mux = {"submitted": 0.0, "admitted": 0.5, "started": 0.5,
+               "last_quantum_end": 2.0, "drained": 2.4,
+               "own_seconds": 1.0, "quanta": 2, "wait": {"queued": 0.5}}
+        row = blame_decomposition(mux, solo)
+        row["job"] = "a.j0"
+        path = tmp_path_factory.mktemp("slo") / "slo.json"
+        path.write_text(json.dumps({
+            "schema": "repro-run-manifest/1",
+            "metrics": {"counters": {"bench.ok": 1.0}},
+            "slo": tracker.snapshot(),
+            "blame": {"jobs": [row], "summary": blame_summary([row])},
+        }))
+        return path
+
+    def test_slo_table_renders(self, slo_manifest, capsys):
+        assert main([str(slo_manifest), "--slo"]) == 0
+        out = capsys.readouterr().out
+        assert "per-tenant SLO status" in out
+        assert "BURNING" in out          # 4 straight misses: burning
+        assert "budget_left" in out
+
+    def test_blame_table_renders(self, slo_manifest, capsys):
+        assert main([str(slo_manifest), "--blame"]) == 0
+        out = capsys.readouterr().out
+        assert "contention blame" in out
+        assert "queueing_wait" in out
+        assert "components sum to delta" in out
+
+    def test_manifest_without_slo_key_exits_2(self, manifest_path, capsys):
+        assert main([str(manifest_path), "--slo"]) == 2
+        assert "no 'slo' snapshot" in capsys.readouterr().err
+
+    def test_manifest_without_blame_key_exits_2(self, manifest_path, capsys):
+        assert main([str(manifest_path), "--blame"]) == 2
+        assert "no 'blame'" in capsys.readouterr().err

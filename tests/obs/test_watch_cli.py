@@ -83,3 +83,65 @@ class TestParseSession:
         assert len(records["session"]) == 1
         assert len(records["invalid"]) == 1
         assert "invalid_lines=1" in render(records)
+
+
+def make_service_session(tmp_path, *, burning=False):
+    """A hand-built repro-service-session/1 stream (+ optional SLO marks)."""
+    path = tmp_path / "service.jsonl"
+    lines = [
+        {"kind": "header", "schema": "repro-service-session/1", "t": 0.0},
+        {"kind": "tenant", "t": 0.0, "tenant": "a", "weight": 2.0},
+        {"kind": "tenant", "t": 0.0, "tenant": "b", "weight": 1.0},
+        {"kind": "submit", "t": 0.0, "tenant": "a", "job": "a.j0"},
+        {"kind": "submit", "t": 0.0, "tenant": "b", "job": "b.j0"},
+        {"kind": "admit", "t": 1e-5, "tenant": "a", "job": "a.j0"},
+        {"kind": "admit", "t": 2e-5, "tenant": "b", "job": "b.j0"},
+        {"kind": "finish", "t": 1e-3, "tenant": "a", "job": "a.j0",
+         "latency": 1e-3, "quanta": 3, "degraded": False, "shed": 0},
+    ]
+    if burning:
+        lines.append({"kind": "burn", "t": 2e-3, "tenant": "b",
+                      "state": "start", "fast": 10.0, "slow": 5.0})
+    path.write_text("\n".join(json.dumps(l) for l in lines) + "\n")
+    return path
+
+
+class TestServiceSession:
+    def test_renders_tenant_table(self, tmp_path, capsys):
+        path = make_service_session(tmp_path)
+        assert main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "service tenants" in out
+        assert "backlog" in out
+        # tenant a finished its job; tenant b still has backlog 1
+        rows = [l for l in out.splitlines() if l.startswith(("a ", "b "))]
+        assert any(l.split()[0] == "a" and " 0 " in l for l in rows)
+
+    def test_burn_marks_light_the_burning_column(self, tmp_path, capsys):
+        path = make_service_session(tmp_path, burning=True)
+        assert main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "BURNING" in out
+        assert "SLO budgets burning: b" in out
+
+    def test_status_line_tracks_service_time(self, tmp_path, capsys):
+        path = make_service_session(tmp_path, burning=False)
+        assert main([str(path)]) == 0
+        # latest event is the finish at t=1e-3
+        assert "t=0.001s" in capsys.readouterr().out
+
+    def test_pure_service_stream_skips_samples_panel(self, tmp_path, capsys):
+        path = make_service_session(tmp_path)
+        assert main([str(path)]) == 0
+        assert "recent samples" not in capsys.readouterr().out
+
+    def test_combined_stream_shows_both_panels(self, tmp_path, tiny_machine,
+                                               capsys):
+        telem = make_session(tmp_path, tiny_machine)
+        service = make_service_session(tmp_path)
+        combined = tmp_path / "combined.jsonl"
+        combined.write_text(telem.read_text() + service.read_text())
+        assert main([str(combined)]) == 0
+        out = capsys.readouterr().out
+        assert "service tenants" in out
+        assert "recent samples" in out

@@ -202,3 +202,99 @@ class TestWatchdogSubscriber:
         assert len(names) == len(set(names)) == 6
         for name in SEVERITIES:
             assert name in ("info", "warning", "critical")
+
+
+class TestTenantStarvation:
+    """The service-layer starvation detector (registry-driven)."""
+
+    def registry(self, *, backlog=2.0, quanta=None, tenant="t0"):
+        from repro.obs import MetricsRegistry
+
+        m = MetricsRegistry()
+        m.set_gauge(f"service.tenant.{tenant}.backlog", backlog)
+        if quanta is not None:
+            m.inc(f"service.tenant.{tenant}.quanta", quanta)
+        return m
+
+    def test_fires_on_backlogged_tenant_with_no_quanta(self):
+        from repro.obs.live.watchdog import TenantStarvationDetector
+
+        m = self.registry()
+        d = TenantStarvationDetector(m, window=4)
+        alerts = feed(d, [mk_sample(i) for i in range(6)])
+        assert alerts and alerts[0].detector == "tenant_starvation"
+        assert alerts[0].severity == "critical"
+        assert alerts[0].evidence["tenant"] == "t0"
+
+    def test_fully_starved_tenant_is_discovered_via_backlog_gauge(self):
+        # regression: quanta counters are created lazily on the first
+        # scheduled quantum, so a tenant that never ran must still be
+        # visible to the detector through its backlog gauge alone
+        from repro.obs.live.watchdog import TenantStarvationDetector
+
+        m = self.registry()                    # backlog gauge, NO counter
+        d = TenantStarvationDetector(m, window=4)
+        assert d._tenants() == ["t0"]
+
+    def test_tenant_first_seen_mid_window_waits_its_own_window(self):
+        # regression: a tenant appearing after the detector warmed up
+        # has no progress baseline — it must be observed for a full
+        # window of its *own* samples before it may fire
+        from repro.obs import MetricsRegistry
+        from repro.obs.live.watchdog import TenantStarvationDetector
+
+        m = MetricsRegistry()
+        d = TenantStarvationDetector(m, window=4)
+        assert feed(d, [mk_sample(i) for i in range(6)]) == []
+        m.set_gauge("service.tenant.late.backlog", 3.0)   # appears now
+        # the detector is long past warmup, but 'late' has been seen for
+        # fewer than window samples: no alert yet
+        assert feed(d, [mk_sample(6 + i) for i in range(3)]) == []
+        # after a full window of its own observations it fires
+        alerts = feed(d, [mk_sample(9 + i) for i in range(2)])
+        assert alerts and alerts[0].evidence["tenant"] == "late"
+
+    def test_progressing_tenant_is_quiet(self):
+        from repro.obs.live.watchdog import TenantStarvationDetector
+
+        m = self.registry(quanta=1.0)
+        d = TenantStarvationDetector(m, window=4)
+        out = []
+        for i in range(8):
+            m.inc("service.tenant.t0.quanta")   # progress every sample
+            a = d.update(mk_sample(i))
+            if a is not None:
+                out.append(a)
+        assert out == []
+
+    def test_drained_backlog_is_quiet(self):
+        from repro.obs.live.watchdog import TenantStarvationDetector
+
+        m = self.registry(backlog=0.0)
+        d = TenantStarvationDetector(m, window=4)
+        assert feed(d, [mk_sample(i) for i in range(8)]) == []
+
+    def test_without_registry_is_inert(self):
+        from repro.obs.live.watchdog import TenantStarvationDetector
+
+        d = TenantStarvationDetector(None, window=4)
+        assert feed(d, [mk_sample(i) for i in range(8)]) == []
+
+
+class TestDefaultDetectorComposition:
+    def test_metrics_arg_adds_tenant_starvation(self):
+        from repro.obs import MetricsRegistry
+
+        names = [d.name for d in default_detectors(metrics=MetricsRegistry())]
+        assert "tenant_starvation" in names
+        assert len(names) == 7
+
+    def test_slo_arg_adds_slo_burn(self):
+        from repro.obs.slo import SloPolicy, SloTracker
+
+        tracker = SloTracker([SloPolicy(tenant="t", target=1.0)])
+        names = [d.name for d in default_detectors(slo=tracker)]
+        assert "slo_burn" in names
+
+    def test_bare_call_is_unchanged(self):
+        assert len(default_detectors()) == 6
